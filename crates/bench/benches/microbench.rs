@@ -1,0 +1,166 @@
+//! Criterion micro-benchmarks for the performance-relevant kernels:
+//! fixed-point MAC, linear algebra, the SOCP node relaxation, full LDA-FP
+//! training, and the gate-level datapath simulation.
+//!
+//! ```text
+//! cargo bench -p ldafp-bench
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldafp_core::{LdaFpConfig, LdaFpTrainer, LdaModel, TrainingProblem};
+use ldafp_datasets::synthetic::{generate, SyntheticConfig};
+use ldafp_datasets::BinaryDataset;
+use ldafp_fixedpoint::{mac_dot, QFormat, RoundingMode};
+use ldafp_hwmodel::gates::MacDatapath;
+use ldafp_linalg::{Matrix, SymmetricEigen};
+use ldafp_solver::{SocpProblem, SolverConfig};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn synthetic_train(n: usize, seed: u64) -> BinaryDataset {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    generate(
+        &SyntheticConfig {
+            n_per_class: n,
+            ..SyntheticConfig::default()
+        },
+        &mut rng,
+    )
+    .scaled_to(0.9)
+    .0
+}
+
+fn bench_mac_dot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fixedpoint/mac_dot");
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    for &m in &[8usize, 42, 256] {
+        let format = QFormat::new(2, 6).unwrap();
+        let w: Vec<_> = (0..m)
+            .map(|_| format.quantize(rng.gen_range(-1.9..1.9), RoundingMode::NearestEven))
+            .collect();
+        let x: Vec<_> = (0..m)
+            .map(|_| format.quantize(rng.gen_range(-0.9..0.9), RoundingMode::NearestEven))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| mac_dot(black_box(&w), black_box(&x), RoundingMode::NearestEven).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_linalg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg");
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    for &n in &[8usize, 42] {
+        let a = Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+        let mut spd = a.transpose().mul(&a).unwrap();
+        spd.add_ridge(n as f64).unwrap();
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        group.bench_with_input(BenchmarkId::new("cholesky_solve", n), &n, |bch, _| {
+            bch.iter(|| {
+                let c = black_box(&spd).cholesky().unwrap();
+                c.solve(black_box(&b)).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lu_inverse", n), &n, |bch, _| {
+            bch.iter(|| black_box(&spd).inverse().unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("jacobi_eigen", n), &n, |bch, _| {
+            bch.iter(|| SymmetricEigen::new(black_box(&spd)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_solver_node_relaxation(c: &mut Criterion) {
+    // Build the exact relaxation shape LDA-FP solves per node, at the two
+    // paper-relevant dimensionalities.
+    let mut group = c.benchmark_group("solver/node_relaxation");
+    group.sample_size(20);
+    for &(m, n_train) in &[(3usize, 300usize), (42, 70)] {
+        let data = if m == 3 {
+            synthetic_train(n_train, 3)
+        } else {
+            let mut rng = ChaCha8Rng::seed_from_u64(4);
+            ldafp_datasets::bci::generate(
+                &ldafp_datasets::bci::BciConfig {
+                    trials_per_class: n_train,
+                    ..ldafp_datasets::bci::BciConfig::default()
+                },
+                &mut rng,
+            )
+        };
+        let format = QFormat::new(2, 4).unwrap();
+        let tp = TrainingProblem::from_dataset(&data, format, 0.99, RoundingMode::NearestEven)
+            .unwrap();
+        let (lo, hi) = tp.value_range();
+        let (t_lo, t_hi) = tp.initial_t_interval();
+        let eta = t_lo.abs().max(t_hi.abs()).powi(2);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| {
+                let mut p = SocpProblem::new(
+                    tp.moments().s_w.scaled(2.0 / eta),
+                    vec![0.0; m],
+                )
+                .unwrap();
+                p.add_box(&vec![lo; m], &vec![hi; m]).unwrap();
+                p.add_linear(tp.moments().mean_diff.clone(), t_hi).unwrap();
+                p.add_linear(tp.moments().mean_diff.iter().map(|v| -v).collect(), -t_lo)
+                    .unwrap();
+                tp.add_elementwise_constraints(&mut p).unwrap();
+                tp.add_projection_constraints(&mut p).unwrap();
+                p.solve(&SolverConfig {
+                    tol: 1e-7,
+                    ..SolverConfig::default()
+                })
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core/train");
+    group.sample_size(10);
+    let data = synthetic_train(300, 5);
+    let format = QFormat::new(2, 4).unwrap();
+    group.bench_function("lda_float", |b| {
+        b.iter(|| LdaModel::train(black_box(&data)).unwrap())
+    });
+    group.bench_function("ldafp_fast_6bit", |b| {
+        let trainer = LdaFpTrainer::new(LdaFpConfig::fast());
+        b.iter(|| trainer.train(black_box(&data), format).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_gate_level(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hwmodel/gate_level_mac");
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    for &bits in &[4u32, 8, 16] {
+        let format = QFormat::for_range(bits, 1.0).unwrap();
+        let w: Vec<_> = (0..42)
+            .map(|_| format.quantize(rng.gen_range(-0.9..0.9), RoundingMode::NearestEven))
+            .collect();
+        let x: Vec<_> = (0..42)
+            .map(|_| format.quantize(rng.gen_range(-0.9..0.9), RoundingMode::NearestEven))
+            .collect();
+        let datapath = MacDatapath::new(bits as usize);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, _| {
+            b.iter(|| datapath.simulate_fx_dot(black_box(&w), black_box(&x)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mac_dot,
+    bench_linalg,
+    bench_solver_node_relaxation,
+    bench_training,
+    bench_gate_level
+);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Accuracy-vs-power tradeoff curve on the synthetic workload (derived
+//! experiment; generalizes the paper's point power claims to the full
+//! curve).
+//!
+//! ```text
+//! cargo run -p ldafp-bench --release --bin tradeoff [-- --quick]
+//! ```
+
+use ldafp_bench::experiments::{iso_accuracy_savings, run_tradeoff, TradeoffConfig};
+use ldafp_bench::{quick_flag, table};
+
+fn main() {
+    let config = if quick_flag() {
+        TradeoffConfig::quick()
+    } else {
+        TradeoffConfig::default()
+    };
+    eprintln!("Accuracy-vs-power tradeoff — synthetic workload");
+    let points = run_tradeoff(&config);
+    let savings = iso_accuracy_savings(&points);
+    let cells: Vec<Vec<String>> = points
+        .iter()
+        .zip(&savings)
+        .map(|(p, (_, saving))| {
+            vec![
+                p.word_length.to_string(),
+                format!("{:.4}", p.relative_power),
+                table::pct(p.lda_error),
+                table::pct(p.ldafp_error),
+                saving
+                    .map(|s| format!("{s:.2}x"))
+                    .unwrap_or_else(|| "-".to_string()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &[
+                "bits",
+                "relative power",
+                "LDA error",
+                "LDA-FP error",
+                "iso-accuracy power saving",
+            ],
+            &cells,
+        )
+    );
+    println!(
+        "Last column: power of this LDA operating point divided by the power \
+         of the cheapest LDA-FP point with at-most-equal error (the paper's \
+         9x claim is this number at the 12-bit row)."
+    );
+}

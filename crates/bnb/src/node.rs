@@ -1,0 +1,214 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An axis-aligned box `[lowerᵢ, upperᵢ]` in the search space — the
+/// "interval" of the paper's Algorithm 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoxNode {
+    /// Per-dimension lower bounds.
+    pub lower: Vec<f64>,
+    /// Per-dimension upper bounds.
+    pub upper: Vec<f64>,
+    /// Depth in the search tree (0 for the root).
+    pub depth: usize,
+}
+
+impl BoxNode {
+    /// Creates a root box (depth 0).
+    ///
+    /// Returns `None` when lengths differ, the box is empty in some
+    /// dimension (`lower > upper`), or any bound is non-finite.
+    pub fn new(lower: Vec<f64>, upper: Vec<f64>) -> Option<Self> {
+        if lower.len() != upper.len() || lower.is_empty() {
+            return None;
+        }
+        for (l, u) in lower.iter().zip(&upper) {
+            if !(l.is_finite() && u.is_finite()) || l > u {
+                return None;
+            }
+        }
+        Some(BoxNode {
+            lower,
+            upper,
+            depth: 0,
+        })
+    }
+
+    /// Dimensionality of the box.
+    pub fn dim(&self) -> usize {
+        self.lower.len()
+    }
+
+    /// Width of dimension `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= self.dim()`.
+    pub fn width(&self, d: usize) -> f64 {
+        self.upper[d] - self.lower[d]
+    }
+
+    /// Largest width over all dimensions.
+    pub fn max_width(&self) -> f64 {
+        (0..self.dim())
+            .map(|d| self.width(d))
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Index of the widest dimension (ties resolve to the earliest index).
+    pub fn widest_dim(&self) -> usize {
+        let mut best = 0;
+        let mut best_w = self.width(0);
+        for d in 1..self.dim() {
+            let w = self.width(d);
+            if w > best_w {
+                best_w = w;
+                best = d;
+            }
+        }
+        best
+    }
+
+    /// Midpoint of dimension `d`.
+    pub fn midpoint(&self, d: usize) -> f64 {
+        0.5 * (self.lower[d] + self.upper[d])
+    }
+
+    /// Center of the box.
+    pub fn center(&self) -> Vec<f64> {
+        (0..self.dim()).map(|d| self.midpoint(d)).collect()
+    }
+
+    /// Splits the box at `at` along dimension `d`, producing the two child
+    /// boxes (depth incremented).
+    ///
+    /// Returns `None` when `at` is outside the open interval
+    /// `(lower[d], upper[d])` — such a split would produce an empty or
+    /// duplicate child.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= self.dim()`.
+    pub fn split(&self, d: usize, at: f64) -> Option<(BoxNode, BoxNode)> {
+        assert!(d < self.dim(), "split dimension {d} out of bounds");
+        if !(at > self.lower[d] && at < self.upper[d]) {
+            return None;
+        }
+        let mut left = self.clone();
+        let mut right = self.clone();
+        left.upper[d] = at;
+        right.lower[d] = at;
+        left.depth = self.depth + 1;
+        right.depth = self.depth + 1;
+        Some((left, right))
+    }
+
+    /// True when the point lies inside the box (inclusive bounds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != self.dim()`.
+    pub fn contains(&self, point: &[f64]) -> bool {
+        assert_eq!(point.len(), self.dim(), "contains: dimension mismatch");
+        point
+            .iter()
+            .zip(self.lower.iter().zip(&self.upper))
+            .all(|(&x, (&l, &u))| x >= l && x <= u)
+    }
+
+    /// Clamps a point into the box, component-wise.
+    pub fn clamp(&self, point: &[f64]) -> Vec<f64> {
+        assert_eq!(point.len(), self.dim(), "clamp: dimension mismatch");
+        point
+            .iter()
+            .zip(self.lower.iter().zip(&self.upper))
+            .map(|(&x, (&l, &u))| x.clamp(l, u))
+            .collect()
+    }
+}
+
+impl fmt::Display for BoxNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "box(d={} ", self.depth)?;
+        for d in 0..self.dim() {
+            write!(f, "[{:.4},{:.4}]", self.lower[d], self.upper[d])?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(BoxNode::new(vec![0.0], vec![1.0]).is_some());
+        assert!(BoxNode::new(vec![0.0, 0.0], vec![1.0]).is_none());
+        assert!(BoxNode::new(vec![], vec![]).is_none());
+        assert!(BoxNode::new(vec![1.0], vec![0.0]).is_none());
+        assert!(BoxNode::new(vec![f64::NAN], vec![1.0]).is_none());
+        assert!(BoxNode::new(vec![0.0], vec![f64::INFINITY]).is_none());
+        // Degenerate (point) boxes are allowed.
+        assert!(BoxNode::new(vec![1.0], vec![1.0]).is_some());
+    }
+
+    #[test]
+    fn widths_and_widest() {
+        let b = BoxNode::new(vec![0.0, -1.0, 2.0], vec![1.0, 4.0, 2.5]).unwrap();
+        assert_eq!(b.width(0), 1.0);
+        assert_eq!(b.width(1), 5.0);
+        assert_eq!(b.max_width(), 5.0);
+        assert_eq!(b.widest_dim(), 1);
+    }
+
+    #[test]
+    fn widest_dim_tie_earliest() {
+        let b = BoxNode::new(vec![0.0, 0.0], vec![2.0, 2.0]).unwrap();
+        assert_eq!(b.widest_dim(), 0);
+    }
+
+    #[test]
+    fn split_produces_complementary_children() {
+        let b = BoxNode::new(vec![0.0, 0.0], vec![4.0, 2.0]).unwrap();
+        let (l, r) = b.split(0, 1.5).unwrap();
+        assert_eq!(l.upper[0], 1.5);
+        assert_eq!(r.lower[0], 1.5);
+        assert_eq!(l.lower[0], 0.0);
+        assert_eq!(r.upper[0], 4.0);
+        assert_eq!(l.depth, 1);
+        assert_eq!(r.depth, 1);
+        // Untouched dimension unchanged.
+        assert_eq!(l.upper[1], 2.0);
+    }
+
+    #[test]
+    fn split_rejects_boundary_points() {
+        let b = BoxNode::new(vec![0.0], vec![1.0]).unwrap();
+        assert!(b.split(0, 0.0).is_none());
+        assert!(b.split(0, 1.0).is_none());
+        assert!(b.split(0, -1.0).is_none());
+        assert!(b.split(0, 0.5).is_some());
+    }
+
+    #[test]
+    fn contains_and_clamp() {
+        let b = BoxNode::new(vec![-1.0, 0.0], vec![1.0, 2.0]).unwrap();
+        assert!(b.contains(&[0.0, 1.0]));
+        assert!(b.contains(&[-1.0, 2.0])); // boundary inclusive
+        assert!(!b.contains(&[1.5, 1.0]));
+        assert_eq!(b.clamp(&[5.0, -3.0]), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn center_midpoint() {
+        let b = BoxNode::new(vec![0.0, -2.0], vec![2.0, 2.0]).unwrap();
+        assert_eq!(b.center(), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn display_mentions_bounds() {
+        let b = BoxNode::new(vec![0.0], vec![1.0]).unwrap();
+        assert!(b.to_string().contains("[0.0000,1.0000]"));
+    }
+}

@@ -1,0 +1,585 @@
+use crate::BoxNode;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+/// What a [`BoundingProblem`] learned about one box.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeAssessment {
+    /// Lower bound of the cost over the box, or `None` when the box is
+    /// infeasible (prunes the node unconditionally).
+    pub lower_bound: Option<f64>,
+    /// A feasible *discrete* candidate found inside the box and its exact
+    /// cost — the upper-bound side of the paper's Algorithm 1 step 5.
+    pub candidate: Option<(Vec<f64>, f64)>,
+}
+
+impl NodeAssessment {
+    /// An infeasible node (no solution inside this box).
+    pub fn infeasible() -> Self {
+        NodeAssessment {
+            lower_bound: None,
+            candidate: None,
+        }
+    }
+
+    /// A feasible node with a lower bound and an optional incumbent
+    /// candidate.
+    pub fn feasible(lower_bound: f64, candidate: Option<(Vec<f64>, f64)>) -> Self {
+        NodeAssessment {
+            lower_bound: Some(lower_bound),
+            candidate,
+        }
+    }
+}
+
+/// The problem-specific half of branch-and-bound: bounds, branching and
+/// termination. `ldafp-core` implements this with the paper's SOCP
+/// relaxation; the tests here implement it with toy convex problems.
+pub trait BoundingProblem {
+    /// Assesses a box: lower bound (eq. 25–26) and, optionally, a rounded
+    /// feasible candidate with its exact discrete cost (eq. 27).
+    fn assess(&mut self, node: &BoxNode) -> NodeAssessment;
+
+    /// Whether the box is small enough to stop splitting (Algorithm 1
+    /// step 6). Terminal boxes are resolved by their candidate alone.
+    fn is_terminal(&self, node: &BoxNode) -> bool;
+
+    /// Branching rule: dimension and split point. The default splits the
+    /// widest dimension at its midpoint.
+    ///
+    /// Returning `None` marks the node as unsplittable (treated as
+    /// terminal).
+    fn branch(&self, node: &BoxNode) -> Option<(usize, f64)> {
+        let d = node.widest_dim();
+        let mid = node.midpoint(d);
+        if mid > node.lower[d] && mid < node.upper[d] {
+            Some((d, mid))
+        } else {
+            None
+        }
+    }
+}
+
+/// Which box the search expands next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SearchOrder {
+    /// Expand the box with the smallest lower bound (classic best-first:
+    /// strongest global-bound progress; the paper's Algorithm 1).
+    #[default]
+    BestFirst,
+    /// Expand the deepest box first (ties: smaller lower bound). Reaches
+    /// leaf-sized boxes — and therefore strong incumbents — much sooner,
+    /// which matters under tight node budgets (anytime mode).
+    DepthFirst,
+}
+
+/// Budgets and tolerances for the search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BnbConfig {
+    /// Maximum number of nodes to assess before returning the incumbent
+    /// uncertified.
+    pub max_nodes: usize,
+    /// Wall-clock budget; `None` disables the time check.
+    pub time_budget: Option<Duration>,
+    /// Stop when `incumbent − best_lower_bound ≤ absolute_gap`.
+    pub absolute_gap: f64,
+    /// Stop when the gap is below `relative_gap · |incumbent|`.
+    pub relative_gap: f64,
+    /// Node-expansion order.
+    pub search_order: SearchOrder,
+}
+
+impl Default for BnbConfig {
+    fn default() -> Self {
+        BnbConfig {
+            max_nodes: 200_000,
+            time_budget: None,
+            absolute_gap: 1e-12,
+            relative_gap: 1e-9,
+            search_order: SearchOrder::BestFirst,
+        }
+    }
+}
+
+/// Search statistics, for the paper-style runtime/effort reporting.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BnbStats {
+    /// Nodes whose bounds were computed.
+    pub nodes_assessed: usize,
+    /// Nodes discarded because their lower bound met the incumbent.
+    pub pruned_by_bound: usize,
+    /// Nodes discarded as infeasible.
+    pub pruned_infeasible: usize,
+    /// Terminal (leaf) boxes resolved.
+    pub leaves_resolved: usize,
+    /// Number of times a new, strictly better incumbent was adopted.
+    pub incumbent_updates: usize,
+    /// Deepest node expanded.
+    pub max_depth: usize,
+}
+
+/// Result of a branch-and-bound run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BnbOutcome {
+    /// Best feasible point found and its exact cost, if any.
+    pub incumbent: Option<(Vec<f64>, f64)>,
+    /// Best lower bound over the unexplored space at exit. When
+    /// `certified`, this matches the incumbent cost up to the configured
+    /// gaps.
+    pub best_lower_bound: f64,
+    /// Whether the search exhausted or bounded-out every box (global
+    /// optimality proof) rather than hitting a budget.
+    pub certified: bool,
+    /// Search statistics.
+    pub stats: BnbStats,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+/// Heap entry whose ordering realizes the configured [`SearchOrder`].
+struct HeapNode {
+    lower_bound: f64,
+    node: BoxNode,
+    order: SearchOrder,
+}
+
+impl PartialEq for HeapNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapNode {}
+impl PartialOrd for HeapNode {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapNode {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; order entries so the desired node is
+        // the maximum.
+        let by_bound = || {
+            other
+                .lower_bound
+                .partial_cmp(&self.lower_bound)
+                .unwrap_or(Ordering::Equal)
+        };
+        match self.order {
+            SearchOrder::BestFirst => by_bound(),
+            SearchOrder::DepthFirst => self
+                .node
+                .depth
+                .cmp(&other.node.depth)
+                .then_with(by_bound),
+        }
+    }
+}
+
+/// Runs best-first branch-and-bound (the paper's Algorithm 1 skeleton).
+///
+/// The loop: pop the box with the smallest lower bound; if its bound already
+/// meets the incumbent within the configured gap the search is certified
+/// optimal; otherwise split it, assess both children (updating the incumbent
+/// from their candidates) and push the survivors.
+///
+/// Budget exhaustion (`max_nodes`, `time_budget`) returns the best incumbent
+/// with `certified = false` — the solver is *anytime*.
+pub fn solve<P: BoundingProblem>(problem: &mut P, root: BoxNode, config: &BnbConfig) -> BnbOutcome {
+    solve_with_incumbent(problem, root, config, None)
+}
+
+/// Like [`solve`], but seeded with an externally-found incumbent (point and
+/// exact cost). Heuristic warm starts — the paper's undisclosed "additional
+/// heuristics" slot — can prune most of the tree before it is built.
+///
+/// The seed point lives in the *candidate* space (whatever the problem's
+/// [`NodeAssessment::candidate`] vectors mean); the framework never
+/// interprets it geometrically.
+pub fn solve_with_incumbent<P: BoundingProblem>(
+    problem: &mut P,
+    root: BoxNode,
+    config: &BnbConfig,
+    seed: Option<(Vec<f64>, f64)>,
+) -> BnbOutcome {
+    let start = Instant::now();
+    let mut stats = BnbStats::default();
+    let mut incumbent: Option<(Vec<f64>, f64)> = seed;
+    let mut heap: BinaryHeap<HeapNode> = BinaryHeap::new();
+
+    let root_assessment = problem.assess(&root);
+    stats.nodes_assessed += 1;
+    adopt_candidate(&mut incumbent, root_assessment.candidate, &mut stats);
+    match root_assessment.lower_bound {
+        None => {
+            stats.pruned_infeasible += 1;
+            return BnbOutcome {
+                incumbent,
+                best_lower_bound: f64::INFINITY,
+                certified: true,
+                stats,
+                elapsed: start.elapsed(),
+            };
+        }
+        Some(lb) => heap.push(HeapNode {
+            lower_bound: lb,
+            node: root,
+            order: config.search_order,
+        }),
+    }
+
+    let mut certified = true;
+    while let Some(HeapNode { lower_bound, node, .. }) = heap.pop() {
+        // Global optimality test against the incumbent. Under best-first
+        // ordering the popped bound is the global minimum over open boxes;
+        // under depth-first it is not, so the gap is checked against the
+        // minimum over the whole frontier.
+        let frontier_bound = match config.search_order {
+            SearchOrder::BestFirst => lower_bound,
+            SearchOrder::DepthFirst => heap
+                .iter()
+                .map(|h| h.lower_bound)
+                .fold(lower_bound, f64::min),
+        };
+        if let Some((_, inc_cost)) = &incumbent {
+            let gap = inc_cost - frontier_bound;
+            if gap <= config.absolute_gap || gap <= config.relative_gap * inc_cost.abs() {
+                return BnbOutcome {
+                    incumbent,
+                    best_lower_bound: frontier_bound,
+                    certified: true,
+                    stats,
+                    elapsed: start.elapsed(),
+                };
+            }
+        }
+        if stats.nodes_assessed >= config.max_nodes {
+            certified = false;
+            heap.push(HeapNode {
+                lower_bound,
+                node,
+                order: config.search_order,
+            });
+            break;
+        }
+        if let Some(budget) = config.time_budget {
+            if start.elapsed() >= budget {
+                certified = false;
+                heap.push(HeapNode {
+                    lower_bound,
+                    node,
+                    order: config.search_order,
+                });
+                break;
+            }
+        }
+
+        stats.max_depth = stats.max_depth.max(node.depth);
+
+        let split = if problem.is_terminal(&node) {
+            None
+        } else {
+            problem.branch(&node)
+        };
+        let Some((dim, at)) = split else {
+            // Terminal box: already resolved by its assessment's candidate
+            // when it was created; nothing further to do.
+            stats.leaves_resolved += 1;
+            continue;
+        };
+        let Some((left, right)) = node.split(dim, at) else {
+            stats.leaves_resolved += 1;
+            continue;
+        };
+
+        for child in [left, right] {
+            let a = problem.assess(&child);
+            stats.nodes_assessed += 1;
+            adopt_candidate(&mut incumbent, a.candidate, &mut stats);
+            match a.lower_bound {
+                None => stats.pruned_infeasible += 1,
+                Some(lb) => {
+                    let dominated = incumbent
+                        .as_ref()
+                        .is_some_and(|(_, c)| lb >= *c - config.absolute_gap);
+                    if dominated {
+                        stats.pruned_by_bound += 1;
+                    } else {
+                        heap.push(HeapNode {
+                            lower_bound: lb,
+                            node: child,
+                            order: config.search_order,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let best_lower_bound = heap
+        .iter()
+        .map(|h| h.lower_bound)
+        .fold(f64::INFINITY, f64::min)
+        .min(match &incumbent {
+            Some((_, c)) => *c,
+            None => f64::INFINITY,
+        });
+    BnbOutcome {
+        incumbent,
+        best_lower_bound,
+        certified: certified && heap.is_empty(),
+        stats,
+        elapsed: start.elapsed(),
+    }
+}
+
+fn adopt_candidate(
+    incumbent: &mut Option<(Vec<f64>, f64)>,
+    candidate: Option<(Vec<f64>, f64)>,
+    stats: &mut BnbStats,
+) {
+    if let Some((point, cost)) = candidate {
+        let better = match incumbent {
+            Some((_, best)) => cost < *best,
+            None => true,
+        };
+        if better {
+            *incumbent = Some((point, cost));
+            stats.incumbent_updates += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize Σ (xᵢ − cᵢ)² over the integer grid inside a box.
+    struct GridQuadratic {
+        target: Vec<f64>,
+    }
+
+    impl GridQuadratic {
+        fn round_into(&self, node: &BoxNode) -> Option<Vec<f64>> {
+            let mut out = Vec::with_capacity(node.dim());
+            for d in 0..node.dim() {
+                let lo = node.lower[d].ceil();
+                let hi = node.upper[d].floor();
+                if lo > hi {
+                    return None; // no integer point in this dimension
+                }
+                out.push(self.target[d].round().clamp(lo, hi));
+            }
+            Some(out)
+        }
+
+        fn cost(&self, x: &[f64]) -> f64 {
+            x.iter()
+                .zip(&self.target)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum()
+        }
+    }
+
+    impl BoundingProblem for GridQuadratic {
+        fn assess(&mut self, node: &BoxNode) -> NodeAssessment {
+            // Convex lower bound: distance from target to the box.
+            let proj: Vec<f64> = self
+                .target
+                .iter()
+                .zip(node.lower.iter().zip(&node.upper))
+                .map(|(&t, (&l, &u))| t.clamp(l, u))
+                .collect();
+            let lb = self.cost(&proj);
+            let candidate = self.round_into(node).map(|x| {
+                let c = self.cost(&x);
+                (x, c)
+            });
+            if candidate.is_none() && node.max_width() < 1.0 {
+                // Box provably holds no integer point.
+                return NodeAssessment::infeasible();
+            }
+            NodeAssessment::feasible(lb, candidate)
+        }
+
+        fn is_terminal(&self, node: &BoxNode) -> bool {
+            node.max_width() <= 1.0
+        }
+    }
+
+    #[test]
+    fn finds_global_optimum_1d() {
+        let mut p = GridQuadratic { target: vec![2.7] };
+        let root = BoxNode::new(vec![-10.0], vec![10.0]).unwrap();
+        let out = solve(&mut p, root, &BnbConfig::default());
+        let (x, cost) = out.incumbent.unwrap();
+        assert_eq!(x, vec![3.0]);
+        assert!((cost - 0.09).abs() < 1e-12);
+        assert!(out.certified);
+    }
+
+    #[test]
+    fn finds_global_optimum_3d() {
+        let mut p = GridQuadratic {
+            target: vec![1.2, -3.8, 0.49],
+        };
+        let root = BoxNode::new(vec![-8.0; 3], vec![8.0; 3]).unwrap();
+        let out = solve(&mut p, root, &BnbConfig::default());
+        let (x, _) = out.incumbent.unwrap();
+        assert_eq!(x, vec![1.0, -4.0, 0.0]);
+        assert!(out.certified);
+    }
+
+    #[test]
+    fn incumbent_cost_never_below_final_lower_bound() {
+        let mut p = GridQuadratic {
+            target: vec![0.3, 0.7],
+        };
+        let root = BoxNode::new(vec![-4.0; 2], vec![4.0; 2]).unwrap();
+        let out = solve(&mut p, root, &BnbConfig::default());
+        let (_, cost) = out.incumbent.unwrap();
+        assert!(out.best_lower_bound <= cost + 1e-12);
+    }
+
+    #[test]
+    fn node_budget_returns_uncertified() {
+        let mut p = GridQuadratic {
+            target: vec![0.3; 6],
+        };
+        let root = BoxNode::new(vec![-100.0; 6], vec![100.0; 6]).unwrap();
+        let cfg = BnbConfig {
+            max_nodes: 3,
+            ..BnbConfig::default()
+        };
+        let out = solve(&mut p, root, &cfg);
+        assert!(!out.certified);
+        // Anytime behavior: an incumbent is still returned.
+        assert!(out.incumbent.is_some());
+    }
+
+    #[test]
+    fn time_budget_respected() {
+        let mut p = GridQuadratic {
+            target: vec![0.5; 4],
+        };
+        let root = BoxNode::new(vec![-1000.0; 4], vec![1000.0; 4]).unwrap();
+        let cfg = BnbConfig {
+            time_budget: Some(Duration::ZERO),
+            ..BnbConfig::default()
+        };
+        let out = solve(&mut p, root, &cfg);
+        assert!(!out.certified);
+    }
+
+    /// A problem whose every box is infeasible.
+    struct Infeasible;
+    impl BoundingProblem for Infeasible {
+        fn assess(&mut self, _node: &BoxNode) -> NodeAssessment {
+            NodeAssessment::infeasible()
+        }
+        fn is_terminal(&self, _node: &BoxNode) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn infeasible_root_certified_empty() {
+        let root = BoxNode::new(vec![0.0], vec![1.0]).unwrap();
+        let out = solve(&mut Infeasible, root, &BnbConfig::default());
+        assert!(out.incumbent.is_none());
+        assert!(out.certified);
+        assert_eq!(out.best_lower_bound, f64::INFINITY);
+        assert_eq!(out.stats.pruned_infeasible, 1);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut p = GridQuadratic {
+            target: vec![2.7, -1.1],
+        };
+        let root = BoxNode::new(vec![-16.0; 2], vec![16.0; 2]).unwrap();
+        let out = solve(&mut p, root, &BnbConfig::default());
+        assert!(out.stats.nodes_assessed > 1);
+        assert!(out.stats.incumbent_updates >= 1);
+        assert!(out.stats.max_depth >= 1);
+    }
+
+    #[test]
+    fn pruning_reduces_explored_nodes_vs_exhaustive() {
+        // 2-D grid of 33x33 integer points: exhaustive would assess ~1089
+        // leaf boxes; pruning should resolve far fewer nodes.
+        let mut p = GridQuadratic {
+            target: vec![5.2, -7.9],
+        };
+        let root = BoxNode::new(vec![-16.0; 2], vec![16.0; 2]).unwrap();
+        let out = solve(&mut p, root, &BnbConfig::default());
+        assert!(out.certified);
+        assert!(
+            out.stats.nodes_assessed < 200,
+            "pruning ineffective: {} nodes",
+            out.stats.nodes_assessed
+        );
+    }
+
+    #[test]
+    fn depth_first_finds_optimum_too() {
+        let mut p = GridQuadratic {
+            target: vec![2.7, -1.4],
+        };
+        let root = BoxNode::new(vec![-16.0; 2], vec![16.0; 2]).unwrap();
+        let cfg = BnbConfig {
+            search_order: SearchOrder::DepthFirst,
+            ..BnbConfig::default()
+        };
+        let out = solve(&mut p, root, &cfg);
+        assert!(out.certified);
+        let (x, _) = out.incumbent.unwrap();
+        assert_eq!(x, vec![3.0, -1.0]);
+    }
+
+    #[test]
+    fn depth_first_reaches_depth_sooner() {
+        // Under a small node budget, depth-first should have explored a
+        // strictly deeper node than best-first on a wide search space.
+        let root = BoxNode::new(vec![-512.0; 2], vec![512.0; 2]).unwrap();
+        let budget = BnbConfig {
+            max_nodes: 40,
+            ..BnbConfig::default()
+        };
+        let mut p1 = GridQuadratic { target: vec![101.3, -77.8] };
+        let best = solve(&mut p1, root.clone(), &budget);
+        let mut p2 = GridQuadratic { target: vec![101.3, -77.8] };
+        let dfs = solve(
+            &mut p2,
+            root,
+            &BnbConfig {
+                search_order: SearchOrder::DepthFirst,
+                ..budget
+            },
+        );
+        assert!(
+            dfs.stats.max_depth >= best.stats.max_depth,
+            "dfs depth {} < best-first depth {}",
+            dfs.stats.max_depth,
+            best.stats.max_depth
+        );
+    }
+
+    #[test]
+    fn relative_gap_terminates_early() {
+        let mut p = GridQuadratic {
+            target: vec![2.5001],
+        };
+        let root = BoxNode::new(vec![-1000.0], vec![1000.0]).unwrap();
+        let cfg = BnbConfig {
+            relative_gap: 0.5,
+            ..BnbConfig::default()
+        };
+        let out = solve(&mut p, root, &cfg);
+        assert!(out.certified);
+        let (_, cost) = out.incumbent.unwrap();
+        // Accepts either integer neighbour of 2.5001 under the loose gap.
+        assert!(cost <= 0.25009);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the branch-and-bound framework, using a
+//! discrete quadratic with a known closed-form optimum as the oracle.
+
+use ldafp_bnb::{solve, solve_with_incumbent, BnbConfig, BoundingProblem, BoxNode, NodeAssessment};
+use proptest::prelude::*;
+
+/// Minimize Σ (xᵢ − cᵢ)² over integer grid points inside the box.
+struct GridQuadratic {
+    target: Vec<f64>,
+}
+
+impl GridQuadratic {
+    fn cost(&self, x: &[f64]) -> f64 {
+        x.iter()
+            .zip(&self.target)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+
+    fn best_integer_in(&self, lower: &[f64], upper: &[f64]) -> Option<(Vec<f64>, f64)> {
+        let mut out = Vec::with_capacity(self.target.len());
+        for ((&t, &l), &u) in self.target.iter().zip(lower).zip(upper) {
+            let lo = l.ceil();
+            let hi = u.floor();
+            if lo > hi {
+                return None;
+            }
+            out.push(t.round().clamp(lo, hi));
+        }
+        let c = self.cost(&out);
+        Some((out, c))
+    }
+}
+
+impl BoundingProblem for GridQuadratic {
+    fn assess(&mut self, node: &BoxNode) -> NodeAssessment {
+        let proj: Vec<f64> = self
+            .target
+            .iter()
+            .zip(node.lower.iter().zip(&node.upper))
+            .map(|(&t, (&l, &u))| t.clamp(l, u))
+            .collect();
+        let lb = self.cost(&proj);
+        match self.best_integer_in(&node.lower, &node.upper) {
+            Some((x, c)) => NodeAssessment::feasible(lb, Some((x, c))),
+            None => {
+                if node.max_width() < 1.0 {
+                    NodeAssessment::infeasible()
+                } else {
+                    NodeAssessment::feasible(lb, None)
+                }
+            }
+        }
+    }
+
+    fn is_terminal(&self, node: &BoxNode) -> bool {
+        node.max_width() <= 1.0
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The certified optimum equals the closed-form nearest integer point.
+    #[test]
+    fn certified_optimum_is_exact(
+        target in prop::collection::vec(-7.5f64..7.5, 1..4),
+    ) {
+        let dim = target.len();
+        let root = BoxNode::new(vec![-8.0; dim], vec![8.0; dim]).unwrap();
+        let mut p = GridQuadratic { target: target.clone() };
+        let expected = p.best_integer_in(&vec![-8.0; dim], &vec![8.0; dim]).unwrap();
+        let out = solve(&mut p, root, &BnbConfig::default());
+        prop_assert!(out.certified);
+        let (_, cost) = out.incumbent.expect("feasible problem");
+        prop_assert!((cost - expected.1).abs() < 1e-9,
+            "bnb {cost} vs closed form {}", expected.1);
+    }
+
+    /// The final lower bound never exceeds the incumbent cost.
+    #[test]
+    fn lower_bound_below_incumbent(
+        target in prop::collection::vec(-7.5f64..7.5, 1..4),
+        max_nodes in 1usize..200,
+    ) {
+        let dim = target.len();
+        let root = BoxNode::new(vec![-8.0; dim], vec![8.0; dim]).unwrap();
+        let mut p = GridQuadratic { target };
+        let cfg = BnbConfig { max_nodes, ..BnbConfig::default() };
+        let out = solve(&mut p, root, &cfg);
+        if let Some((_, cost)) = out.incumbent {
+            prop_assert!(out.best_lower_bound <= cost + 1e-9,
+                "bound {} above incumbent {}", out.best_lower_bound, cost);
+        }
+    }
+
+    /// Seeding with the known optimum never degrades the result, and the
+    /// seed survives when it is already optimal.
+    #[test]
+    fn incumbent_seed_respected(
+        target in prop::collection::vec(-7.5f64..7.5, 1..3),
+    ) {
+        let dim = target.len();
+        let root = BoxNode::new(vec![-8.0; dim], vec![8.0; dim]).unwrap();
+        let mut p = GridQuadratic { target: target.clone() };
+        let seed = p.best_integer_in(&vec![-8.0; dim], &vec![8.0; dim]).unwrap();
+        let seed_cost = seed.1;
+        let out = solve_with_incumbent(&mut p, root, &BnbConfig::default(), Some(seed));
+        let (_, cost) = out.incumbent.expect("seeded");
+        prop_assert!(cost <= seed_cost + 1e-12);
+    }
+
+    /// Splitting any box yields children that exactly tile the parent.
+    #[test]
+    fn split_tiles_parent(
+        lower in prop::collection::vec(-5.0f64..0.0, 1..5),
+        width in prop::collection::vec(0.1f64..5.0, 1..5),
+        frac in 0.1f64..0.9,
+    ) {
+        let dim = lower.len().min(width.len());
+        let lower = lower[..dim].to_vec();
+        let upper: Vec<f64> = lower.iter().zip(&width[..dim]).map(|(l, w)| l + w).collect();
+        let node = BoxNode::new(lower.clone(), upper.clone()).unwrap();
+        let d = node.widest_dim();
+        let at = node.lower[d] + frac * node.width(d);
+        if let Some((a, b)) = node.split(d, at) {
+            prop_assert_eq!(a.lower, lower);
+            prop_assert_eq!(b.upper, upper);
+            prop_assert_eq!(a.upper[d], b.lower[d]);
+            prop_assert_eq!(a.depth, node.depth + 1);
+        }
+    }
+}

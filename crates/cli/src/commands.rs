@@ -1,0 +1,403 @@
+//! Subcommand implementations for the `ldafp` binary.
+//!
+//! Each command is a pure-ish function from parsed arguments (plus file
+//! contents) to an output string, so the test suite drives them without a
+//! process boundary. The binary's `main` only does I/O.
+
+use crate::{args::ParsedArgs, csv, CliError, Result};
+use ldafp_core::{eval, FixedPointClassifier, LdaFpConfig, LdaFpTrainer, LdaModel};
+use ldafp_datasets::BinaryDataset;
+use ldafp_hwmodel::power::MacPowerModel;
+use ldafp_hwmodel::rtl::{generate_verilog, RtlConfig};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// The on-disk model document produced by `train` and consumed by `eval`,
+/// `info` and `export-rtl`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelDocument {
+    /// Tool + format version tag.
+    pub version: String,
+    /// Which trainer produced the model (`"lda-fp"` or `"lda-rounded"`).
+    pub algorithm: String,
+    /// The deployable classifier.
+    pub classifier: FixedPointClassifier,
+    /// Discrete Fisher cost at the trained weights (`None` for the
+    /// rounded baseline, which does not optimize it).
+    pub fisher_cost: Option<f64>,
+    /// Training-set error at save time.
+    pub training_error: f64,
+}
+
+/// `ldafp train --data <csv> --bits <n> [--k <n>] [--rho <p>] [--baseline]
+/// [--budget-secs <n>] [--quick]` — trains a classifier and returns the
+/// model document as JSON.
+///
+/// # Errors
+///
+/// Propagates CSV, argument and training failures.
+pub fn train(args: &ParsedArgs, csv_text: &str) -> Result<String> {
+    let data = csv::parse(csv_text)?;
+    let bits: u32 = args.get_parsed("bits", 8)?;
+    let max_k: u32 = args.get_parsed("k", 4)?;
+    let rho: f64 = args.get_parsed("rho", 0.99)?;
+    let budget_secs: u64 = args.get_parsed("budget-secs", 30)?;
+    if bits == 0 || bits > 31 {
+        return Err(CliError(format!("--bits must be in 1..=31, got {bits}")));
+    }
+
+    let (algorithm, classifier, fisher_cost) = if args.has_flag("baseline") {
+        let (clf, _format) = eval::quantized_lda_auto(&data, bits, max_k)?;
+        ("lda-rounded".to_string(), clf, None)
+    } else {
+        let mut cfg = if args.has_flag("quick") {
+            LdaFpConfig::fast()
+        } else {
+            LdaFpConfig::default()
+        };
+        cfg.rho = rho;
+        cfg.bnb.time_budget = Some(Duration::from_secs(budget_secs));
+        let trainer = LdaFpTrainer::new(cfg);
+        let (model, _format) = trainer.train_auto(&data, bits, max_k)?;
+        (
+            "lda-fp".to_string(),
+            model.classifier().clone(),
+            Some(model.fisher_cost()),
+        )
+    };
+
+    let doc = ModelDocument {
+        version: format!("ldafp-cli {}", env!("CARGO_PKG_VERSION")),
+        training_error: eval::error_rate(&classifier, &data),
+        algorithm,
+        classifier,
+        fisher_cost,
+    };
+    Ok(serde_json::to_string_pretty(&doc)?)
+}
+
+/// `ldafp eval --model <json> --data <csv>` — classification report.
+///
+/// # Errors
+///
+/// Propagates parse failures and feature-count mismatches.
+pub fn eval_cmd(model_json: &str, csv_text: &str) -> Result<String> {
+    let doc: ModelDocument = serde_json::from_str(model_json)?;
+    let data = csv::parse(csv_text)?;
+    if data.num_features() != doc.classifier.num_features() {
+        return Err(CliError(format!(
+            "model expects {} features but data has {}",
+            doc.classifier.num_features(),
+            data.num_features()
+        )));
+    }
+    let err = eval::error_rate(&doc.classifier, &data);
+    let (n_a, n_b) = data.class_sizes();
+    let pm = MacPowerModel::default();
+    Ok(format!(
+        "model: {} ({} @ {} bits)\nsamples: {} class A, {} class B\n\
+         error rate: {:.2}%\naccuracy:   {:.2}%\n\
+         estimated energy/classification (normalized): {:.1}\n",
+        doc.algorithm,
+        doc.classifier.format(),
+        doc.classifier.word_length(),
+        n_a,
+        n_b,
+        100.0 * err,
+        100.0 * (1.0 - err),
+        pm.energy_per_classification(doc.classifier.word_length(), doc.classifier.num_features()),
+    ))
+}
+
+/// `ldafp info --model <json>` — human-readable model summary.
+///
+/// # Errors
+///
+/// Propagates JSON parse failures.
+pub fn info(model_json: &str) -> Result<String> {
+    let doc: ModelDocument = serde_json::from_str(model_json)?;
+    let clf = &doc.classifier;
+    let mut out = format!(
+        "{} model, format {} ({} bits/word), {} features\n",
+        doc.algorithm,
+        clf.format(),
+        clf.word_length(),
+        clf.num_features()
+    );
+    out.push_str(&format!("training error: {:.2}%\n", 100.0 * doc.training_error));
+    if let Some(j) = doc.fisher_cost {
+        out.push_str(&format!("fisher cost: {j:.6}\n"));
+    }
+    out.push_str(&format!("threshold: {}\n", clf.threshold().to_f64()));
+    out.push_str("weights:\n");
+    for (i, w) in clf.weights().iter().enumerate() {
+        out.push_str(&format!(
+            "  w[{i:>3}] = {:>12} (raw {:>6}, bits {:#b})\n",
+            w.to_f64(),
+            w.raw(),
+            w.to_bits()
+        ));
+    }
+    Ok(out)
+}
+
+/// `ldafp export-rtl --model <json> [--module <name>] [--testbench]` —
+/// emits synthesizable Verilog.
+///
+/// # Errors
+///
+/// Propagates JSON parse and RTL generation failures.
+pub fn export_rtl(args: &ParsedArgs, model_json: &str) -> Result<String> {
+    let doc: ModelDocument = serde_json::from_str(model_json)?;
+    let cfg = RtlConfig {
+        module_name: args.get("module").unwrap_or("ldafp_classifier").to_string(),
+        with_testbench: args.has_flag("testbench"),
+    };
+    Ok(generate_verilog(
+        doc.classifier.weights(),
+        doc.classifier.threshold(),
+        &cfg,
+    )?)
+}
+
+/// `ldafp demo [--bits <n>]` — self-contained demonstration on the paper's
+/// synthetic workload: trains baseline and LDA-FP, prints the comparison.
+///
+/// # Errors
+///
+/// Propagates training failures (practically unreachable on the demo data).
+pub fn demo(args: &ParsedArgs) -> Result<String> {
+    use ldafp_datasets::synthetic::{generate, SyntheticConfig};
+    use rand::SeedableRng;
+
+    let bits: u32 = args.get_parsed("bits", 6)?;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+    let (train_set, factor) = generate(
+        &SyntheticConfig {
+            n_per_class: 500,
+            ..SyntheticConfig::default()
+        },
+        &mut rng,
+    )
+    .scaled_to(0.9);
+    let test_raw = generate(
+        &SyntheticConfig {
+            n_per_class: 2_000,
+            ..SyntheticConfig::default()
+        },
+        &mut rng,
+    );
+    let test_set = BinaryDataset {
+        class_a: test_raw.class_a.scaled(factor),
+        class_b: test_raw.class_b.scaled(factor),
+    };
+
+    let lda = LdaModel::train(&train_set)?;
+    let (baseline, _) = eval::quantized_lda_auto(&train_set, bits, 4)?;
+    let trainer = LdaFpTrainer::new(LdaFpConfig::fast());
+    let (model, format) = trainer.train_auto(&train_set, bits, 4)?;
+
+    Ok(format!(
+        "LDA-FP demo — synthetic noise-cancellation workload (DAC'14 §5.1)\n\
+         word length: {bits} bits (LDA-FP chose {format})\n\n\
+         float LDA test error:        {:.2}%\n\
+         rounded LDA test error:      {:.2}%\n\
+         LDA-FP test error:           {:.2}%\n",
+        100.0 * float_error(&lda, &test_set),
+        100.0 * eval::error_rate(&baseline, &test_set),
+        100.0 * eval::error_rate(model.classifier(), &test_set),
+    ))
+}
+
+/// `ldafp wordlength --data <csv> --target <error> [--min-bits n]
+/// [--max-bits n] [--k n] [--quick]` — finds the minimal word length whose
+/// LDA-FP classifier meets the target error on the training data, and
+/// reports the accuracy/power tradeoff curve.
+///
+/// # Errors
+///
+/// Propagates CSV, argument and training failures.
+pub fn wordlength(args: &ParsedArgs, csv_text: &str) -> Result<String> {
+    use ldafp_core::wordlength::{minimal_word_length, sweep, WordLengthSearch};
+
+    let data = csv::parse(csv_text)?;
+    let target: f64 = args.get_parsed("target", 0.2)?;
+    let search = WordLengthSearch {
+        min_bits: args.get_parsed("min-bits", 3u32)?,
+        max_bits: args.get_parsed("max-bits", 16u32)?,
+        max_k: args.get_parsed("k", 4u32)?,
+    };
+    if search.min_bits == 0 || search.max_bits > 31 || search.min_bits > search.max_bits {
+        return Err(CliError(format!(
+            "invalid search range {}..={}",
+            search.min_bits, search.max_bits
+        )));
+    }
+    let cfg = if args.has_flag("quick") {
+        LdaFpConfig::fast()
+    } else {
+        LdaFpConfig::default()
+    };
+    let trainer = LdaFpTrainer::new(cfg);
+
+    let pm = MacPowerModel::default();
+    let points = sweep(&trainer, &data, &data, &search);
+    let mut out = String::from("bits | format | training error | relative power
+");
+    let ref_power = pm.power(search.max_bits, data.num_features());
+    for p in &points {
+        out.push_str(&format!(
+            "{:>4} | {:>6} | {:>13.2}% | {:>13.3}
+",
+            p.word_length,
+            p.format,
+            100.0 * p.validation_error,
+            pm.power(p.word_length, data.num_features()) / ref_power,
+        ));
+    }
+    match minimal_word_length(&trainer, &data, &data, target, &search)? {
+        Some(o) => out.push_str(&format!(
+            "
+minimal word length for ≤{:.2}% error: {} bits ({}), achieved {:.2}%
+",
+            100.0 * target,
+            o.word_length,
+            o.format,
+            100.0 * o.validation_error
+        )),
+        None => out.push_str(&format!(
+            "
+no word length in {}..={} reaches {:.2}% error
+",
+            search.min_bits,
+            search.max_bits,
+            100.0 * target
+        )),
+    }
+    Ok(out)
+}
+
+fn float_error(lda: &LdaModel, data: &BinaryDataset) -> f64 {
+    let mut errors = 0usize;
+    let mut total = 0usize;
+    for (x, label) in data.iter_labeled() {
+        let is_a = matches!(label, ldafp_datasets::ClassLabel::A);
+        if lda.classify(x) != is_a {
+            errors += 1;
+        }
+        total += 1;
+    }
+    errors as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn easy_csv() -> String {
+        let mut s = String::new();
+        for i in 0..20 {
+            let jitter = (i as f64) * 0.01;
+            s.push_str(&format!("{},{},A\n", -0.4 - jitter, 0.1 * jitter));
+            s.push_str(&format!("{},{},B\n", 0.4 + jitter, -0.1 * jitter));
+        }
+        s
+    }
+
+    fn parsed(raw: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse(
+            raw.iter().copied(),
+            &[
+                "data", "bits", "k", "rho", "budget-secs", "module", "model", "out",
+                "target", "min-bits", "max-bits",
+            ],
+            &["baseline", "quick", "testbench"],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn train_eval_info_roundtrip() {
+        let csv_text = easy_csv();
+        let model_json = train(&parsed(&["--bits", "6", "--quick"]), &csv_text).unwrap();
+        let doc: ModelDocument = serde_json::from_str(&model_json).unwrap();
+        assert_eq!(doc.algorithm, "lda-fp");
+        assert_eq!(doc.classifier.word_length(), 6);
+        assert!(doc.training_error <= 0.1, "error {}", doc.training_error);
+
+        let report = eval_cmd(&model_json, &csv_text).unwrap();
+        assert!(report.contains("error rate"), "{report}");
+
+        let summary = info(&model_json).unwrap();
+        assert!(summary.contains("lda-fp model"), "{summary}");
+        assert!(summary.contains("w[  0]"), "{summary}");
+    }
+
+    #[test]
+    fn baseline_flag_trains_rounded_lda() {
+        let model_json = train(&parsed(&["--bits", "8", "--baseline"]), &easy_csv()).unwrap();
+        let doc: ModelDocument = serde_json::from_str(&model_json).unwrap();
+        assert_eq!(doc.algorithm, "lda-rounded");
+        assert!(doc.fisher_cost.is_none());
+    }
+
+    #[test]
+    fn export_rtl_produces_verilog() {
+        let model_json = train(&parsed(&["--bits", "6", "--quick"]), &easy_csv()).unwrap();
+        let v = export_rtl(&parsed(&["--module", "demo_clf", "--testbench"]), &model_json)
+            .unwrap();
+        assert!(v.contains("module demo_clf ("), "{v}");
+        assert!(v.contains("module demo_clf_tb;"), "{v}");
+    }
+
+    #[test]
+    fn eval_rejects_feature_mismatch() {
+        let model_json = train(&parsed(&["--bits", "6", "--quick"]), &easy_csv()).unwrap();
+        let err = eval_cmd(&model_json, "0.1,0.2,0.3,A\n0.2,0.1,0.0,B\n").unwrap_err();
+        assert!(err.0.contains("features"), "{}", err.0);
+    }
+
+    #[test]
+    fn train_validates_bits() {
+        let err = train(&parsed(&["--bits", "40"]), &easy_csv()).unwrap_err();
+        assert!(err.0.contains("--bits"), "{}", err.0);
+    }
+
+    #[test]
+    fn wordlength_finds_minimal_bits() {
+        let out = wordlength(
+            &parsed(&["--target", "0.05", "--min-bits", "3", "--max-bits", "8", "--quick"]),
+            &easy_csv(),
+        )
+        .unwrap();
+        assert!(out.contains("minimal word length"), "{out}");
+        assert!(out.contains("relative power"), "{out}");
+    }
+
+    #[test]
+    fn wordlength_reports_unreachable() {
+        // Target of exactly 0 on overlapping data within a tiny bit range.
+        let mut noisy = String::new();
+        for i in 0..30 {
+            let v = (i % 7) as f64 * 0.05 - 0.15;
+            noisy.push_str(&format!("{v},{},A\n", -v * 0.3));
+            noisy.push_str(&format!("{},{},B\n", v * 0.9, v * 0.31));
+        }
+        let out = wordlength(
+            &parsed(&["--target", "0.0", "--min-bits", "3", "--max-bits", "4", "--quick"]),
+            &noisy,
+        );
+        if let Ok(text) = out {
+            assert!(
+                text.contains("no word length") || text.contains("minimal word length"),
+                "{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn demo_runs() {
+        let out = demo(&parsed(&["--bits", "5"])).unwrap();
+        assert!(out.contains("LDA-FP test error"), "{out}");
+    }
+}

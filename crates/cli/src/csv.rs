@@ -1,0 +1,167 @@
+//! Minimal CSV support for labeled binary-classification data.
+//!
+//! Format: one sample per line, comma-separated feature values, the **last
+//! column** is the class label (`A`/`B`, `a`/`b`, `0`/`1`, or `-1`/`1` —
+//! `A`, `1` map to class A; `B`, `0`, `-1` map to class B). Lines starting
+//! with `#` and blank lines are ignored; an optional non-numeric header row
+//! is skipped automatically.
+
+use crate::{CliError, Result};
+use ldafp_datasets::BinaryDataset;
+use ldafp_linalg::Matrix;
+
+/// Parses CSV text into a dataset.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing the offending line for ragged rows,
+/// unparsable numbers, unknown labels, or datasets where a class is empty.
+pub fn parse(text: &str) -> Result<BinaryDataset> {
+    let mut rows_a: Vec<Vec<f64>> = Vec::new();
+    let mut rows_b: Vec<Vec<f64>> = Vec::new();
+    let mut width: Option<usize> = None;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() < 2 {
+            return Err(CliError(format!(
+                "line {}: need at least one feature and a label",
+                lineno + 1
+            )));
+        }
+        let (label_field, feature_fields) = fields.split_last().expect("len >= 2");
+
+        // Header detection: first non-comment row whose first field is not
+        // a number is treated as a header and skipped.
+        if width.is_none() && feature_fields[0].parse::<f64>().is_err() {
+            continue;
+        }
+
+        let mut features = Vec::with_capacity(feature_fields.len());
+        for f in feature_fields {
+            features.push(f.parse::<f64>().map_err(|_| {
+                CliError(format!("line {}: '{}' is not a number", lineno + 1, f))
+            })?);
+        }
+        match width {
+            None => width = Some(features.len()),
+            Some(w) if w != features.len() => {
+                return Err(CliError(format!(
+                    "line {}: {} features, expected {}",
+                    lineno + 1,
+                    features.len(),
+                    w
+                )))
+            }
+            _ => {}
+        }
+        match *label_field {
+            "A" | "a" | "1" | "+1" => rows_a.push(features),
+            "B" | "b" | "0" | "-1" => rows_b.push(features),
+            other => {
+                return Err(CliError(format!(
+                    "line {}: unknown label '{}' (use A/B, 0/1 or -1/1)",
+                    lineno + 1,
+                    other
+                )))
+            }
+        }
+    }
+
+    let w = width.ok_or_else(|| CliError("no data rows found".to_string()))?;
+    let to_matrix = |rows: Vec<Vec<f64>>| -> Matrix {
+        let n = rows.len();
+        let data: Vec<f64> = rows.into_iter().flatten().collect();
+        Matrix::from_vec(n, w, data).expect("validated row widths")
+    };
+    if rows_a.is_empty() || rows_b.is_empty() {
+        return Err(CliError(
+            "both classes need at least one sample (labels A/1 and B/0)".to_string(),
+        ));
+    }
+    BinaryDataset::new(to_matrix(rows_a), to_matrix(rows_b))
+        .ok_or_else(|| CliError("classes have inconsistent shapes".to_string()))
+}
+
+/// Serializes a dataset back to CSV (class A first, labels `A`/`B`).
+pub fn write(data: &BinaryDataset) -> String {
+    let mut out = String::new();
+    for (x, label) in data.iter_labeled() {
+        for v in x {
+            out.push_str(&format!("{v},"));
+        }
+        out.push(match label {
+            ldafp_datasets::ClassLabel::A => 'A',
+            ldafp_datasets::ClassLabel::B => 'B',
+        });
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_file() {
+        let text = "0.1, 0.2, A\n0.3, 0.4, B\n0.5, 0.6, A\n";
+        let d = parse(text).unwrap();
+        assert_eq!(d.num_features(), 2);
+        assert_eq!(d.class_sizes(), (2, 1));
+        assert_eq!(d.class_a.row(1), &[0.5, 0.6]);
+    }
+
+    #[test]
+    fn accepts_numeric_and_signed_labels() {
+        let d = parse("1.0,1\n2.0,0\n3.0,+1\n4.0,-1\n").unwrap();
+        assert_eq!(d.class_sizes(), (2, 2));
+    }
+
+    #[test]
+    fn skips_comments_blank_lines_and_header() {
+        let text = "# a comment\n\nx1,x2,label\n0.1,0.2,A\n0.3,0.4,B\n";
+        let d = parse(text).unwrap();
+        assert_eq!(d.class_sizes(), (1, 1));
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let err = parse("0.1,0.2,A\n0.3,B\n").unwrap_err();
+        assert!(err.0.contains("line 2"), "{}", err.0);
+    }
+
+    #[test]
+    fn rejects_bad_numbers_and_labels() {
+        // A non-numeric value after the (optional) header row is an error.
+        let err = parse("0.1,0.2,A\nabc,0.2,B\n").unwrap_err();
+        assert!(err.0.contains("not a number"), "{}", err.0);
+        let err = parse("0.1,0.2,C\n").unwrap_err();
+        assert!(err.0.contains("unknown label"), "{}", err.0);
+    }
+
+    #[test]
+    fn rejects_single_class() {
+        let err = parse("0.1,0.2,A\n0.3,0.4,A\n").unwrap_err();
+        assert!(err.0.contains("both classes"), "{}", err.0);
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(parse("").is_err());
+        assert!(parse("# only comments\n").is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let text = "0.5,-1.25,A\n0.25,0,B\n";
+        let d = parse(text).unwrap();
+        let out = write(&d);
+        let d2 = parse(&out).unwrap();
+        assert_eq!(d, d2);
+    }
+}

@@ -1,0 +1,96 @@
+//! `ldafp` — train, evaluate and export fixed-point LDA classifiers.
+//!
+//! ```text
+//! ldafp train      --data train.csv --bits 6 [--k 4] [--rho 0.99]
+//!                  [--baseline] [--quick] [--budget-secs 30] [--out model.json]
+//! ldafp eval       --model model.json --data test.csv
+//! ldafp info       --model model.json
+//! ldafp export-rtl --model model.json [--module name] [--testbench] [--out clf.v]
+//! ldafp wordlength --data train.csv --target 0.2 [--min-bits 3] [--max-bits 16]
+//! ldafp demo       [--bits 6]
+//! ```
+//!
+//! CSV format: one sample per line, comma-separated features, last column
+//! is the label (`A`/`B`, `0`/`1` or `-1`/`1`). `#` comments and a header
+//! row are allowed.
+
+use ldafp_cli::args::ParsedArgs;
+use ldafp_cli::{commands, CliError};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: ldafp <train|eval|info|export-rtl|wordlength|demo> [options]
+run `ldafp help` or see the crate docs for the option list";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ldafp: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> ldafp_cli::Result<String> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = ParsedArgs::parse(
+        raw,
+        &[
+            "data", "bits", "k", "rho", "budget-secs", "module", "model", "out",
+            "target", "min-bits", "max-bits",
+        ],
+        &["baseline", "quick", "testbench"],
+    )?;
+    let command = args
+        .positional()
+        .first()
+        .map(String::as_str)
+        .unwrap_or("help");
+
+    let output = match command {
+        "train" => {
+            let data_path = args
+                .get("data")
+                .ok_or_else(|| CliError("train needs --data <csv>".to_string()))?;
+            let csv_text = std::fs::read_to_string(data_path)?;
+            commands::train(&args, &csv_text)?
+        }
+        "eval" => {
+            let model = read_required(&args, "model")?;
+            let data_path = args
+                .get("data")
+                .ok_or_else(|| CliError("eval needs --data <csv>".to_string()))?;
+            let csv_text = std::fs::read_to_string(data_path)?;
+            commands::eval_cmd(&model, &csv_text)?
+        }
+        "info" => commands::info(&read_required(&args, "model")?)?,
+        "wordlength" => {
+            let data_path = args
+                .get("data")
+                .ok_or_else(|| CliError("wordlength needs --data <csv>".to_string()))?;
+            let csv_text = std::fs::read_to_string(data_path)?;
+            commands::wordlength(&args, &csv_text)?
+        }
+        "export-rtl" => commands::export_rtl(&args, &read_required(&args, "model")?)?,
+        "demo" => commands::demo(&args)?,
+        "help" | "--help" | "-h" => format!("{USAGE}\n"),
+        other => return Err(CliError(format!("unknown command '{other}'\n{USAGE}"))),
+    };
+
+    // --out redirects the payload to a file, leaving a confirmation on stdout.
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, &output)?;
+        return Ok(format!("wrote {path}\n"));
+    }
+    Ok(output)
+}
+
+fn read_required(args: &ParsedArgs, key: &str) -> ldafp_cli::Result<String> {
+    let path = args
+        .get(key)
+        .ok_or_else(|| CliError(format!("this command needs --{key} <file>")))?;
+    Ok(std::fs::read_to_string(path)?)
+}

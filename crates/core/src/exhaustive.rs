@@ -1,0 +1,158 @@
+//! Exhaustive (brute-force) LDA-FP reference trainer.
+//!
+//! Enumerates **every** grid point of formulation (21) and keeps the
+//! feasible one with the lowest Fisher cost. Exponential in `M·(K+F)`, so
+//! only viable for tiny problems — which is exactly its purpose: it is the
+//! ground truth that the branch-and-bound trainer is validated against in
+//! this workspace's test suites, and a handy tool for studying small
+//! classifiers end to end.
+
+use crate::{CoreError, FixedPointClassifier, Result, TrainingProblem};
+use ldafp_datasets::BinaryDataset;
+use ldafp_fixedpoint::{QFormat, RoundingMode};
+
+/// Hard cap on the number of grid points [`train_exhaustive`] will
+/// enumerate (`2^(M·(K+F))` grows fast; 2²⁴ ≈ 16.7 M points ≈ seconds).
+pub const MAX_ENUMERATION: u128 = 1 << 24;
+
+/// Outcome of an exhaustive search.
+#[derive(Debug, Clone)]
+pub struct ExhaustiveModel {
+    /// The deployable classifier.
+    pub classifier: FixedPointClassifier,
+    /// The globally optimal grid weights.
+    pub weights: Vec<f64>,
+    /// Their Fisher cost — the true optimum of formulation (21).
+    pub fisher_cost: f64,
+    /// Number of grid points enumerated.
+    pub points_enumerated: u64,
+    /// Number of points that satisfied the overflow constraints with
+    /// finite cost.
+    pub feasible_points: u64,
+}
+
+/// Trains by exhaustive enumeration.
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidTrainingData`] when the search space exceeds
+///   [`MAX_ENUMERATION`] or quantization erases class separation.
+/// * [`CoreError::NoFeasibleClassifier`] when no grid point is feasible
+///   with finite cost.
+pub fn train_exhaustive(
+    data: &BinaryDataset,
+    format: QFormat,
+    rho: f64,
+) -> Result<ExhaustiveModel> {
+    let tp = TrainingProblem::from_dataset(data, format, rho, RoundingMode::NearestEven)?;
+    let m = tp.num_features();
+    let per_dim = format.cardinality() as u128;
+    let total = per_dim.checked_pow(m as u32).unwrap_or(u128::MAX);
+    if total > MAX_ENUMERATION {
+        return Err(CoreError::InvalidTrainingData {
+            reason: format!(
+                "exhaustive search needs {total} evaluations (> {MAX_ENUMERATION}); \
+                 use the branch-and-bound trainer instead"
+            ),
+        });
+    }
+
+    let values: Vec<f64> = format.enumerate().map(|v| v.to_f64()).collect();
+    let mut w = vec![values[0]; m];
+    let mut indices = vec![0usize; m];
+    let mut best: Option<(Vec<f64>, f64)> = None;
+    let mut enumerated = 0u64;
+    let mut feasible = 0u64;
+
+    loop {
+        enumerated += 1;
+        let cost = tp.fisher_cost(&w);
+        if cost.is_finite() && tp.is_feasible(&w) {
+            feasible += 1;
+            if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                best = Some((w.clone(), cost));
+            }
+        }
+        // Odometer increment.
+        let mut dim = 0;
+        loop {
+            if dim == m {
+                let (weights, fisher_cost) = best.ok_or(CoreError::NoFeasibleClassifier)?;
+                let threshold = tp.threshold_for(&weights);
+                let classifier = FixedPointClassifier::from_float(&weights, threshold, format)?;
+                return Ok(ExhaustiveModel {
+                    classifier,
+                    weights,
+                    fisher_cost,
+                    points_enumerated: enumerated,
+                    feasible_points: feasible,
+                });
+            }
+            indices[dim] += 1;
+            if indices[dim] < values.len() {
+                w[dim] = values[indices[dim]];
+                break;
+            }
+            indices[dim] = 0;
+            w[dim] = values[0];
+            dim += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LdaFpConfig, LdaFpTrainer};
+    use ldafp_linalg::Matrix;
+
+    fn data() -> BinaryDataset {
+        BinaryDataset::new(
+            Matrix::from_rows(&[&[-0.4, 0.1], &[-0.3, -0.05], &[-0.5, 0.02], &[-0.35, 0.07]])
+                .unwrap(),
+            Matrix::from_rows(&[&[0.4, -0.02], &[0.3, 0.08], &[0.45, -0.06], &[0.25, 0.01]])
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn enumerates_full_grid() {
+        let format = QFormat::new(2, 1).unwrap(); // 8 values, 2 dims → 64 points
+        let model = train_exhaustive(&data(), format, 0.99).unwrap();
+        assert_eq!(model.points_enumerated, 64);
+        assert!(model.feasible_points > 0);
+        assert!(model.fisher_cost.is_finite());
+    }
+
+    #[test]
+    fn agrees_with_certified_branch_and_bound() {
+        let format = QFormat::new(2, 2).unwrap(); // 16 values, 2 dims → 256 points
+        let exhaustive = train_exhaustive(&data(), format, 0.99).unwrap();
+        let mut cfg = LdaFpConfig::default();
+        cfg.bnb.max_nodes = 100_000;
+        cfg.bnb.relative_gap = 1e-9;
+        let bnb = LdaFpTrainer::new(cfg).train(&data(), format).unwrap();
+        assert!(
+            (bnb.fisher_cost() - exhaustive.fisher_cost).abs()
+                <= 1e-6 * exhaustive.fisher_cost.max(1e-12),
+            "b&b {} vs exhaustive {}",
+            bnb.fisher_cost(),
+            exhaustive.fisher_cost
+        );
+    }
+
+    #[test]
+    fn refuses_oversized_spaces() {
+        let format = QFormat::new(4, 12).unwrap(); // 2^16 values per dim
+        let err = train_exhaustive(&data(), format, 0.99).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidTrainingData { .. }));
+    }
+
+    #[test]
+    fn counts_feasible_subset() {
+        let format = QFormat::new(2, 1).unwrap();
+        let model = train_exhaustive(&data(), format, 0.99).unwrap();
+        assert!(model.feasible_points <= model.points_enumerated);
+    }
+}

@@ -1,0 +1,937 @@
+use crate::{CoreError, FixedPointClassifier, LdaModel, Result, TrainingProblem};
+use ldafp_bnb::{BnbConfig, BnbStats, BoundingProblem, BoxNode, NodeAssessment};
+use ldafp_datasets::BinaryDataset;
+use ldafp_fixedpoint::{QFormat, RoundingMode};
+use ldafp_linalg::vecops;
+use ldafp_solver::{SocpProblem, SolverConfig, SolverError};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// How a word length is mapped to a `QK.F` split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FormatPolicy {
+    /// Use exactly this format.
+    Fixed(QFormat),
+    /// Try every `K ∈ 1..=max_k` for the given word length and keep the
+    /// trained model with the lowest training-set error (ties: lower Fisher
+    /// cost). The paper fixes one `QK.F` per experiment but does not state
+    /// the split; the auto policy reproduces "pick the best split" fairly
+    /// for both LDA and LDA-FP.
+    AutoK {
+        /// Largest integer-bit count to consider.
+        max_k: u32,
+    },
+}
+
+/// Tuning knobs for the LDA-FP trainer (Algorithm 1 plus the heuristics
+/// documented in DESIGN.md §5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LdaFpConfig {
+    /// Overflow confidence level `ρ` of eq. 16.
+    pub rho: f64,
+    /// Rounding mode used for data quantization and weight rounding.
+    pub rounding: RoundingMode,
+    /// Branch-and-bound budgets and gaps.
+    pub bnb: BnbConfig,
+    /// Interior-point solver tolerances for the node relaxations.
+    pub solver: SolverConfig,
+    /// Seed the incumbent with a scaled-rounding sweep of the float LDA
+    /// direction before searching.
+    pub scaled_rounding: bool,
+    /// Number of geometric scale steps in the sweep.
+    pub scaled_rounding_steps: usize,
+    /// Run discrete coordinate descent around incumbents.
+    pub coordinate_polish: bool,
+    /// Coordinate-polish search radius in grid quanta.
+    pub polish_radius: i64,
+    /// Maximum coordinate-polish passes.
+    pub polish_max_rounds: usize,
+    /// Solve the second SOCP (η = inf t², eq. 27) per node for a stronger
+    /// rounded candidate, at twice the per-node cost.
+    pub upper_bound_solve: bool,
+    /// Restrict the search to `t ≥ 0`. Deployable classifiers need `t > 0`
+    /// (see `TrainingProblem::canonicalize_orientation`), and every usable
+    /// `t < 0` candidate has a `t > 0` grid twin, so the restriction is
+    /// lossless for deployment and halves the search space. Disable only to
+    /// study the raw formulation (29).
+    pub restrict_t_positive: bool,
+    /// After the search, re-select the deployed scale of the incumbent by
+    /// **bit-exact training error** over its rounded scalings `round(λ·w)`.
+    ///
+    /// Formulation (21) — like the paper's — models weight rounding and
+    /// overflow but *not* the rounding of each product in the MAC datapath.
+    /// The Fisher cost is scale-invariant in real arithmetic, yet a
+    /// small-norm weight vector drowns in product rounding (its products
+    /// collapse to a couple of quanta). Scanning the feasible scalings and
+    /// picking the one that actually classifies the (quantized) training
+    /// set best repairs this without leaving the training data.
+    pub empirical_scale_selection: bool,
+    /// Replace the eq. 12 midpoint threshold by the grid threshold with the
+    /// lowest bit-exact training error (a 1-D scan over the projection
+    /// values). Off by default to stay faithful to the paper's decision
+    /// rule; valuable for unbalanced problems such as one-vs-rest heads,
+    /// where the class midpoint is far from the error-optimal cut.
+    pub empirical_threshold_selection: bool,
+}
+
+impl Default for LdaFpConfig {
+    fn default() -> Self {
+        LdaFpConfig {
+            rho: 0.99,
+            rounding: RoundingMode::NearestEven,
+            bnb: BnbConfig {
+                max_nodes: 2_000,
+                time_budget: None,
+                absolute_gap: 1e-9,
+                relative_gap: 1e-4,
+                ..BnbConfig::default()
+            },
+            solver: SolverConfig {
+                tol: 1e-7,
+                ..SolverConfig::default()
+            },
+            scaled_rounding: true,
+            scaled_rounding_steps: 160,
+            coordinate_polish: true,
+            polish_radius: 2,
+            polish_max_rounds: 8,
+            upper_bound_solve: true,
+            restrict_t_positive: true,
+            empirical_scale_selection: true,
+            empirical_threshold_selection: false,
+        }
+    }
+}
+
+impl LdaFpConfig {
+    /// A reduced-budget configuration for tests and examples: ~10× fewer
+    /// nodes, single relaxation per node.
+    pub fn fast() -> Self {
+        LdaFpConfig {
+            bnb: BnbConfig {
+                max_nodes: 150,
+                time_budget: None,
+                absolute_gap: 1e-9,
+                relative_gap: 1e-3,
+                ..BnbConfig::default()
+            },
+            scaled_rounding_steps: 60,
+            polish_max_rounds: 4,
+            upper_bound_solve: false,
+            ..LdaFpConfig::default()
+        }
+    }
+}
+
+/// A trained LDA-FP model: the fixed-point classifier plus search
+/// provenance.
+#[derive(Debug, Clone)]
+pub struct LdaFpModel {
+    classifier: FixedPointClassifier,
+    weights: Vec<f64>,
+    fisher_cost: f64,
+    certified: bool,
+    stats: BnbStats,
+    elapsed: Duration,
+}
+
+impl LdaFpModel {
+    /// The deployable fixed-point classifier.
+    pub fn classifier(&self) -> &FixedPointClassifier {
+        &self.classifier
+    }
+
+    /// The optimized weights as grid-exact real values.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Fisher cost `J(w)` of the selected weights (formulation 21).
+    pub fn fisher_cost(&self) -> f64 {
+        self.fisher_cost
+    }
+
+    /// Whether branch-and-bound proved global optimality (within the
+    /// configured gaps) rather than exhausting a budget.
+    pub fn certified(&self) -> bool {
+        self.certified
+    }
+
+    /// Branch-and-bound search statistics.
+    pub fn stats(&self) -> &BnbStats {
+        &self.stats
+    }
+
+    /// Wall-clock training time.
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+}
+
+/// The LDA-FP trainer: the paper's Algorithm 1.
+///
+/// See the crate docs for a quickstart and [`LdaFpConfig`] for the knobs.
+#[derive(Debug, Clone, Default)]
+pub struct LdaFpTrainer {
+    config: LdaFpConfig,
+}
+
+impl LdaFpTrainer {
+    /// Creates a trainer with the given configuration.
+    pub fn new(config: LdaFpConfig) -> Self {
+        LdaFpTrainer { config }
+    }
+
+    /// Borrow the configuration.
+    pub fn config(&self) -> &LdaFpConfig {
+        &self.config
+    }
+
+    /// Trains a fixed-point classifier in the given format.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidTrainingData`] when quantization erases all
+    ///   class separation.
+    /// * [`CoreError::NoFeasibleClassifier`] when no grid point with finite
+    ///   Fisher cost satisfies the overflow constraints.
+    /// * Solver/statistics failures are propagated.
+    pub fn train(&self, data: &BinaryDataset, format: QFormat) -> Result<LdaFpModel> {
+        let start = Instant::now();
+        let tp = TrainingProblem::from_dataset(data, format, self.config.rho, self.config.rounding)?;
+        let lda = LdaModel::from_moments(tp.moments())?;
+
+        // ---- Incumbent seeding (DESIGN.md §5 heuristics) ----------------
+        let mut best: Option<(Vec<f64>, f64)> = None;
+        self.consider(&tp, &format.round_slice_to_grid(lda.weights(), self.config.rounding), &mut best);
+        if self.config.scaled_rounding {
+            self.scaled_rounding_sweep(&tp, lda.weights(), &mut best);
+        }
+        if self.config.coordinate_polish {
+            if let Some((w, _)) = best.clone() {
+                let polished = self.polish(&tp, w);
+                self.consider(&tp, &polished, &mut best);
+            }
+        }
+
+        // ---- Branch-and-bound (Algorithm 1) -----------------------------
+        let (lo, hi) = tp.value_range();
+        let m = tp.num_features();
+        let (t_lo, t_hi) = tp.initial_t_interval();
+        let t_lo = if self.config.restrict_t_positive { t_lo.max(0.0) } else { t_lo };
+        let mut lower = vec![lo; m];
+        let mut upper = vec![hi; m];
+        lower.push(t_lo);
+        upper.push(t_hi);
+        let root = BoxNode::new(lower, upper).ok_or_else(|| CoreError::InvalidTrainingData {
+            reason: "degenerate search box (non-finite scatter statistics)".to_string(),
+        })?;
+
+        let mut node_problem = NodeProblem {
+            tp: &tp,
+            config: &self.config,
+        };
+        let outcome = ldafp_bnb::solve_with_incumbent(
+            &mut node_problem,
+            root,
+            &self.config.bnb,
+            best.clone(),
+        );
+        if let Some((w, _)) = outcome.incumbent.clone() {
+            self.consider(&tp, &w, &mut best);
+        }
+
+        // ---- Final polish ------------------------------------------------
+        if self.config.coordinate_polish {
+            if let Some((w, _)) = best.clone() {
+                let polished = self.polish(&tp, w);
+                self.consider(&tp, &polished, &mut best);
+            }
+        }
+
+        let (weights, fisher_cost) = best.ok_or(CoreError::NoFeasibleClassifier)?;
+        let search_optimum_cost = fisher_cost;
+        let (weights, fisher_cost) = if self.config.empirical_scale_selection {
+            self.select_scale_by_training_error(&tp, data, weights, fisher_cost)?
+        } else {
+            (weights, fisher_cost)
+        };
+        // A certificate covers the Fisher-cost optimum of formulation (21);
+        // if empirical selection deploys a different-cost scaling, the
+        // deployed model is no longer the certified point.
+        let certified =
+            outcome.certified && (fisher_cost - search_optimum_cost).abs() <= 1e-12;
+        let threshold = if self.config.empirical_threshold_selection {
+            self.select_threshold_by_training_error(&tp, data, &weights)?
+        } else {
+            tp.threshold_for(&weights)
+        };
+        let classifier = FixedPointClassifier::from_float(&weights, threshold, format)?;
+        Ok(LdaFpModel {
+            classifier,
+            weights,
+            fisher_cost,
+            certified,
+            stats: outcome.stats,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Trains under a [`FormatPolicy`]: either one fixed `QK.F` or an
+    /// automatic search over integer-bit splits at a given word length.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Self::train`] / [`Self::train_auto`].
+    pub fn train_with_policy(
+        &self,
+        data: &BinaryDataset,
+        word_length: u32,
+        policy: FormatPolicy,
+    ) -> Result<(LdaFpModel, QFormat)> {
+        match policy {
+            FormatPolicy::Fixed(format) => {
+                let model = self.train(data, format)?;
+                Ok((model, format))
+            }
+            FormatPolicy::AutoK { max_k } => self.train_auto(data, word_length, max_k),
+        }
+    }
+
+    /// Trains at a total word length, searching over the `K`/`F` split per
+    /// [`FormatPolicy::AutoK`]. Returns the best model and its format,
+    /// judged by training-set error (ties broken by Fisher cost).
+    ///
+    /// # Errors
+    ///
+    /// Returns the last per-format error if every split fails.
+    pub fn train_auto(
+        &self,
+        data: &BinaryDataset,
+        word_length: u32,
+        max_k: u32,
+    ) -> Result<(LdaFpModel, QFormat)> {
+        let mut best: Option<(LdaFpModel, QFormat, f64)> = None;
+        let mut last_err: Option<CoreError> = None;
+        for k in 1..=max_k.min(word_length) {
+            let Ok(format) = QFormat::new(k, word_length - k) else {
+                continue;
+            };
+            match self.train(data, format) {
+                Ok(model) => {
+                    let err = crate::eval::error_rate(model.classifier(), data);
+                    let better = match &best {
+                        None => true,
+                        Some((bm, _, be)) => {
+                            err < *be - 1e-12
+                                || (err <= *be + 1e-12 && model.fisher_cost() < bm.fisher_cost())
+                        }
+                    };
+                    if better {
+                        best = Some((model, format, err));
+                    }
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        match best {
+            Some((model, format, _)) => Ok((model, format)),
+            None => Err(last_err.unwrap_or(CoreError::NoFeasibleClassifier)),
+        }
+    }
+
+    /// Evaluates a grid-valued candidate and keeps it if deployable
+    /// (orientation canonicalized to `t > 0`), feasible, finite and better.
+    fn consider(&self, tp: &TrainingProblem, w: &[f64], best: &mut Option<(Vec<f64>, f64)>) {
+        let Some(w) = tp.canonicalize_orientation(w) else {
+            return;
+        };
+        let cost = tp.fisher_cost(&w);
+        if !cost.is_finite() || !tp.is_feasible(&w) {
+            return;
+        }
+        if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+            *best = Some((w, cost));
+        }
+    }
+
+    /// Scaled rounding: sweep `λ` geometrically and round `λ·ŵ` to the grid.
+    fn scaled_rounding_sweep(
+        &self,
+        tp: &TrainingProblem,
+        unit_w: &[f64],
+        best: &mut Option<(Vec<f64>, f64)>,
+    ) {
+        let format = tp.format();
+        let max_abs = vecops::norm_inf(unit_w);
+        if max_abs == 0.0 {
+            return;
+        }
+        let lambda_max = format.max_value() / max_abs;
+        let lambda_min = (format.resolution() / max_abs) * 0.5;
+        if !(lambda_max > lambda_min && lambda_max.is_finite()) {
+            return;
+        }
+        let steps = self.config.scaled_rounding_steps.max(2);
+        let ratio = (lambda_max / lambda_min).powf(1.0 / (steps - 1) as f64);
+        let mut lambda = lambda_min;
+        let mut prev: Option<Vec<f64>> = None;
+        for _ in 0..steps {
+            for sign in [1.0, -1.0] {
+                let scaled = vecops::scale(unit_w, sign * lambda);
+                let w = format.round_slice_to_grid(&scaled, self.config.rounding);
+                if prev.as_deref() != Some(&w[..]) {
+                    self.consider(tp, &w, best);
+                    prev = Some(w);
+                }
+            }
+            lambda *= ratio;
+        }
+    }
+
+    /// Discrete coordinate descent on the grid (best-improvement passes).
+    fn polish(&self, tp: &TrainingProblem, mut w: Vec<f64>) -> Vec<f64> {
+        let format = tp.format();
+        let q = format.resolution();
+        let (lo, hi) = tp.value_range();
+        let mut cost = tp.fisher_cost(&w);
+        if !cost.is_finite() {
+            return w;
+        }
+        for _ in 0..self.config.polish_max_rounds {
+            let mut improved = false;
+            for m in 0..w.len() {
+                let original = w[m];
+                let mut best_val = original;
+                let mut best_cost = cost;
+                for k in 1..=self.config.polish_radius {
+                    for sign in [1.0, -1.0] {
+                        let cand = original + sign * k as f64 * q;
+                        if cand < lo - 1e-12 || cand > hi + 1e-12 {
+                            continue;
+                        }
+                        w[m] = cand;
+                        let c = tp.fisher_cost(&w);
+                        if c.is_finite() && c < best_cost - 1e-15 && tp.is_feasible(&w) {
+                            best_cost = c;
+                            best_val = cand;
+                        }
+                    }
+                }
+                w[m] = best_val;
+                if best_val != original {
+                    cost = best_cost;
+                    improved = true;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        w
+    }
+}
+
+impl LdaFpTrainer {
+    /// Scans rounded scalings `round(λ·w)` of the incumbent and returns the
+    /// variant with the lowest bit-exact training error (ties: lower Fisher
+    /// cost, then larger norm — larger norms suffer less product rounding).
+    ///
+    /// See [`LdaFpConfig::empirical_scale_selection`] for the rationale.
+    fn select_scale_by_training_error(
+        &self,
+        tp: &TrainingProblem,
+        data: &BinaryDataset,
+        weights: Vec<f64>,
+        fisher_cost: f64,
+    ) -> Result<(Vec<f64>, f64)> {
+        let format = tp.format();
+        let max_abs = vecops::norm_inf(&weights);
+        if max_abs == 0.0 {
+            return Ok((weights, fisher_cost));
+        }
+        let lambda_max = format.max_value() / max_abs;
+        // Geometric scan from 1/4 of the incumbent's scale up to the range
+        // limit; λ = 1 (the incumbent itself) is always included.
+        let mut candidates: Vec<Vec<f64>> = vec![weights.clone()];
+        let steps = 24;
+        let lo = 0.25f64;
+        let ratio = (lambda_max.max(lo * 1.01) / lo).powf(1.0 / steps as f64);
+        let mut lambda = lo;
+        for _ in 0..=steps {
+            let cand = format.round_slice_to_grid(
+                &vecops::scale(&weights, lambda),
+                self.config.rounding,
+            );
+            if candidates.last() != Some(&cand) && !candidates.contains(&cand) {
+                candidates.push(cand);
+            }
+            lambda *= ratio;
+        }
+
+        let mut best: Option<(Vec<f64>, f64, f64, f64)> = None; // (w, err, J, norm)
+        for cand in candidates {
+            let j = tp.fisher_cost(&cand);
+            if !j.is_finite() || !tp.is_feasible(&cand) {
+                continue;
+            }
+            let Some(cand) = tp.canonicalize_orientation(&cand) else {
+                continue;
+            };
+            let clf =
+                FixedPointClassifier::from_float(&cand, tp.threshold_for(&cand), format)?;
+            let err = crate::eval::error_rate(&clf, data);
+            let norm = vecops::norm2(&cand);
+            let better = match &best {
+                None => true,
+                Some((_, be, bj, bn)) => {
+                    err < be - 1e-12
+                        || (err <= be + 1e-12 && j < bj - 1e-12)
+                        || (err <= be + 1e-12 && (j - bj).abs() <= 1e-12 && norm > *bn)
+                }
+            };
+            if better {
+                best = Some((cand, err, j, norm));
+            }
+        }
+        match best {
+            Some((w, _, j, _)) => Ok((w, j)),
+            None => Ok((weights, fisher_cost)),
+        }
+    }
+
+    /// Scans every distinct grid threshold over the training projections
+    /// and returns the one with the lowest bit-exact training error (ties:
+    /// closest to the eq. 12 midpoint).
+    ///
+    /// See [`LdaFpConfig::empirical_threshold_selection`].
+    fn select_threshold_by_training_error(
+        &self,
+        tp: &TrainingProblem,
+        data: &BinaryDataset,
+        weights: &[f64],
+    ) -> Result<f64> {
+        let format = tp.format();
+        let probe = FixedPointClassifier::from_float(weights, 0.0, format)?;
+        // Bit-exact projections of every training sample.
+        let mut proj_a: Vec<i64> = Vec::new();
+        let mut proj_b: Vec<i64> = Vec::new();
+        for (x, label) in data.iter_labeled() {
+            let y = probe.project(x).raw();
+            match label {
+                ldafp_datasets::ClassLabel::A => proj_a.push(y),
+                ldafp_datasets::ClassLabel::B => proj_b.push(y),
+            }
+        }
+        proj_a.sort_unstable();
+        proj_b.sort_unstable();
+
+        // Candidate raw thresholds: every distinct projection plus one step
+        // above the maximum (classify-all-B), clamped to the format range.
+        let mut cands: Vec<i64> = proj_a.iter().chain(&proj_b).copied().collect();
+        cands.push(cands.iter().copied().max().unwrap_or(0).saturating_add(1));
+        cands.sort_unstable();
+        cands.dedup();
+
+        let default_raw = format.quantize_raw(
+            tp.threshold_for(weights),
+            self.config.rounding,
+        );
+        let total = (proj_a.len() + proj_b.len()) as f64;
+        let mut best_raw = default_raw;
+        let mut best_err = f64::INFINITY;
+        for &t in &cands {
+            let t = t.clamp(format.min_raw(), format.max_raw());
+            // Rule (eq. 12): y ≥ t → class A.
+            let a_wrong = proj_a.partition_point(|&y| y < t);
+            let b_wrong = proj_b.len() - proj_b.partition_point(|&y| y < t);
+            // Skip degenerate cuts that silence one class entirely — they
+            // minimize unbalanced training error while destroying the
+            // head's usefulness (e.g. inside a one-vs-rest ensemble).
+            if a_wrong == proj_a.len() || b_wrong == proj_b.len() {
+                continue;
+            }
+            let err = (a_wrong + b_wrong) as f64 / total;
+            let closer = (t - default_raw).abs() < (best_raw - default_raw).abs();
+            if err < best_err - 1e-12 || ((err - best_err).abs() <= 1e-12 && closer) {
+                best_err = err;
+                best_raw = t;
+            }
+        }
+        Ok(best_raw as f64 * format.resolution())
+    }
+}
+
+/// The per-node bounding problem: the paper's eqs. 25–27 over one
+/// `(w, t)` box. Dimensions `0..M` are the weights, dimension `M` is `t`.
+struct NodeProblem<'a> {
+    tp: &'a TrainingProblem,
+    config: &'a LdaFpConfig,
+}
+
+impl NodeProblem<'_> {
+    /// Grid-snapped weight box, or `None` when the box contains no grid
+    /// point in some dimension.
+    fn snapped_bounds(&self, node: &BoxNode) -> Option<(Vec<f64>, Vec<f64>)> {
+        let m = self.tp.num_features();
+        let format = self.tp.format();
+        let mut lo = Vec::with_capacity(m);
+        let mut hi = Vec::with_capacity(m);
+        for d in 0..m {
+            let l = format.ceil_to_grid(node.lower[d]);
+            let h = format.floor_to_grid(node.upper[d]);
+            if l > h + 1e-12 {
+                return None;
+            }
+            lo.push(l);
+            hi.push(h.max(l));
+        }
+        Some((lo, hi))
+    }
+
+    /// Tightened `t` interval: node bounds intersected with the interval
+    /// arithmetic of `t = dᵀw` over the weight box.
+    fn tightened_t(&self, node: &BoxNode, lo: &[f64], hi: &[f64]) -> Option<(f64, f64)> {
+        let m = self.tp.num_features();
+        let d = &self.tp.moments().mean_diff;
+        let mut ia_lo = 0.0;
+        let mut ia_hi = 0.0;
+        for i in 0..m {
+            let (a, b) = (d[i] * lo[i], d[i] * hi[i]);
+            ia_lo += a.min(b);
+            ia_hi += a.max(b);
+        }
+        let t_lo = node.lower[m].max(ia_lo);
+        let t_hi = node.upper[m].min(ia_hi);
+        if t_lo > t_hi {
+            None
+        } else {
+            Some((t_lo, t_hi))
+        }
+    }
+
+    /// Builds and solves the relaxation (eq. 25) for the given box and
+    /// `η`, returning the solution if the box is feasible.
+    fn solve_relaxation(
+        &self,
+        lo: &[f64],
+        hi: &[f64],
+        t_lo: f64,
+        t_hi: f64,
+        eta: f64,
+    ) -> std::result::Result<ldafp_solver::Solution, SolverError> {
+        let m = self.tp.num_features();
+        let d = &self.tp.moments().mean_diff;
+        let mut p = SocpProblem::new(self.tp.moments().s_w.scaled(2.0 / eta), vec![0.0; m])?;
+        p.add_box(lo, hi)?;
+        p.add_linear(d.clone(), t_hi)?;
+        p.add_linear(d.iter().map(|v| -v).collect(), -t_lo)?;
+        self.tp
+            .add_elementwise_constraints(&mut p)
+            .map_err(|_| SolverError::InvalidProblem {
+                reason: "element-wise constraint construction failed".to_string(),
+            })?;
+        self.tp
+            .add_projection_constraints(&mut p)
+            .map_err(|_| SolverError::InvalidProblem {
+                reason: "projection constraint construction failed".to_string(),
+            })?;
+        let center: Vec<f64> = lo.iter().zip(hi).map(|(&l, &h)| 0.5 * (l + h)).collect();
+        p.solve_from(Some(&center), &self.config.solver)
+    }
+
+    /// Rounds a relaxation solution to the grid and returns it (oriented
+    /// for deployment, `t > 0`) with its exact cost when feasible and
+    /// finite (eq. 27's rounding step).
+    fn rounded_candidate(&self, w: &[f64]) -> Option<(Vec<f64>, f64)> {
+        let rounded = self
+            .tp
+            .format()
+            .round_slice_to_grid(w, self.config.rounding);
+        let oriented = self.tp.canonicalize_orientation(&rounded)?;
+        let cost = self.tp.fisher_cost(&oriented);
+        if cost.is_finite() && self.tp.is_feasible(&oriented) {
+            Some((oriented, cost))
+        } else {
+            None
+        }
+    }
+}
+
+impl BoundingProblem for NodeProblem<'_> {
+    fn assess(&mut self, node: &BoxNode) -> NodeAssessment {
+        let Some((lo, hi)) = self.snapped_bounds(node) else {
+            return NodeAssessment::infeasible();
+        };
+        let Some((t_lo, t_hi)) = self.tightened_t(node, &lo, &hi) else {
+            return NodeAssessment::infeasible();
+        };
+        // η = sup t² over the interval (eq. 26).
+        let eta = t_lo.abs().max(t_hi.abs()).powi(2);
+        if eta == 0.0 {
+            // Only t = 0 remains: infinite cost, never optimal.
+            return NodeAssessment::infeasible();
+        }
+
+        let (lower_bound, mut candidate) = match self.solve_relaxation(&lo, &hi, t_lo, t_hi, eta) {
+            Ok(sol) => {
+                let cand = self.rounded_candidate(&sol.x);
+                (Some(sol.objective.max(0.0)), cand)
+            }
+            Err(SolverError::Infeasible { .. }) => return NodeAssessment::infeasible(),
+            // Conservative on numerical trouble: J ≥ 0 always holds, so a
+            // zero bound keeps the search sound (never prunes the optimum).
+            Err(_) => (Some(0.0), None),
+        };
+
+        // Optional second solve with η = inf t² (eq. 27) for a stronger
+        // rounded candidate.
+        if self.config.upper_bound_solve {
+            let eta_inf = if t_lo <= 0.0 && t_hi >= 0.0 {
+                0.0
+            } else {
+                t_lo.abs().min(t_hi.abs()).powi(2)
+            };
+            if eta_inf > 0.0 && (eta_inf - eta).abs() > 1e-15 {
+                if let Ok(sol) = self.solve_relaxation(&lo, &hi, t_lo, t_hi, eta_inf) {
+                    if let Some(c2) = self.rounded_candidate(&sol.x) {
+                        let better = candidate.as_ref().is_none_or(|(_, c)| c2.1 < *c);
+                        if better {
+                            candidate = Some(c2);
+                        }
+                    }
+                }
+            }
+        }
+
+        NodeAssessment {
+            lower_bound,
+            candidate,
+        }
+    }
+
+    fn is_terminal(&self, node: &BoxNode) -> bool {
+        // Terminal when every weight dimension pins a single grid point
+        // (then t is determined by interval arithmetic too).
+        let q = self.tp.format().resolution();
+        (0..self.tp.num_features()).all(|d| node.width(d) < q - 1e-12)
+    }
+
+    fn branch(&self, node: &BoxNode) -> Option<(usize, f64)> {
+        let m = self.tp.num_features();
+        let format = self.tp.format();
+        let q = format.resolution();
+        // Score each weight dimension by its grid-point count, t by its
+        // width in "t quanta".
+        let d1 = vecops::norm1(&self.tp.moments().mean_diff).max(f64::MIN_POSITIVE);
+        let t_quantum = q * d1;
+        let mut best_dim = None;
+        let mut best_score = 1.0; // only split dims with > 1 unit of width
+        for dim in 0..m {
+            let lo = format.ceil_to_grid(node.lower[dim]);
+            let hi = format.floor_to_grid(node.upper[dim]);
+            let pts = ((hi - lo) / q).round() + 1.0;
+            if pts >= 2.0 && pts > best_score {
+                best_score = pts;
+                best_dim = Some(dim);
+            }
+        }
+        let t_score = node.width(m) / t_quantum;
+        if t_score > best_score {
+            let mid = node.midpoint(m);
+            if mid > node.lower[m] && mid < node.upper[m] {
+                return Some((m, mid));
+            }
+        }
+        let dim = best_dim?;
+        // Split between two grid points so the children partition the grid.
+        let lo = format.ceil_to_grid(node.lower[dim]);
+        let hi = format.floor_to_grid(node.upper[dim]);
+        let pts = ((hi - lo) / q).round() as i64 + 1;
+        let at = lo + (pts / 2) as f64 * q - 0.5 * q;
+        if at > node.lower[dim] && at < node.upper[dim] {
+            Some((dim, at))
+        } else {
+            // Fall back to the geometric midpoint.
+            let mid = node.midpoint(dim);
+            (mid > node.lower[dim] && mid < node.upper[dim]).then_some((dim, mid))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldafp_linalg::Matrix;
+
+    fn easy_data() -> BinaryDataset {
+        BinaryDataset::new(
+            Matrix::from_rows(&[
+                &[-0.4, 0.10],
+                &[-0.25, -0.05],
+                &[-0.3, 0.02],
+                &[-0.5, 0.07],
+                &[-0.35, -0.12],
+            ])
+            .unwrap(),
+            Matrix::from_rows(&[
+                &[0.4, 0.02],
+                &[0.3, -0.08],
+                &[0.25, 0.12],
+                &[0.45, 0.03],
+                &[0.35, -0.02],
+            ])
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn trains_and_is_feasible() {
+        let trainer = LdaFpTrainer::new(LdaFpConfig::fast());
+        let format = QFormat::new(2, 3).unwrap();
+        let model = trainer.train(&easy_data(), format).unwrap();
+        let tp = TrainingProblem::from_dataset(&easy_data(), format, 0.99, RoundingMode::NearestEven)
+            .unwrap();
+        assert!(tp.is_feasible(model.weights()));
+        assert!(model.fisher_cost().is_finite());
+        // Weights are on the grid.
+        for &w in model.weights() {
+            assert!(format.contains(w), "weight {w} off grid");
+        }
+    }
+
+    #[test]
+    fn never_worse_than_rounded_lda() {
+        // The headline invariant: LDA-FP's discrete Fisher cost is at most
+        // the feasible rounded-LDA cost (it is seeded with it).
+        let data = easy_data();
+        for f in 1..=6u32 {
+            let format = QFormat::new(2, f).unwrap();
+            let trainer = LdaFpTrainer::new(LdaFpConfig::fast());
+            let tp =
+                TrainingProblem::from_dataset(&data, format, 0.99, RoundingMode::NearestEven)
+                    .unwrap();
+            let lda = LdaModel::from_moments(tp.moments()).unwrap();
+            let rounded = format.round_slice_to_grid(lda.weights(), RoundingMode::NearestEven);
+            let model = trainer.train(&data, format).unwrap();
+            if tp.is_feasible(&rounded) {
+                let base = tp.fisher_cost(&rounded);
+                if base.is_finite() {
+                    assert!(
+                        model.fisher_cost() <= base + 1e-9,
+                        "W={}: LDA-FP cost {} > rounded-LDA cost {}",
+                        2 + f,
+                        model.fisher_cost(),
+                        base
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn certified_on_tiny_grid_matches_exhaustive() {
+        // 2 features × Q2.1 (8 values each): exhaustive search is 64 points.
+        let data = easy_data();
+        let format = QFormat::new(2, 1).unwrap();
+        let mut cfg = LdaFpConfig::default();
+        cfg.bnb.max_nodes = 100_000;
+        cfg.bnb.relative_gap = 1e-9;
+        let trainer = LdaFpTrainer::new(cfg);
+        let model = trainer.train(&data, format).unwrap();
+
+        let tp = TrainingProblem::from_dataset(&data, format, 0.99, RoundingMode::NearestEven)
+            .unwrap();
+        let mut best = f64::INFINITY;
+        for a in format.enumerate() {
+            for b in format.enumerate() {
+                let w = [a.to_f64(), b.to_f64()];
+                let c = tp.fisher_cost(&w);
+                if c.is_finite() && tp.is_feasible(&w) && c < best {
+                    best = c;
+                }
+            }
+        }
+        assert!(
+            (model.fisher_cost() - best).abs() <= 1e-6 * best.max(1e-12),
+            "bnb found {}, exhaustive found {}",
+            model.fisher_cost(),
+            best
+        );
+    }
+
+    #[test]
+    fn policy_fixed_and_auto_agree_with_direct_calls() {
+        let trainer = LdaFpTrainer::new(LdaFpConfig::fast());
+        let format = QFormat::new(2, 3).unwrap();
+        let (via_policy, f1) = trainer
+            .train_with_policy(&easy_data(), 5, FormatPolicy::Fixed(format))
+            .unwrap();
+        assert_eq!(f1, format);
+        let direct = trainer.train(&easy_data(), format).unwrap();
+        assert_eq!(via_policy.weights(), direct.weights());
+
+        let (auto_model, f2) = trainer
+            .train_with_policy(&easy_data(), 5, FormatPolicy::AutoK { max_k: 3 })
+            .unwrap();
+        assert_eq!(f2.word_length(), 5);
+        assert!(auto_model.fisher_cost().is_finite());
+    }
+
+    #[test]
+    fn auto_format_picks_some_split() {
+        let trainer = LdaFpTrainer::new(LdaFpConfig::fast());
+        let (model, format) = trainer.train_auto(&easy_data(), 6, 4).unwrap();
+        assert_eq!(format.word_length(), 6);
+        assert!(model.fisher_cost().is_finite());
+    }
+
+    #[test]
+    fn model_reports_provenance() {
+        let trainer = LdaFpTrainer::new(LdaFpConfig::fast());
+        let model = trainer.train(&easy_data(), QFormat::new(2, 2).unwrap()).unwrap();
+        assert!(model.stats().nodes_assessed >= 1);
+        assert!(model.elapsed() > Duration::ZERO);
+        // The classifier's weights match the reported weights.
+        assert_eq!(model.classifier().weight_values(), model.weights());
+    }
+
+    #[test]
+    fn incumbents_are_deployment_oriented() {
+        // Regression: B&B can find t < 0 candidates whose Fisher cost ties
+        // the optimum but whose decision rule is inverted. With seeding
+        // disabled, every incumbent comes from node rounding — all must be
+        // canonicalized to t > 0.
+        let data = easy_data();
+        let cfg = LdaFpConfig {
+            scaled_rounding: false,
+            coordinate_polish: false,
+            restrict_t_positive: false, // search both halves deliberately
+            ..LdaFpConfig::default()
+        };
+        let trainer = LdaFpTrainer::new(cfg);
+        for f in 1..=4u32 {
+            let format = QFormat::new(2, f).unwrap();
+            let Ok(model) = trainer.train(&data, format) else { continue };
+            let tp = TrainingProblem::from_dataset(
+                &data, format, 0.99, RoundingMode::NearestEven,
+            )
+            .unwrap();
+            let t = ldafp_linalg::vecops::dot(&tp.moments().mean_diff, model.weights());
+            assert!(t > 0.0, "F={f}: deployed weights have t = {t} <= 0");
+            // And the classifier is actually better than chance on its own
+            // training data (an inverted rule would be far below 50%).
+            let err = crate::eval::error_rate(model.classifier(), &data);
+            assert!(err <= 0.5, "F={f}: training error {err}");
+        }
+    }
+
+    #[test]
+    fn config_fast_is_cheaper() {
+        let fast = LdaFpConfig::fast();
+        let full = LdaFpConfig::default();
+        assert!(fast.bnb.max_nodes < full.bnb.max_nodes);
+        assert!(!fast.upper_bound_solve);
+    }
+}

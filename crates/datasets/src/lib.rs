@@ -1,0 +1,25 @@
+//! Evaluation workloads for the LDA-FP reproduction.
+//!
+//! Three generators, matching the paper's §5:
+//!
+//! * [`synthetic`] — the 3-feature noise-cancellation construction of
+//!   eqs. 30–32, used for Table 1 and Figure 4;
+//! * [`bci`] — a **simulated** ECoG movement-decoding set (42 band-power
+//!   features, 70 trials per class) standing in for the proprietary data of
+//!   Table 2 (see DESIGN.md §4 for the substitution argument);
+//! * [`demo2d`] — small 2-D two-Gaussian sets for the Figure 1/2
+//!   illustrations of boundary robustness.
+//!
+//! All generators are deterministic given a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)]
+
+pub mod bci;
+mod dataset;
+pub mod demo2d;
+pub mod multiclass;
+pub mod synthetic;
+
+pub use dataset::{BinaryDataset, ClassLabel};

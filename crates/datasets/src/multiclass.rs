@@ -1,0 +1,258 @@
+//! Multiclass datasets and the one-vs-rest reduction.
+//!
+//! The paper closes by claiming LDA-FP "can be applied to a broad range of
+//! emerging applications"; multiclass decoding (e.g. more than two movement
+//! directions in a BCI) is the most immediate one. This module provides the
+//! data plumbing: a [`MulticlassDataset`] holding one sample matrix per
+//! class and the [`MulticlassDataset::one_vs_rest`] reduction that feeds
+//! the binary LDA-FP trainer.
+
+use crate::BinaryDataset;
+use ldafp_linalg::Matrix;
+use ldafp_stats::MultivariateGaussian;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A labeled dataset with `C ≥ 2` classes sharing one feature space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MulticlassDataset {
+    classes: Vec<Matrix>,
+}
+
+impl MulticlassDataset {
+    /// Creates a dataset from per-class sample matrices (rows = trials).
+    ///
+    /// Returns `None` when fewer than two classes are given, any class is
+    /// empty, or feature counts disagree.
+    pub fn new(classes: Vec<Matrix>) -> Option<Self> {
+        if classes.len() < 2 {
+            return None;
+        }
+        let m = classes[0].cols();
+        if classes.iter().any(|c| c.rows() == 0 || c.cols() != m) {
+            return None;
+        }
+        Some(MulticlassDataset { classes })
+    }
+
+    /// Number of classes `C`.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of features `M`.
+    pub fn num_features(&self) -> usize {
+        self.classes[0].cols()
+    }
+
+    /// Trials in class `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.num_classes()`.
+    pub fn class_size(&self, c: usize) -> usize {
+        self.classes[c].rows()
+    }
+
+    /// Borrow class `c`'s sample matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.num_classes()`.
+    pub fn class(&self, c: usize) -> &Matrix {
+        &self.classes[c]
+    }
+
+    /// Iterates over all samples with their class indices.
+    pub fn iter_labeled(&self) -> impl Iterator<Item = (&[f64], usize)> {
+        self.classes
+            .iter()
+            .enumerate()
+            .flat_map(|(c, m)| (0..m.rows()).map(move |i| (m.row(i), c)))
+    }
+
+    /// The one-vs-rest reduction for class `c`: class A = `c`, class B =
+    /// every other class stacked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.num_classes()`.
+    pub fn one_vs_rest(&self, c: usize) -> BinaryDataset {
+        assert!(c < self.num_classes(), "class index {c} out of range");
+        let m = self.num_features();
+        let rest_rows: usize = self
+            .classes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != c)
+            .map(|(_, cls)| cls.rows())
+            .sum();
+        let mut rest = Vec::with_capacity(rest_rows * m);
+        for (i, cls) in self.classes.iter().enumerate() {
+            if i != c {
+                rest.extend_from_slice(cls.as_slice());
+            }
+        }
+        BinaryDataset::new(
+            self.classes[c].clone(),
+            Matrix::from_vec(rest_rows, m, rest).expect("validated widths"),
+        )
+        .expect("classes validated at construction")
+    }
+
+    /// Largest absolute feature value across all classes.
+    pub fn max_abs(&self) -> f64 {
+        self.classes
+            .iter()
+            .map(Matrix::max_abs)
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Uniformly rescales all features by one factor so the largest
+    /// absolute value becomes `limit` (see
+    /// [`BinaryDataset::scaled_to`](crate::BinaryDataset::scaled_to)).
+    pub fn scaled_to(&self, limit: f64) -> (MulticlassDataset, f64) {
+        let m = self.max_abs();
+        let factor = if m == 0.0 { 1.0 } else { limit / m };
+        (
+            MulticlassDataset {
+                classes: self.classes.iter().map(|c| c.scaled(factor)).collect(),
+            },
+            factor,
+        )
+    }
+}
+
+/// Generator parameters for a Gaussian-blob multiclass workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BlobsConfig {
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Feature dimensionality.
+    pub num_features: usize,
+    /// Trials per class.
+    pub n_per_class: usize,
+    /// Distance of each class mean from the origin.
+    pub radius: f64,
+    /// Isotropic within-class standard deviation.
+    pub sigma: f64,
+}
+
+impl Default for BlobsConfig {
+    fn default() -> Self {
+        BlobsConfig {
+            num_classes: 4,
+            num_features: 2,
+            n_per_class: 100,
+            radius: 1.0,
+            sigma: 0.25,
+        }
+    }
+}
+
+/// Generates `C` Gaussian blobs with means spread over a circle in the
+/// first two feature dimensions (remaining dimensions are pure noise).
+///
+/// # Panics
+///
+/// Panics when `num_classes < 2`, `num_features < 2` or `n_per_class == 0`.
+pub fn blobs<R: Rng + ?Sized>(config: &BlobsConfig, rng: &mut R) -> MulticlassDataset {
+    assert!(config.num_classes >= 2, "need at least two classes");
+    assert!(config.num_features >= 2, "need at least two features");
+    assert!(config.n_per_class > 0, "need at least one trial per class");
+    let cov = Matrix::identity(config.num_features).scaled(config.sigma * config.sigma);
+    let classes = (0..config.num_classes)
+        .map(|c| {
+            let angle = 2.0 * std::f64::consts::PI * c as f64 / config.num_classes as f64;
+            let mut mean = vec![0.0; config.num_features];
+            mean[0] = config.radius * angle.cos();
+            mean[1] = config.radius * angle.sin();
+            MultivariateGaussian::new(mean, cov.clone())
+                .expect("isotropic covariance is positive definite")
+                .sample_matrix(rng, config.n_per_class)
+        })
+        .collect();
+    MulticlassDataset::new(classes).expect("validated by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn toy() -> MulticlassDataset {
+        MulticlassDataset::new(vec![
+            Matrix::from_rows(&[&[0.0, 1.0], &[0.1, 1.1]]).unwrap(),
+            Matrix::from_rows(&[&[1.0, 0.0]]).unwrap(),
+            Matrix::from_rows(&[&[-1.0, -1.0], &[-1.1, -0.9], &[-0.9, -1.0]]).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(MulticlassDataset::new(vec![Matrix::zeros(1, 2)]).is_none());
+        assert!(MulticlassDataset::new(vec![Matrix::zeros(1, 2), Matrix::zeros(0, 2)]).is_none());
+        assert!(MulticlassDataset::new(vec![Matrix::zeros(1, 2), Matrix::zeros(1, 3)]).is_none());
+        assert!(MulticlassDataset::new(vec![Matrix::zeros(1, 2), Matrix::zeros(1, 2)]).is_some());
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let d = toy();
+        assert_eq!(d.num_classes(), 3);
+        assert_eq!(d.num_features(), 2);
+        assert_eq!(d.class_size(2), 3);
+        assert_eq!(d.iter_labeled().count(), 6);
+    }
+
+    #[test]
+    fn one_vs_rest_stacks_others() {
+        let d = toy();
+        let ovr = d.one_vs_rest(1);
+        assert_eq!(ovr.class_a.rows(), 1);
+        assert_eq!(ovr.class_b.rows(), 5);
+        assert_eq!(ovr.class_a.row(0), &[1.0, 0.0]);
+        // Rest preserves order: class 0 rows then class 2 rows.
+        assert_eq!(ovr.class_b.row(0), &[0.0, 1.0]);
+        assert_eq!(ovr.class_b.row(2), &[-1.0, -1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn one_vs_rest_bounds_checked() {
+        toy().one_vs_rest(3);
+    }
+
+    #[test]
+    fn blobs_layout() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let d = blobs(&BlobsConfig::default(), &mut rng);
+        assert_eq!(d.num_classes(), 4);
+        assert_eq!(d.num_features(), 2);
+        assert_eq!(d.class_size(0), 100);
+        // Class means roughly on the circle.
+        let mu0 = ldafp_linalg::moments::row_mean(d.class(0)).unwrap();
+        assert!((mu0[0] - 1.0).abs() < 0.15, "mu0 = {mu0:?}");
+    }
+
+    #[test]
+    fn scaled_to_limit() {
+        let d = toy();
+        let (s, factor) = d.scaled_to(0.5);
+        assert!((s.max_abs() - 0.5).abs() < 1e-12);
+        assert!(factor > 0.0);
+    }
+
+    #[test]
+    fn blobs_deterministic() {
+        let cfg = BlobsConfig {
+            n_per_class: 5,
+            ..BlobsConfig::default()
+        };
+        let a = blobs(&cfg, &mut ChaCha8Rng::seed_from_u64(3));
+        let b = blobs(&cfg, &mut ChaCha8Rng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,75 @@
+use std::fmt;
+
+/// Errors produced by the fixed-point substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FixedPointError {
+    /// A `QK.F` format with invalid parameters was requested.
+    InvalidFormat {
+        /// Requested integer bits (including sign).
+        k: u32,
+        /// Requested fractional bits.
+        f: u32,
+        /// Why the combination is rejected.
+        reason: &'static str,
+    },
+    /// Two operands carry different `QK.F` formats.
+    ///
+    /// The paper's datapath (and this model) uses one format for the whole
+    /// classifier, so mixed-format arithmetic is a caller bug surfaced as an
+    /// error rather than silently re-aligned.
+    FormatMismatch {
+        /// Format of the left operand, as `(K, F)`.
+        left: (u32, u32),
+        /// Format of the right operand, as `(K, F)`.
+        right: (u32, u32),
+    },
+    /// Vector operands of different lengths were passed to a reduction.
+    LengthMismatch {
+        /// Length of the left operand.
+        left: usize,
+        /// Length of the right operand.
+        right: usize,
+    },
+}
+
+impl fmt::Display for FixedPointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FixedPointError::InvalidFormat { k, f: frac, reason } => {
+                write!(f, "invalid format Q{k}.{frac}: {reason}")
+            }
+            FixedPointError::FormatMismatch { left, right } => write!(
+                f,
+                "format mismatch: Q{}.{} vs Q{}.{}",
+                left.0, left.1, right.0, right.1
+            ),
+            FixedPointError::LengthMismatch { left, right } => {
+                write!(f, "vector length mismatch: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FixedPointError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_formats() {
+        let e = FixedPointError::FormatMismatch {
+            left: (2, 3),
+            right: (4, 4),
+        };
+        let s = e.to_string();
+        assert!(s.contains("Q2.3") && s.contains("Q4.4"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FixedPointError>();
+    }
+}

@@ -1,0 +1,187 @@
+//! Property-based tests for the fixed-point substrate, including the
+//! paper's §3 claim that intermediate accumulator overflow is harmless under
+//! two's-complement wrapping.
+
+use ldafp_fixedpoint::{mac_dot, mac_dot_traced, wide_dot, QFormat, RoundingMode};
+use proptest::prelude::*;
+
+fn format_strategy() -> impl Strategy<Value = QFormat> {
+    (1u32..=6, 0u32..=6).prop_map(|(k, f)| QFormat::new(k, f).expect("bounded params"))
+}
+
+fn mode_strategy() -> impl Strategy<Value = RoundingMode> {
+    prop::sample::select(vec![
+        RoundingMode::NearestEven,
+        RoundingMode::NearestAway,
+        RoundingMode::Floor,
+        RoundingMode::Ceil,
+        RoundingMode::TowardZero,
+    ])
+}
+
+proptest! {
+    #[test]
+    fn quantize_is_idempotent(fmt in format_strategy(), x in -40.0f64..40.0, mode in mode_strategy()) {
+        let v = fmt.quantize(x, mode);
+        let again = fmt.quantize(v.to_f64(), mode);
+        prop_assert_eq!(v.raw(), again.raw());
+    }
+
+    #[test]
+    fn quantize_error_bounded(fmt in format_strategy(), x in -1.0f64..1.0, mode in mode_strategy()) {
+        // Any x inside the representable range quantizes within one quantum.
+        let clamped = x.clamp(fmt.min_value(), fmt.max_value());
+        let v = fmt.quantize(clamped, mode);
+        prop_assert!(v.error_vs(clamped) <= fmt.resolution() + 1e-15);
+    }
+
+    #[test]
+    fn quantized_value_in_range(fmt in format_strategy(), x in -1e6f64..1e6, mode in mode_strategy()) {
+        let v = fmt.quantize(x, mode);
+        prop_assert!(v.to_f64() >= fmt.min_value());
+        prop_assert!(v.to_f64() <= fmt.max_value());
+    }
+
+    #[test]
+    fn floor_ceil_bracket_value(fmt in format_strategy(), x in -3.0f64..3.0) {
+        let clamped = x.clamp(fmt.min_value(), fmt.max_value());
+        prop_assert!(fmt.floor_to_grid(clamped) <= clamped + 1e-12);
+        prop_assert!(fmt.ceil_to_grid(clamped) >= clamped - 1e-12);
+    }
+
+    #[test]
+    fn wrap_is_modular(fmt in format_strategy(), raw in -100_000i128..100_000) {
+        let w = fmt.wrap_raw(raw);
+        prop_assert!(w >= fmt.min_raw() && w <= fmt.max_raw());
+        // Difference must be a multiple of 2^(K+F).
+        let modulus = 1i128 << fmt.word_length();
+        prop_assert_eq!((raw - w as i128).rem_euclid(modulus), 0);
+    }
+
+    #[test]
+    fn bits_roundtrip(fmt in format_strategy(), raw in any::<i64>()) {
+        let v = fmt.from_raw(raw);
+        let back = ldafp_fixedpoint::Fx::from_bits(v.to_bits(), fmt);
+        prop_assert_eq!(v, back);
+    }
+
+    #[test]
+    fn add_is_commutative_and_associative_under_wrap(
+        fmt in format_strategy(),
+        a in -1000i64..1000, b in -1000i64..1000, c in -1000i64..1000,
+    ) {
+        let (a, b, c) = (fmt.from_raw(a), fmt.from_raw(b), fmt.from_raw(c));
+        let ab = a.wrapping_add(b).unwrap();
+        let ba = b.wrapping_add(a).unwrap();
+        prop_assert_eq!(ab, ba);
+        let ab_c = ab.wrapping_add(c).unwrap();
+        let a_bc = a.wrapping_add(b.wrapping_add(c).unwrap()).unwrap();
+        prop_assert_eq!(ab_c, a_bc, "wrapping addition must stay associative");
+    }
+
+    #[test]
+    fn saturating_add_never_exceeds_range(
+        fmt in format_strategy(),
+        a in -1000i64..1000, b in -1000i64..1000,
+    ) {
+        let (a, b) = (fmt.from_raw(a), fmt.from_raw(b));
+        let s = a.saturating_add(b).unwrap();
+        prop_assert!(s.to_f64() >= fmt.min_value() && s.to_f64() <= fmt.max_value());
+        // Saturating result is at least as close to the true sum as wrapping.
+        let true_sum = a.to_f64() + b.to_f64();
+        let wrap = a.wrapping_add(b).unwrap();
+        prop_assert!((s.to_f64() - true_sum).abs() <= (wrap.to_f64() - true_sum).abs() + 1e-12);
+    }
+
+    #[test]
+    fn mul_matches_exact_when_no_rounding_or_overflow(
+        fmt in format_strategy(),
+        a in -1000i64..1000, b in -1000i64..1000,
+        mode in mode_strategy(),
+    ) {
+        let (a, b) = (fmt.from_raw(a), fmt.from_raw(b));
+        let exact = a.to_f64() * b.to_f64();
+        if fmt.contains(exact) {
+            let p = a.wrapping_mul(b, mode).unwrap();
+            prop_assert_eq!(p.to_f64(), exact);
+        }
+    }
+
+    /// The paper's §3 property: with an integer format (F = 0, so products
+    /// are exact), the wrapping MAC equals the true dot product whenever the
+    /// true final sum is representable — no matter how many intermediate
+    /// overflows occurred.
+    #[test]
+    fn intermediate_overflow_harmless_integer_format(
+        k in 2u32..=6,
+        ws in prop::collection::vec(-1000i64..1000, 1..12),
+        xs in prop::collection::vec(-1000i64..1000, 1..12),
+    ) {
+        let fmt = QFormat::new(k, 0).unwrap();
+        let n = ws.len().min(xs.len());
+        let w: Vec<_> = ws[..n].iter().map(|&r| fmt.from_raw(r)).collect();
+        let x: Vec<_> = xs[..n].iter().map(|&r| fmt.from_raw(r)).collect();
+        let exact: f64 = w.iter().zip(&x).map(|(a, b)| a.to_f64() * b.to_f64()).sum();
+        prop_assume!(exact >= fmt.min_value() && exact <= fmt.max_value());
+        let (y, trace) = mac_dot_traced(&w, &x, RoundingMode::Floor).unwrap();
+        prop_assert_eq!(
+            y.to_f64(), exact,
+            "wrapping MAC diverged from exact sum despite representable result \
+             ({} intermediate overflows)", trace.intermediate_overflows
+        );
+    }
+
+    /// Fractional generalisation: when every per-step product happens to be
+    /// exactly representable (no product rounding), the wrapping MAC again
+    /// equals the exact value whenever it is representable.
+    #[test]
+    fn intermediate_overflow_harmless_when_products_exact(
+        f in 1u32..=4,
+        ws in prop::collection::vec(-64i64..64, 1..10),
+        xs in prop::collection::vec(-8i64..8, 1..10),
+    ) {
+        let fmt = QFormat::new(3, f).unwrap();
+        let n = ws.len().min(xs.len());
+        let w: Vec<_> = ws[..n].iter().map(|&r| fmt.from_raw(r)).collect();
+        // Make x integer-valued so products w·x stay on the F-bit grid.
+        let x: Vec<_> = xs[..n]
+            .iter()
+            .map(|&r| fmt.quantize(r.clamp(-4, 3) as f64, RoundingMode::Floor))
+            .collect();
+        let exact: f64 = w.iter().zip(&x).map(|(a, b)| a.to_f64() * b.to_f64()).sum();
+        prop_assume!(exact >= fmt.min_value() && exact <= fmt.max_value());
+        let y = mac_dot(&w, &x, RoundingMode::Floor).unwrap();
+        prop_assert_eq!(y.to_f64(), exact);
+    }
+
+    #[test]
+    fn wide_dot_equals_mac_for_integer_formats(
+        k in 2u32..=6,
+        ws in prop::collection::vec(-1000i64..1000, 1..10),
+        xs in prop::collection::vec(-1000i64..1000, 1..10),
+    ) {
+        // With F = 0 neither path rounds, so they agree identically (both
+        // reduce mod 2^W and the sum of wrapped steps equals the wrapped sum).
+        let fmt = QFormat::new(k, 0).unwrap();
+        let n = ws.len().min(xs.len());
+        let w: Vec<_> = ws[..n].iter().map(|&r| fmt.from_raw(r)).collect();
+        let x: Vec<_> = xs[..n].iter().map(|&r| fmt.from_raw(r)).collect();
+        let a = mac_dot(&w, &x, RoundingMode::Floor).unwrap();
+        let b = wide_dot(&w, &x, RoundingMode::Floor).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn for_range_covers_and_is_minimal(word in 2u32..=16, max_abs in 0.01f64..100.0) {
+        if let Ok(fmt) = QFormat::for_range(word, max_abs) {
+            prop_assert!(fmt.word_length() == word);
+            prop_assert!(fmt.max_value() + fmt.resolution() >= max_abs,
+                "range must cover max_abs");
+            // Minimality: one fewer integer bit must NOT cover (unless k = 1).
+            if fmt.k() > 1 {
+                let half = (2.0f64).powi(fmt.k() as i32 - 2);
+                prop_assert!(half < max_abs, "K not minimal: 2^(K-2) = {half} >= {max_abs}");
+            }
+        }
+    }
+}

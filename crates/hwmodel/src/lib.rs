@@ -1,0 +1,35 @@
+//! Hardware cost models for fixed-point MAC datapaths.
+//!
+//! The paper's power claims rest on one rule of thumb (§5.1, citing Padgett
+//! & Anderson): *"the power consumption of on-chip fixed-point arithmetic is
+//! almost a quadratic function of the word length"*, so halving a word
+//! length quarters the power (3× fewer bits ⇒ ≈9× less power; 8→6 bits ⇒
+//! ≈1.8×). This crate backs that rule two ways:
+//!
+//! * [`power`] — the analytic model: energy/area/power as polynomial
+//!   functions of word length for the classifier's `M`-feature MAC engine;
+//! * [`gates`] — a gate-level simulator of the ripple-carry adder and
+//!   shift-add multiplier, counting **switching activity** (toggled gate
+//!   outputs) on real bit patterns, which is the dominant dynamic-energy
+//!   proxy in CMOS. The crate's tests confirm the simulated activity grows
+//!   ≈quadratically in word length for the multiplier, validating the
+//!   analytic rule rather than just asserting it.
+//!
+//! # Example
+//!
+//! ```
+//! use ldafp_hwmodel::power::MacPowerModel;
+//!
+//! let m = MacPowerModel::default();
+//! // The paper's headline: 12 bits → 4 bits is a 3× word-length reduction…
+//! let ratio = m.power(12, 42) / m.power(4, 42);
+//! // …worth ≈ 9× in power under the quadratic rule.
+//! assert!((ratio - 9.0).abs() < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gates;
+pub mod power;
+pub mod rtl;

@@ -1,0 +1,58 @@
+//! Primal log-barrier interior-point solver for convex quadratic programs
+//! with linear-inequality and second-order-cone constraints.
+//!
+//! This is the convex engine behind the paper's branch-and-bound bounds:
+//! the relaxation (eq. 25) is exactly
+//!
+//! ```text
+//! minimize    ½·wᵀQw + cᵀw
+//! subject to  gᵢᵀw ≤ hᵢ                       (linear half-planes)
+//!             ‖Aⱼw + bⱼ‖₂ ≤ dⱼᵀw + eⱼ        (second-order cones)
+//! ```
+//!
+//! with `Q = 2·S_W/η`, half-planes from the per-feature overflow constraints
+//! (eq. 18 — each `|w_m|` constraint splits into two linear ones), the node
+//! box and the `t`-interval, and cones from the projection overflow
+//! constraints (eq. 20) via the Cholesky factor of each class covariance.
+//!
+//! # Method
+//!
+//! A textbook two-phase primal barrier method (Boyd & Vandenberghe ch. 11):
+//!
+//! 1. **Phase I** finds a strictly feasible point by minimizing the maximum
+//!    constraint violation `s` (bounded below by `s ≥ −1`), or certifies
+//!    infeasibility — which branch-and-bound uses to prune boxes.
+//! 2. **Phase II** minimizes `t·f(x) + φ(x)` by damped Newton with
+//!    backtracking line search, increasing `t` geometrically until the
+//!    duality-gap bound `m/t` is below tolerance.
+//!
+//! # Example
+//!
+//! ```
+//! use ldafp_solver::{SocpProblem, SolverConfig};
+//! use ldafp_linalg::Matrix;
+//!
+//! # fn main() -> Result<(), ldafp_solver::SolverError> {
+//! // minimize (x−2)² + (y−2)² s.t. x + y ≤ 2  → optimum at (1, 1).
+//! let mut p = SocpProblem::new(Matrix::identity(2).scaled(2.0), vec![-4.0, -4.0])?;
+//! p.add_linear(vec![1.0, 1.0], 2.0)?;
+//! let sol = p.solve(&SolverConfig::default())?;
+//! assert!((sol.x[0] - 1.0).abs() < 1e-6);
+//! assert!((sol.x[1] - 1.0).abs() < 1e-6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod barrier;
+mod error;
+mod phase1;
+mod problem;
+
+pub use error::SolverError;
+pub use problem::{KktReport, LinearConstraint, SocConstraint, SocpProblem, Solution, SolverConfig};
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, SolverError>;

@@ -1,0 +1,471 @@
+use crate::{Result, SolverError};
+use ldafp_linalg::{vecops, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// A linear inequality `gᵀx ≤ h`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearConstraint {
+    /// Constraint normal `g`.
+    pub g: Vec<f64>,
+    /// Right-hand side `h`.
+    pub h: f64,
+}
+
+impl LinearConstraint {
+    /// Signed violation `gᵀx − h` (`≤ 0` means satisfied).
+    pub fn violation(&self, x: &[f64]) -> f64 {
+        vecops::dot(&self.g, x) - self.h
+    }
+}
+
+/// A second-order-cone constraint `‖A·x + b‖₂ ≤ dᵀx + e`.
+///
+/// The paper's projection-overflow constraints (eq. 20) take this shape with
+/// `A = β·Lᵀ` (Cholesky factor of a class covariance), `b = 0`, and
+/// `(d, e)` encoding the affine range bound.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SocConstraint {
+    /// Cone matrix `A` (`p × n`).
+    pub a: Matrix,
+    /// Cone offset `b` (`p`).
+    pub b: Vec<f64>,
+    /// Affine slope `d` (`n`).
+    pub d: Vec<f64>,
+    /// Affine offset `e`.
+    pub e: f64,
+}
+
+impl SocConstraint {
+    /// `u(x) = dᵀx + e`, the affine right-hand side.
+    pub fn u(&self, x: &[f64]) -> f64 {
+        vecops::dot(&self.d, x) + self.e
+    }
+
+    /// `z(x) = A·x + b`, the cone argument.
+    pub fn z(&self, x: &[f64]) -> Vec<f64> {
+        let mut z = self.a.mul_vec(x).expect("validated dimensions");
+        for (zi, bi) in z.iter_mut().zip(&self.b) {
+            *zi += bi;
+        }
+        z
+    }
+
+    /// Signed violation `‖z‖ − u` (`≤ 0` means satisfied).
+    pub fn violation(&self, x: &[f64]) -> f64 {
+        vecops::norm2(&self.z(x)) - self.u(x)
+    }
+}
+
+/// Solver tolerances and barrier schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolverConfig {
+    /// Target duality-gap bound `m/t` at which the outer loop stops.
+    pub tol: f64,
+    /// Initial barrier weight `t`.
+    pub t_init: f64,
+    /// Geometric growth factor of `t` per outer stage.
+    pub mu: f64,
+    /// Newton-decrement threshold (`λ²/2`) for each centering stage.
+    pub newton_tol: f64,
+    /// Maximum Newton steps per centering stage.
+    pub max_newton_per_stage: usize,
+    /// Maximum outer stages (safety valve; never reached in practice).
+    pub max_stages: usize,
+    /// Armijo slope fraction for the backtracking line search.
+    pub armijo: f64,
+    /// Backtracking shrink factor.
+    pub backtrack: f64,
+    /// Phase I accepts a start point when its max violation is below
+    /// `−feasibility_margin`; otherwise the problem is declared infeasible.
+    pub feasibility_margin: f64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            tol: 1e-8,
+            t_init: 1.0,
+            mu: 20.0,
+            newton_tol: 1e-10,
+            max_newton_per_stage: 60,
+            max_stages: 64,
+            armijo: 0.01,
+            backtrack: 0.5,
+            feasibility_margin: 1e-9,
+        }
+    }
+}
+
+/// Solution of a [`SocpProblem`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Solution {
+    /// The minimizer found.
+    pub x: Vec<f64>,
+    /// Objective value `½ xᵀQx + cᵀx` at `x`.
+    pub objective: f64,
+    /// Upper bound on the duality gap at exit (`m/t`).
+    pub duality_gap_bound: f64,
+    /// Total Newton steps spent (phase I + phase II).
+    pub newton_steps: usize,
+    /// Outer barrier stages executed in phase II.
+    pub stages: usize,
+    /// Final barrier weight `t` — the input to [`SocpProblem::kkt_report`].
+    pub barrier_t: f64,
+}
+
+/// A convex QP with linear and second-order-cone constraints:
+///
+/// ```text
+/// minimize    ½ xᵀQx + cᵀx
+/// subject to  gᵢᵀx ≤ hᵢ,    ‖Aⱼx + bⱼ‖ ≤ dⱼᵀx + eⱼ
+/// ```
+///
+/// See the crate docs for the mapping from the paper's relaxation (eq. 25).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SocpProblem {
+    n: usize,
+    q: Matrix,
+    c: Vec<f64>,
+    linear: Vec<LinearConstraint>,
+    soc: Vec<SocConstraint>,
+}
+
+impl SocpProblem {
+    /// Creates a problem with objective `½ xᵀQx + cᵀx`.
+    ///
+    /// `q` is symmetrized on entry (`(Q+Qᵀ)/2`). Positive semidefiniteness
+    /// is *assumed* (the barrier Newton system regularizes mildly if the
+    /// numerical factorization complains) — the LDA-FP relaxation always
+    /// supplies a scatter matrix, which is PSD by construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::InvalidProblem`] on dimension mismatch or
+    /// non-finite data.
+    pub fn new(mut q: Matrix, c: Vec<f64>) -> Result<Self> {
+        if !q.is_square() || q.rows() != c.len() || c.is_empty() {
+            return Err(SolverError::InvalidProblem {
+                reason: format!(
+                    "objective dimensions disagree: Q is {}x{}, c has length {}",
+                    q.rows(),
+                    q.cols(),
+                    c.len()
+                ),
+            });
+        }
+        if !q.is_finite() || !vecops::is_finite(&c) {
+            return Err(SolverError::InvalidProblem {
+                reason: "non-finite objective data".to_string(),
+            });
+        }
+        q.symmetrize().expect("square by checked construction");
+        Ok(SocpProblem {
+            n: c.len(),
+            q,
+            c,
+            linear: Vec::new(),
+            soc: Vec::new(),
+        })
+    }
+
+    /// Number of optimization variables.
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Number of constraints (linear + cone).
+    pub fn num_constraints(&self) -> usize {
+        self.linear.len() + self.soc.len()
+    }
+
+    /// Borrow the quadratic term.
+    pub fn q(&self) -> &Matrix {
+        &self.q
+    }
+
+    /// Borrow the linear term.
+    pub fn c(&self) -> &[f64] {
+        &self.c
+    }
+
+    /// Borrow the linear constraints.
+    pub fn linear_constraints(&self) -> &[LinearConstraint] {
+        &self.linear
+    }
+
+    /// Borrow the cone constraints.
+    pub fn soc_constraints(&self) -> &[SocConstraint] {
+        &self.soc
+    }
+
+    /// Adds `gᵀx ≤ h`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::InvalidProblem`] on wrong length or
+    /// non-finite data.
+    pub fn add_linear(&mut self, g: Vec<f64>, h: f64) -> Result<()> {
+        if g.len() != self.n {
+            return Err(SolverError::InvalidProblem {
+                reason: format!("linear constraint has {} coefficients, expected {}", g.len(), self.n),
+            });
+        }
+        if !vecops::is_finite(&g) || !h.is_finite() {
+            return Err(SolverError::InvalidProblem {
+                reason: "non-finite linear constraint".to_string(),
+            });
+        }
+        self.linear.push(LinearConstraint { g, h });
+        Ok(())
+    }
+
+    /// Adds the box `lo ≤ x ≤ hi` as `2n` linear constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::InvalidProblem`] on length mismatch, a
+    /// dimension with `lo > hi`, or non-finite bounds.
+    pub fn add_box(&mut self, lo: &[f64], hi: &[f64]) -> Result<()> {
+        if lo.len() != self.n || hi.len() != self.n {
+            return Err(SolverError::InvalidProblem {
+                reason: "box bound length mismatch".to_string(),
+            });
+        }
+        for (i, (&l, &u)) in lo.iter().zip(hi).enumerate() {
+            if !(l.is_finite() && u.is_finite()) || l > u {
+                return Err(SolverError::InvalidProblem {
+                    reason: format!("invalid box bounds at dimension {i}: [{l}, {u}]"),
+                });
+            }
+        }
+        for i in 0..self.n {
+            let mut g = vec![0.0; self.n];
+            g[i] = 1.0;
+            self.linear.push(LinearConstraint { g, h: hi[i] });
+            let mut g = vec![0.0; self.n];
+            g[i] = -1.0;
+            self.linear.push(LinearConstraint { g, h: -lo[i] });
+        }
+        Ok(())
+    }
+
+    /// Adds `‖A·x + b‖ ≤ dᵀx + e`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::InvalidProblem`] on dimension mismatches or
+    /// non-finite data.
+    pub fn add_soc(&mut self, a: Matrix, b: Vec<f64>, d: Vec<f64>, e: f64) -> Result<()> {
+        if a.cols() != self.n || a.rows() != b.len() || d.len() != self.n {
+            return Err(SolverError::InvalidProblem {
+                reason: format!(
+                    "cone dimensions disagree: A is {}x{}, b has {}, d has {}",
+                    a.rows(),
+                    a.cols(),
+                    b.len(),
+                    d.len()
+                ),
+            });
+        }
+        if !a.is_finite() || !vecops::is_finite(&b) || !vecops::is_finite(&d) || !e.is_finite() {
+            return Err(SolverError::InvalidProblem {
+                reason: "non-finite cone data".to_string(),
+            });
+        }
+        self.soc.push(SocConstraint { a, b, d, e });
+        Ok(())
+    }
+
+    /// Objective `½ xᵀQx + cᵀx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.num_vars()`.
+    pub fn objective(&self, x: &[f64]) -> f64 {
+        0.5 * self.q.quad_form(x).expect("validated dimensions") + vecops::dot(&self.c, x)
+    }
+
+    /// Largest signed constraint violation at `x` (`≤ 0` means feasible;
+    /// `−∞` for an unconstrained problem).
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        let mut worst = f64::NEG_INFINITY;
+        for lc in &self.linear {
+            worst = worst.max(lc.violation(x));
+        }
+        for sc in &self.soc {
+            worst = worst.max(sc.violation(x));
+        }
+        worst
+    }
+
+    /// True when every constraint holds with at least `margin` slack.
+    pub fn is_strictly_feasible(&self, x: &[f64], margin: f64) -> bool {
+        self.max_violation(x) < -margin
+    }
+
+    /// Solves the problem, running phase I from the origin.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolverError::Infeasible`] when no strictly feasible point exists
+    ///   (within the configured margin).
+    /// * [`SolverError::NumericalFailure`] when Newton stalls.
+    pub fn solve(&self, config: &SolverConfig) -> Result<Solution> {
+        self.solve_from(None, config)
+    }
+
+    /// Solves the problem, warm-starting from `x0` when it is strictly
+    /// feasible (otherwise phase I runs first).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Self::solve`].
+    pub fn solve_from(&self, x0: Option<&[f64]>, config: &SolverConfig) -> Result<Solution> {
+        let mut phase1_steps = 0usize;
+        let start = match x0 {
+            Some(x) if x.len() == self.n && self.is_strictly_feasible(x, config.feasibility_margin) => {
+                x.to_vec()
+            }
+            _ => {
+                let warm = x0.filter(|x| x.len() == self.n).map(|x| x.to_vec());
+                let (x, steps) = crate::phase1::find_strictly_feasible(self, warm, config)?;
+                phase1_steps = steps;
+                x
+            }
+        };
+        let (x, stages, steps, barrier_t) =
+            crate::barrier::barrier_minimize(self, start, config)?;
+        let objective = self.objective(&x);
+        Ok(Solution {
+            duality_gap_bound: if self.num_constraints() == 0 {
+                0.0
+            } else {
+                self.num_constraints() as f64 / barrier_t
+            },
+            objective,
+            x,
+            newton_steps: steps + phase1_steps,
+            stages,
+            barrier_t,
+        })
+    }
+
+    /// KKT-style optimality diagnostics for a barrier solution.
+    ///
+    /// At a perfectly centered point, `t·∇f(x) + ∇φ(x) = 0`, which encodes
+    /// the stationarity condition with the barrier-implied dual variables
+    /// (`λᵢ = 1/(t·slackᵢ)` for linear constraints). The report exposes:
+    ///
+    /// * `stationarity_residual` — `‖∇f(x) + ∇φ(x)/t‖∞`: how far the point
+    ///   is from the central path (0 at a perfect center);
+    /// * `min_slack` — the smallest constraint slack (`> 0` means strictly
+    ///   feasible);
+    /// * `duality_gap_bound` — `m/t`, the barrier method's certified bound
+    ///   on `f(x) − f*`.
+    ///
+    /// Returns `None` when `x` is not strictly feasible (no certificate is
+    /// possible there).
+    pub fn kkt_report(&self, x: &[f64], barrier_t: f64) -> Option<KktReport> {
+        if x.len() != self.n || barrier_t <= 0.0 {
+            return None;
+        }
+        let phi_grad = crate::barrier::barrier_gradient(self, x)?;
+        let mut grad = self.q.mul_vec(x).expect("validated dimensions");
+        for (g, c) in grad.iter_mut().zip(&self.c) {
+            *g += c;
+        }
+        let mut residual = 0.0f64;
+        for (g, p) in grad.iter().zip(&phi_grad) {
+            residual = residual.max((g + p / barrier_t).abs());
+        }
+        Some(KktReport {
+            stationarity_residual: residual,
+            min_slack: -self.max_violation(x),
+            duality_gap_bound: self.num_constraints() as f64 / barrier_t,
+        })
+    }
+}
+
+/// Optimality certificate produced by [`SocpProblem::kkt_report`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KktReport {
+    /// `‖∇f(x) + ∇φ(x)/t‖∞` — distance from the central path.
+    pub stationarity_residual: f64,
+    /// Smallest constraint slack at `x`.
+    pub min_slack: f64,
+    /// `m/t` — certified bound on the suboptimality of `x`.
+    pub duality_gap_bound: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(SocpProblem::new(Matrix::identity(2), vec![0.0; 3]).is_err());
+        assert!(SocpProblem::new(Matrix::zeros(2, 3), vec![0.0; 2]).is_err());
+        assert!(SocpProblem::new(Matrix::identity(2), vec![f64::NAN; 2]).is_err());
+        assert!(SocpProblem::new(Matrix::identity(2), vec![0.0; 2]).is_ok());
+    }
+
+    #[test]
+    fn q_symmetrized_on_entry() {
+        let q = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]).unwrap();
+        let p = SocpProblem::new(q, vec![0.0; 2]).unwrap();
+        assert_eq!(p.q()[(0, 1)], 1.0);
+        assert_eq!(p.q()[(1, 0)], 1.0);
+    }
+
+    #[test]
+    fn constraint_validation() {
+        let mut p = SocpProblem::new(Matrix::identity(2), vec![0.0; 2]).unwrap();
+        assert!(p.add_linear(vec![1.0], 0.0).is_err());
+        assert!(p.add_linear(vec![1.0, f64::INFINITY], 0.0).is_err());
+        assert!(p.add_linear(vec![1.0, 1.0], 1.0).is_ok());
+        assert!(p.add_box(&[0.0], &[1.0, 1.0]).is_err());
+        assert!(p.add_box(&[0.5, 0.5], &[0.0, 1.0]).is_err());
+        assert!(p.add_box(&[0.0, 0.0], &[1.0, 1.0]).is_ok());
+        assert_eq!(p.num_constraints(), 5);
+        assert!(p
+            .add_soc(Matrix::identity(3), vec![0.0; 3], vec![0.0; 2], 1.0)
+            .is_err());
+        assert!(p
+            .add_soc(Matrix::identity(2), vec![0.0; 2], vec![0.0; 2], 1.0)
+            .is_ok());
+    }
+
+    #[test]
+    fn violation_signs() {
+        let lc = LinearConstraint {
+            g: vec![1.0, 0.0],
+            h: 1.0,
+        };
+        assert!(lc.violation(&[0.0, 0.0]) < 0.0);
+        assert_eq!(lc.violation(&[1.0, 0.0]), 0.0);
+        assert!(lc.violation(&[2.0, 0.0]) > 0.0);
+
+        let sc = SocConstraint {
+            a: Matrix::identity(2),
+            b: vec![0.0; 2],
+            d: vec![0.0; 2],
+            e: 1.0,
+        };
+        assert!(sc.violation(&[0.5, 0.0]) < 0.0); // ‖x‖ = 0.5 ≤ 1
+        assert!(sc.violation(&[2.0, 0.0]) > 0.0);
+    }
+
+    #[test]
+    fn max_violation_unconstrained_is_neg_inf() {
+        let p = SocpProblem::new(Matrix::identity(1), vec![0.0]).unwrap();
+        assert_eq!(p.max_violation(&[3.0]), f64::NEG_INFINITY);
+        assert!(p.is_strictly_feasible(&[3.0], 1e-9));
+    }
+
+    #[test]
+    fn objective_matches_formula() {
+        let p = SocpProblem::new(Matrix::identity(2).scaled(2.0), vec![1.0, -1.0]).unwrap();
+        // ½·2·(x²+y²) + x − y at (1, 2): 5 + 1 − 2 = 4
+        assert_eq!(p.objective(&[1.0, 2.0]), 4.0);
+    }
+}

@@ -1,0 +1,230 @@
+use crate::{Result, StatsError};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One train/test partition produced by [`StratifiedKFold`].
+///
+/// Indices refer to positions in the caller's sample arrays (per class), so
+/// the splitter never touches feature data — only bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KFoldSplit {
+    /// Training indices into class A's samples.
+    pub train_a: Vec<usize>,
+    /// Training indices into class B's samples.
+    pub train_b: Vec<usize>,
+    /// Test indices into class A's samples.
+    pub test_a: Vec<usize>,
+    /// Test indices into class B's samples.
+    pub test_b: Vec<usize>,
+}
+
+/// Stratified k-fold cross-validation over a binary classification problem.
+///
+/// Each fold holds out `≈ N_A/k` class-A samples and `≈ N_B/k` class-B
+/// samples, so class balance is preserved in every fold — the protocol used
+/// for the paper's Table 2 ("estimated by using 5-fold cross-validation").
+///
+/// # Example
+///
+/// ```
+/// use ldafp_stats::StratifiedKFold;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), ldafp_stats::StatsError> {
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let folds = StratifiedKFold::new(5)?.split(70, 70, &mut rng)?;
+/// assert_eq!(folds.len(), 5);
+/// assert_eq!(folds[0].test_a.len(), 14);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StratifiedKFold {
+    k: usize,
+}
+
+impl StratifiedKFold {
+    /// Creates a splitter with `k` folds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidSplit`] when `k < 2`.
+    pub fn new(k: usize) -> Result<Self> {
+        if k < 2 {
+            return Err(StatsError::InvalidSplit {
+                reason: format!("k-fold needs k >= 2, got {k}"),
+            });
+        }
+        Ok(StratifiedKFold { k })
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Produces the `k` folds for `n_a` class-A and `n_b` class-B samples.
+    ///
+    /// Sample order is shuffled with `rng` before partitioning, so repeated
+    /// calls with differently-seeded RNGs give independent partitions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidSplit`] when either class has fewer
+    /// samples than folds.
+    pub fn split<R: Rng + ?Sized>(
+        &self,
+        n_a: usize,
+        n_b: usize,
+        rng: &mut R,
+    ) -> Result<Vec<KFoldSplit>> {
+        if n_a < self.k || n_b < self.k {
+            return Err(StatsError::InvalidSplit {
+                reason: format!(
+                    "cannot make {} folds from {n_a} class-A and {n_b} class-B samples",
+                    self.k
+                ),
+            });
+        }
+        let mut idx_a: Vec<usize> = (0..n_a).collect();
+        let mut idx_b: Vec<usize> = (0..n_b).collect();
+        idx_a.shuffle(rng);
+        idx_b.shuffle(rng);
+
+        let chunks_a = partition_indices(&idx_a, self.k);
+        let chunks_b = partition_indices(&idx_b, self.k);
+
+        let mut folds = Vec::with_capacity(self.k);
+        for f in 0..self.k {
+            let test_a = chunks_a[f].clone();
+            let test_b = chunks_b[f].clone();
+            let mut train_a = Vec::with_capacity(n_a - test_a.len());
+            let mut train_b = Vec::with_capacity(n_b - test_b.len());
+            for (g, chunk) in chunks_a.iter().enumerate() {
+                if g != f {
+                    train_a.extend_from_slice(chunk);
+                }
+            }
+            for (g, chunk) in chunks_b.iter().enumerate() {
+                if g != f {
+                    train_b.extend_from_slice(chunk);
+                }
+            }
+            folds.push(KFoldSplit {
+                train_a,
+                train_b,
+                test_a,
+                test_b,
+            });
+        }
+        Ok(folds)
+    }
+}
+
+/// Splits `indices` into `k` nearly-equal contiguous chunks; the first
+/// `len % k` chunks get one extra element.
+fn partition_indices(indices: &[usize], k: usize) -> Vec<Vec<usize>> {
+    let n = indices.len();
+    let base = n / k;
+    let extra = n % k;
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0;
+    for f in 0..k {
+        let len = base + usize::from(f < extra);
+        out.push(indices[start..start + len].to_vec());
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn rejects_k_below_two() {
+        assert!(StratifiedKFold::new(0).is_err());
+        assert!(StratifiedKFold::new(1).is_err());
+        assert!(StratifiedKFold::new(2).is_ok());
+    }
+
+    #[test]
+    fn rejects_too_few_samples() {
+        let s = StratifiedKFold::new(5).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(s.split(4, 10, &mut rng).is_err());
+        assert!(s.split(10, 4, &mut rng).is_err());
+    }
+
+    #[test]
+    fn folds_partition_every_sample_exactly_once() {
+        let s = StratifiedKFold::new(5).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let folds = s.split(70, 70, &mut rng).unwrap();
+        assert_eq!(folds.len(), 5);
+        let mut seen_a = BTreeSet::new();
+        let mut seen_b = BTreeSet::new();
+        for f in &folds {
+            for &i in &f.test_a {
+                assert!(seen_a.insert(i), "sample {i} in two test folds");
+            }
+            for &i in &f.test_b {
+                assert!(seen_b.insert(i), "sample {i} in two test folds");
+            }
+        }
+        assert_eq!(seen_a.len(), 70);
+        assert_eq!(seen_b.len(), 70);
+    }
+
+    #[test]
+    fn train_and_test_are_disjoint_and_complete() {
+        let s = StratifiedKFold::new(4).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for fold in s.split(21, 13, &mut rng).unwrap() {
+            let train: BTreeSet<_> = fold.train_a.iter().collect();
+            let test: BTreeSet<_> = fold.test_a.iter().collect();
+            assert!(train.is_disjoint(&test));
+            assert_eq!(train.len() + test.len(), 21);
+            let train_b: BTreeSet<_> = fold.train_b.iter().collect();
+            let test_b: BTreeSet<_> = fold.test_b.iter().collect();
+            assert!(train_b.is_disjoint(&test_b));
+            assert_eq!(train_b.len() + test_b.len(), 13);
+        }
+    }
+
+    #[test]
+    fn fold_sizes_balanced() {
+        let s = StratifiedKFold::new(5).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let folds = s.split(70, 70, &mut rng).unwrap();
+        for f in &folds {
+            assert_eq!(f.test_a.len(), 14);
+            assert_eq!(f.test_b.len(), 14);
+            assert_eq!(f.train_a.len(), 56);
+        }
+        // Uneven case: 22 = 5+5+4+4+4
+        let folds = s.split(22, 23, &mut rng).unwrap();
+        let sizes: Vec<usize> = folds.iter().map(|f| f.test_a.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 22);
+        assert!(sizes.iter().all(|&s| s == 4 || s == 5));
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let s = StratifiedKFold::new(3).unwrap();
+        let f1 = s.split(9, 9, &mut ChaCha8Rng::seed_from_u64(7)).unwrap();
+        let f2 = s.split(9, 9, &mut ChaCha8Rng::seed_from_u64(7)).unwrap();
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let s = StratifiedKFold::new(3).unwrap();
+        let f1 = s.split(30, 30, &mut ChaCha8Rng::seed_from_u64(1)).unwrap();
+        let f2 = s.split(30, 30, &mut ChaCha8Rng::seed_from_u64(2)).unwrap();
+        assert_ne!(f1, f2);
+    }
+}

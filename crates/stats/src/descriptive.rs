@@ -1,0 +1,145 @@
+//! Descriptive statistics on `f64` slices.
+//!
+//! Small utilities used across the workspace for reporting (mean error over
+//! cross-validation folds, runtime summaries, benchmark post-processing).
+
+/// Arithmetic mean, or `None` for an empty slice.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(ldafp_stats::descriptive::mean(&[1.0, 2.0, 3.0]), Some(2.0));
+/// assert_eq!(ldafp_stats::descriptive::mean(&[]), None);
+/// ```
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Population (biased, `1/N`) variance, or `None` for an empty slice.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Population standard deviation, or `None` for an empty slice.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Unbiased (`1/(N−1)`) sample variance, or `None` for fewer than 2 samples.
+pub fn sample_variance(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64)
+}
+
+/// Minimum value, or `None` for an empty slice. `NaN` entries are ignored.
+pub fn min(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().filter(|x| !x.is_nan()).reduce(f64::min)
+}
+
+/// Maximum value, or `None` for an empty slice. `NaN` entries are ignored.
+pub fn max(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().filter(|x| !x.is_nan()).reduce(f64::max)
+}
+
+/// Linear-interpolated quantile `q ∈ [0, 1]`, or `None` when the slice is
+/// empty or `q` is out of range.
+///
+/// Uses the "linear" (type-7) convention, matching NumPy's default.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Median (the 0.5 quantile), or `None` for an empty slice.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Fraction of pairs `(a, b)` where the predicate holds — convenience for
+/// error-rate style summaries.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mismatch_rate<T: PartialEq>(a: &[T], b: &[T]) -> f64 {
+    assert_eq!(a.len(), b.len(), "mismatch_rate: length mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let bad = a.iter().zip(b).filter(|(x, y)| x != y).count();
+    bad as f64 / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), Some(5.0));
+        assert_eq!(variance(&xs), Some(4.0));
+        assert_eq!(std_dev(&xs), Some(2.0));
+        assert_eq!(mean(&[]), None);
+        assert_eq!(variance(&[]), None);
+    }
+
+    #[test]
+    fn sample_variance_bessel() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(sample_variance(&xs), Some(1.0));
+        assert_eq!(sample_variance(&[1.0]), None);
+    }
+
+    #[test]
+    fn min_max_ignore_nan() {
+        let xs = [3.0, f64::NAN, -1.0, 2.0];
+        assert_eq!(min(&xs), Some(-1.0));
+        assert_eq!(max(&xs), Some(3.0));
+        assert_eq!(min(&[]), None);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(4.0));
+        assert_eq!(median(&xs), Some(2.5));
+        assert_eq!(quantile(&xs, 0.25), Some(1.75));
+        assert_eq!(quantile(&xs, 2.0), None);
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn median_unsorted_input() {
+        assert_eq!(median(&[9.0, 1.0, 5.0]), Some(5.0));
+    }
+
+    #[test]
+    fn mismatch_rate_counts() {
+        assert_eq!(mismatch_rate(&[1, 2, 3, 4], &[1, 0, 3, 0]), 0.5);
+        assert_eq!(mismatch_rate::<i32>(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatch_rate_length_check() {
+        mismatch_rate(&[1], &[1, 2]);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the statistics substrate.
+
+use ldafp_stats::{descriptive, normal, MultivariateGaussian, StratifiedKFold};
+use ldafp_linalg::Matrix;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeSet;
+
+proptest! {
+    #[test]
+    fn cdf_is_monotone_pairwise(a in -8.0f64..8.0, b in -8.0f64..8.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(normal::cdf(lo) <= normal::cdf(hi) + 1e-15);
+    }
+
+    #[test]
+    fn cdf_symmetry(x in -8.0f64..8.0) {
+        // Φ(x) + Φ(−x) = 1.
+        let s = normal::cdf(x) + normal::cdf(-x);
+        prop_assert!((s - 1.0).abs() < 1e-13, "sum {s}");
+    }
+
+    #[test]
+    fn inv_cdf_roundtrips(p in 1e-8f64..1.0) {
+        prop_assume!(p < 1.0 - 1e-8);
+        let z = normal::inv_cdf(p).unwrap();
+        prop_assert!((normal::cdf(z) - p).abs() < 1e-10, "p={p}, z={z}");
+    }
+
+    #[test]
+    fn confidence_multiplier_monotone(r1 in 0.5f64..0.999, r2 in 0.5f64..0.999) {
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        let b_lo = normal::confidence_multiplier(lo).unwrap();
+        let b_hi = normal::confidence_multiplier(hi).unwrap();
+        prop_assert!(b_lo <= b_hi + 1e-12);
+        prop_assert!(b_lo > 0.0, "β must be positive for ρ > 0.5");
+    }
+
+    #[test]
+    fn erf_bounded_and_odd(x in -20.0f64..20.0) {
+        let v = normal::erf(x);
+        prop_assert!((-1.0..=1.0).contains(&v));
+        prop_assert!((v + normal::erf(-x)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn quantile_between_min_max(xs in prop::collection::vec(-100.0f64..100.0, 1..40), q in 0.0f64..1.0) {
+        let v = descriptive::quantile(&xs, q).unwrap();
+        let lo = descriptive::min(&xs).unwrap();
+        let hi = descriptive::max(&xs).unwrap();
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+
+    #[test]
+    fn variance_nonnegative_and_shift_invariant(
+        xs in prop::collection::vec(-50.0f64..50.0, 2..30),
+        shift in -100.0f64..100.0,
+    ) {
+        let v = descriptive::variance(&xs).unwrap();
+        prop_assert!(v >= 0.0);
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        let vs = descriptive::variance(&shifted).unwrap();
+        prop_assert!((v - vs).abs() < 1e-6 * v.max(1.0), "{v} vs {vs}");
+    }
+
+    #[test]
+    fn kfold_partitions_exactly(
+        k in 2usize..6,
+        extra_a in 0usize..20,
+        extra_b in 0usize..20,
+        seed in 0u64..1000,
+    ) {
+        let n_a = k + extra_a;
+        let n_b = k + extra_b;
+        let folds = StratifiedKFold::new(k)
+            .unwrap()
+            .split(n_a, n_b, &mut ChaCha8Rng::seed_from_u64(seed))
+            .unwrap();
+        prop_assert_eq!(folds.len(), k);
+        let mut test_a = BTreeSet::new();
+        let mut test_b = BTreeSet::new();
+        for f in &folds {
+            for &i in &f.test_a {
+                prop_assert!(test_a.insert(i), "duplicate test index");
+            }
+            for &i in &f.test_b {
+                prop_assert!(test_b.insert(i), "duplicate test index");
+            }
+            // Train/test disjoint and complete per fold.
+            let train: BTreeSet<_> = f.train_a.iter().copied().collect();
+            prop_assert_eq!(train.len() + f.test_a.len(), n_a);
+            prop_assert!(f.test_a.iter().all(|i| !train.contains(i)));
+        }
+        prop_assert_eq!(test_a.len(), n_a);
+        prop_assert_eq!(test_b.len(), n_b);
+    }
+
+    #[test]
+    fn mvn_samples_respect_mean_direction(
+        mu in prop::collection::vec(-2.0f64..2.0, 2),
+        seed in 0u64..500,
+    ) {
+        let mvn = MultivariateGaussian::new(mu.clone(), Matrix::identity(2)).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let samples = mvn.sample_matrix(&mut rng, 4_000);
+        let mean = ldafp_linalg::moments::row_mean(&samples).unwrap();
+        for (m, target) in mean.iter().zip(&mu) {
+            prop_assert!((m - target).abs() < 0.1, "mean {m} vs {target}");
+        }
+    }
+}

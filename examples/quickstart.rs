@@ -1,0 +1,69 @@
+//! Quickstart: train a conventional LDA and an LDA-FP classifier on an easy
+//! 2-D problem, compare them at a small word length, and inspect the
+//! fixed-point artifacts.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use lda_fp::core::{eval, LdaFpConfig, LdaFpTrainer, LdaModel};
+use lda_fp::datasets::demo2d;
+use lda_fp::fixedpoint::QFormat;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A Figure-1-style workload: two well-separated Gaussian clouds.
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+    let data = demo2d::well_separated(500, &mut rng);
+    println!(
+        "dataset: {} features, {:?} trials per class",
+        data.num_features(),
+        data.class_sizes()
+    );
+
+    // 2. The conventional flow: float LDA (eq. 11), then round to QK.F.
+    let format = QFormat::new(2, 4)?; // 6-bit words
+    let lda = LdaModel::train(&data)?;
+    println!(
+        "float LDA: w = {:?}, threshold = {:.4}, Fisher cost = {:.4}",
+        lda.weights(),
+        lda.threshold(),
+        lda.fisher_cost()
+    );
+    let rounded = lda.quantized(format);
+    println!(
+        "rounded to {}: w = {:?} (error {:.2}%)",
+        format,
+        rounded.weight_values(),
+        100.0 * eval::error_rate(&rounded, &data)
+    );
+
+    // 3. The LDA-FP flow: optimize directly on the fixed-point grid
+    //    (formulation 21, Algorithm 1).
+    let trainer = LdaFpTrainer::new(LdaFpConfig::fast());
+    let model = trainer.train(&data, format)?;
+    println!(
+        "LDA-FP:     w = {:?} (error {:.2}%, certified optimal: {})",
+        model.weights(),
+        100.0 * eval::error_rate(model.classifier(), &data),
+        model.certified()
+    );
+
+    // 4. Inspect the deployable artifact: every register is a QK.F word.
+    let clf = model.classifier();
+    println!("\ndeployable classifier ({} bits/word):", clf.word_length());
+    for (i, w) in clf.weights().iter().enumerate() {
+        println!("  w[{i}] = {:>8} = {:#05b}…", w.to_f64(), w.to_bits());
+    }
+    println!("  threshold = {}", clf.threshold().to_f64());
+
+    // 5. Classify one point through the bit-exact wrapping MAC datapath.
+    let x = [0.8, 0.5];
+    println!(
+        "\nclassify {:?}: projection = {}, class = {}",
+        x,
+        clf.project(&x),
+        if clf.classify(&x) { "A" } else { "B" }
+    );
+    Ok(())
+}

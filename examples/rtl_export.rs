@@ -1,0 +1,46 @@
+//! Export a trained LDA-FP classifier as synthesizable Verilog — the last
+//! mile of the paper's flow, from training algorithm to ASIC block.
+//!
+//! ```text
+//! cargo run --release --example rtl_export
+//! ```
+
+use lda_fp::core::{LdaFpConfig, LdaFpTrainer};
+use lda_fp::datasets::synthetic::{generate, SyntheticConfig};
+use lda_fp::fixedpoint::QFormat;
+use lda_fp::hwmodel::rtl::{generate_verilog, RtlConfig};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Train a 6-bit classifier on the synthetic workload.
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+    let (data, _) = generate(
+        &SyntheticConfig {
+            n_per_class: 500,
+            ..SyntheticConfig::default()
+        },
+        &mut rng,
+    )
+    .scaled_to(0.9);
+    let format = QFormat::new(2, 4)?;
+    let model = LdaFpTrainer::new(LdaFpConfig::fast()).train(&data, format)?;
+    let clf = model.classifier();
+    eprintln!(
+        "trained {} classifier: w = {:?}, threshold = {}",
+        format,
+        clf.weight_values(),
+        clf.threshold().to_f64()
+    );
+
+    // Emit the RTL (module + self-checking testbench) to stdout.
+    let rtl = generate_verilog(
+        clf.weights(),
+        clf.threshold(),
+        &RtlConfig {
+            module_name: "synthetic_classifier".to_string(),
+            with_testbench: true,
+        },
+    )?;
+    println!("{rtl}");
+    Ok(())
+}

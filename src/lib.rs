@@ -1,0 +1,25 @@
+//! # lda-fp — umbrella crate
+//!
+//! Re-exports the whole workspace behind one dependency. See the individual
+//! crates for full documentation:
+//!
+//! * [`core`] — LDA / LDA-FP training and fixed-point classifiers.
+//! * [`fixedpoint`] — bit-accurate `QK.F` arithmetic.
+//! * [`solver`] — interior-point SOCP/QP solver.
+//! * [`bnb`] — branch-and-bound framework.
+//! * [`linalg`] — dense linear algebra.
+//! * [`stats`] — Gaussian statistics and cross-validation.
+//! * [`datasets`] — evaluation workload generators.
+//! * [`hwmodel`] — power/area/energy models and gate-level datapath
+//!   simulation.
+
+#![forbid(unsafe_code)]
+
+pub use ldafp_bnb as bnb;
+pub use ldafp_core as core;
+pub use ldafp_datasets as datasets;
+pub use ldafp_fixedpoint as fixedpoint;
+pub use ldafp_hwmodel as hwmodel;
+pub use ldafp_linalg as linalg;
+pub use ldafp_solver as solver;
+pub use ldafp_stats as stats;

@@ -1,0 +1,154 @@
+//! Cross-crate property tests: invariants that tie the trainer, the
+//! constraint machinery, the fixed-point substrate and the hardware model
+//! together on randomized workloads.
+
+use lda_fp::core::{LdaFpConfig, LdaFpTrainer, LdaModel, TrainingProblem};
+use lda_fp::datasets::BinaryDataset;
+use lda_fp::fixedpoint::{mac_dot, QFormat, RoundingMode};
+use lda_fp::hwmodel::gates::MacDatapath;
+use lda_fp::linalg::Matrix;
+use proptest::prelude::*;
+
+/// Strategy: a small random 2-feature dataset whose class means differ.
+fn dataset_strategy() -> impl Strategy<Value = BinaryDataset> {
+    (
+        prop::collection::vec(-0.4f64..0.4, 12),
+        prop::collection::vec(-0.4f64..0.4, 12),
+        0.05f64..0.5,
+    )
+        .prop_map(|(a, b, sep)| {
+            let ca = Matrix::from_fn(6, 2, |i, j| a[i * 2 + j] - sep);
+            let cb = Matrix::from_fn(6, 2, |i, j| b[i * 2 + j] + sep);
+            BinaryDataset::new(ca, cb).expect("non-empty classes")
+        })
+}
+
+fn format_strategy() -> impl Strategy<Value = QFormat> {
+    (1u32..=3, 1u32..=5).prop_map(|(k, f)| QFormat::new(k, f).expect("bounded"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever LDA-FP returns is on the grid, feasible for (18)+(20), and
+    /// costs no more than the rounded-LDA seed when that seed is feasible.
+    /// (Empirical scale selection is disabled here: it deliberately trades
+    /// Fisher cost for bit-exact training error, which would relax the J
+    /// invariant being checked.)
+    #[test]
+    fn trained_weights_grid_feasible_and_no_worse_than_seed(
+        data in dataset_strategy(),
+        format in format_strategy(),
+    ) {
+        let mut cfg = LdaFpConfig::fast();
+        cfg.empirical_scale_selection = false;
+        let trainer = LdaFpTrainer::new(cfg);
+        let Ok(model) = trainer.train(&data, format) else {
+            // Degenerate quantization is an acceptable outcome; nothing to
+            // check.
+            return Ok(());
+        };
+        for &w in model.weights() {
+            prop_assert!(format.contains(w), "off-grid weight {w}");
+        }
+        let tp = TrainingProblem::from_dataset(&data, format, 0.99, RoundingMode::NearestEven)
+            .expect("model trained, so the problem builds");
+        prop_assert!(tp.is_feasible(model.weights()));
+        prop_assert!((model.fisher_cost() - tp.fisher_cost(model.weights())).abs() < 1e-9);
+
+        if let Ok(lda) = LdaModel::from_moments(tp.moments()) {
+            let rounded = format.round_slice_to_grid(lda.weights(), RoundingMode::NearestEven);
+            let seed_cost = tp.fisher_cost(&rounded);
+            if seed_cost.is_finite() && tp.is_feasible(&rounded) {
+                prop_assert!(
+                    model.fisher_cost() <= seed_cost + 1e-9,
+                    "trained cost {} worse than seed {}",
+                    model.fisher_cost(), seed_cost
+                );
+            }
+        }
+    }
+
+    /// With empirical scale selection ON (the default), the deployed
+    /// classifier's bit-exact training error never exceeds that of the
+    /// J-only variant — the selection step only ever improves the metric
+    /// it optimizes.
+    #[test]
+    fn scale_selection_never_hurts_training_error(
+        data in dataset_strategy(),
+        format in format_strategy(),
+    ) {
+        let mut plain_cfg = LdaFpConfig::fast();
+        plain_cfg.empirical_scale_selection = false;
+        let plain = LdaFpTrainer::new(plain_cfg).train(&data, format);
+        let tuned = LdaFpTrainer::new(LdaFpConfig::fast()).train(&data, format);
+        if let (Ok(p), Ok(t)) = (plain, tuned) {
+            let pe = lda_fp::core::eval::error_rate(p.classifier(), &data);
+            let te = lda_fp::core::eval::error_rate(t.classifier(), &data);
+            prop_assert!(te <= pe + 1e-12,
+                "scale selection worsened training error: {te} > {pe}");
+        }
+    }
+
+    /// The gate-level datapath and the behavioral fixed-point model agree
+    /// on arbitrary operand streams.
+    #[test]
+    fn gate_level_equals_behavioral(
+        format in format_strategy(),
+        w_raw in prop::collection::vec(-200i64..200, 1..8),
+        x_raw in prop::collection::vec(-200i64..200, 1..8),
+    ) {
+        let n = w_raw.len().min(x_raw.len());
+        let w: Vec<_> = w_raw[..n].iter().map(|&r| format.from_raw(r)).collect();
+        let x: Vec<_> = x_raw[..n].iter().map(|&r| format.from_raw(r)).collect();
+        let datapath = MacDatapath::new(format.word_length() as usize);
+        let (raw, stats) = datapath.simulate_fx_dot(&w, &x);
+        let behavioral = mac_dot(&w, &x, RoundingMode::Floor).expect("formats agree");
+        prop_assert_eq!(raw, behavioral.raw());
+        prop_assert!(stats.cycles >= n as u64);
+    }
+
+    /// Fixed-point inference at generous word lengths matches the float
+    /// decision rule built from the same grid weights.
+    #[test]
+    fn high_precision_classifier_matches_float_reference(
+        data in dataset_strategy(),
+    ) {
+        let format = QFormat::new(3, 18).unwrap();
+        let Ok(lda) = LdaModel::train(&data) else { return Ok(()); };
+        let clf = lda.quantized(format);
+        for (x, _) in data.iter_labeled() {
+            prop_assert_eq!(clf.classify(x), clf.classify_float_reference(x));
+        }
+    }
+
+    /// The Fisher cost of the trained model never exceeds the cost of any
+    /// feasible grid point that proptest samples (optimality probe).
+    #[test]
+    fn no_sampled_grid_point_beats_trained_model(
+        data in dataset_strategy(),
+        probe_raw in prop::collection::vec(-16i64..16, 2),
+    ) {
+        let format = QFormat::new(2, 3).unwrap();
+        let mut cfg = LdaFpConfig::default();
+        cfg.bnb.max_nodes = 50_000;
+        cfg.bnb.relative_gap = 1e-9;
+        cfg.empirical_scale_selection = false; // keep the pure J optimum
+        let trainer = LdaFpTrainer::new(cfg);
+        let Ok(model) = trainer.train(&data, format) else { return Ok(()); };
+        if !model.certified() {
+            return Ok(()); // only certified runs make the global claim
+        }
+        let tp = TrainingProblem::from_dataset(&data, format, 0.99, RoundingMode::NearestEven)
+            .expect("model trained");
+        let probe: Vec<f64> = probe_raw.iter().map(|&r| format.from_raw(r).to_f64()).collect();
+        let cost = tp.fisher_cost(&probe);
+        if cost.is_finite() && tp.is_feasible(&probe) {
+            prop_assert!(
+                model.fisher_cost() <= cost + 1e-6 * cost.abs().max(1e-9),
+                "sampled grid point {:?} (cost {}) beats certified optimum ({})",
+                probe, cost, model.fisher_cost()
+            );
+        }
+    }
+}

@@ -48,11 +48,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "fault-injection")]
+mod fault;
 mod node;
 mod search;
 
+#[cfg(feature = "fault-injection")]
+pub use fault::{FaultKind, FaultPlan, FaultyProblem};
 pub use node::BoxNode;
 pub use search::{
-    solve, solve_with_incumbent, BnbConfig, BnbOutcome, BnbStats, BoundingProblem, NodeAssessment,
-    SearchOrder,
+    solve, solve_with_incumbent, BnbConfig, BnbOutcome, BnbStats, BoundingProblem,
+    DegradationStats, NodeAssessment, NodeDegradation, SearchOrder,
 };

@@ -1,8 +1,104 @@
 use crate::BoxNode;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::time::{Duration, Instant};
+
+/// How one node's assessment fell short of the ideal solve path. Problems
+/// attach this to a [`NodeAssessment`] so the search can account for
+/// degradation and downgrade its optimality certificate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NodeDegradation {
+    /// The bound solve failed at least once but a retry under escalated
+    /// settings succeeded. The bound is valid (the problem corrected it for
+    /// any regularization), but it was not obtained at nominal tolerances.
+    Recovered {
+        /// Number of failed attempts before the successful one.
+        attempts: usize,
+        /// Stable label of the first error encountered.
+        error_kind: String,
+    },
+    /// The bound solve failed beyond recovery; the problem substituted a
+    /// conservative trivial bound instead (sound but unproductive).
+    TrivialBound {
+        /// Stable label of the final error.
+        error_kind: String,
+    },
+    /// The solver claimed the box infeasible, but the problem found
+    /// counter-evidence (e.g. a feasible grid point inside the box) and
+    /// refused to prune, degrading to a trivial bound instead.
+    SuspectInfeasible,
+}
+
+/// Degradation counters accumulated over a search — the raw material for
+/// the `Degraded` training outcome.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DegradationStats {
+    /// Assessments whose bound solve succeeded only after retries.
+    pub recovered_solves: usize,
+    /// Assessments that fell back to a trivial lower bound.
+    pub trivial_bounds: usize,
+    /// Infeasibility claims contradicted by the problem's own evidence.
+    pub suspect_infeasible: usize,
+    /// Non-finite lower bounds sanitized at heap insertion (a NaN bound
+    /// would otherwise scramble the priority queue ordering).
+    pub rejected_bounds: usize,
+    /// Candidates discarded because their cost or coordinates were
+    /// non-finite.
+    pub rejected_candidates: usize,
+    /// Histogram of solver error kinds encountered, by stable label.
+    pub solver_errors: BTreeMap<String, usize>,
+}
+
+impl DegradationStats {
+    /// `true` when nothing degraded: every bound was solved cleanly at
+    /// nominal settings and no data had to be sanitized.
+    pub fn is_clean(&self) -> bool {
+        self.recovered_solves == 0
+            && self.trivial_bounds == 0
+            && self.suspect_infeasible == 0
+            && self.rejected_bounds == 0
+            && self.rejected_candidates == 0
+    }
+
+    /// Total number of degraded assessments (excluding sanitized data).
+    pub fn degraded_assessments(&self) -> usize {
+        self.recovered_solves + self.trivial_bounds + self.suspect_infeasible
+    }
+
+    fn record(&mut self, d: &NodeDegradation) {
+        match d {
+            NodeDegradation::Recovered { error_kind, .. } => {
+                self.recovered_solves += 1;
+                *self.solver_errors.entry(error_kind.clone()).or_insert(0) += 1;
+            }
+            NodeDegradation::TrivialBound { error_kind } => {
+                self.trivial_bounds += 1;
+                *self.solver_errors.entry(error_kind.clone()).or_insert(0) += 1;
+            }
+            NodeDegradation::SuspectInfeasible => {
+                self.suspect_infeasible += 1;
+                *self
+                    .solver_errors
+                    .entry("suspect-infeasible".to_string())
+                    .or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Merges another set of counters into this one (used when a training
+    /// run aggregates several searches).
+    pub fn absorb(&mut self, other: &DegradationStats) {
+        self.recovered_solves += other.recovered_solves;
+        self.trivial_bounds += other.trivial_bounds;
+        self.suspect_infeasible += other.suspect_infeasible;
+        self.rejected_bounds += other.rejected_bounds;
+        self.rejected_candidates += other.rejected_candidates;
+        for (k, v) in &other.solver_errors {
+            *self.solver_errors.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+}
 
 /// What a [`BoundingProblem`] learned about one box.
 #[derive(Debug, Clone, PartialEq)]
@@ -13,6 +109,8 @@ pub struct NodeAssessment {
     /// A feasible *discrete* candidate found inside the box and its exact
     /// cost — the upper-bound side of the paper's Algorithm 1 step 5.
     pub candidate: Option<(Vec<f64>, f64)>,
+    /// How this assessment was degraded, if it was.
+    pub degradation: Option<NodeDegradation>,
 }
 
 impl NodeAssessment {
@@ -21,6 +119,7 @@ impl NodeAssessment {
         NodeAssessment {
             lower_bound: None,
             candidate: None,
+            degradation: None,
         }
     }
 
@@ -30,7 +129,15 @@ impl NodeAssessment {
         NodeAssessment {
             lower_bound: Some(lower_bound),
             candidate,
+            degradation: None,
         }
+    }
+
+    /// Tags this assessment as degraded.
+    #[must_use]
+    pub fn with_degradation(mut self, d: NodeDegradation) -> Self {
+        self.degradation = Some(d);
+        self
     }
 }
 
@@ -118,6 +225,10 @@ pub struct BnbStats {
     pub incumbent_updates: usize,
     /// Deepest node expanded.
     pub max_depth: usize,
+    /// Degradation accounting: recovered solves, trivial-bound fallbacks,
+    /// sanitized data and the solver-error histogram.
+    #[serde(default)]
+    pub degradation: DegradationStats,
 }
 
 /// Result of a branch-and-bound run.
@@ -130,7 +241,11 @@ pub struct BnbOutcome {
     /// gaps.
     pub best_lower_bound: f64,
     /// Whether the search exhausted or bounded-out every box (global
-    /// optimality proof) rather than hitting a budget.
+    /// optimality proof) rather than hitting a budget, **and** every
+    /// assessment was clean. Degraded assessments (recovered solves,
+    /// trivial-bound fallbacks, sanitized NaN data) downgrade certification
+    /// even though the substituted bounds keep the search sound — a
+    /// degraded certificate is reported as `Degraded`, never as proof.
     pub certified: bool,
     /// Search statistics.
     pub stats: BnbStats,
@@ -159,7 +274,9 @@ impl PartialOrd for HeapNode {
 impl Ord for HeapNode {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; order entries so the desired node is
-        // the maximum.
+        // the maximum. Bounds are NaN-free by construction: `sanitize`
+        // rewrites NaN to −∞ before any node reaches the heap, so the
+        // `unwrap_or` below is a belt-and-braces default, not a live path.
         let by_bound = || {
             other
                 .lower_bound
@@ -208,16 +325,17 @@ pub fn solve_with_incumbent<P: BoundingProblem>(
     let mut incumbent: Option<(Vec<f64>, f64)> = seed;
     let mut heap: BinaryHeap<HeapNode> = BinaryHeap::new();
 
-    let root_assessment = problem.assess(&root);
+    let root_assessment = sanitize(problem.assess(&root), &mut stats);
     stats.nodes_assessed += 1;
     adopt_candidate(&mut incumbent, root_assessment.candidate, &mut stats);
     match root_assessment.lower_bound {
         None => {
             stats.pruned_infeasible += 1;
+            let certified = stats.degradation.is_clean();
             return BnbOutcome {
                 incumbent,
                 best_lower_bound: f64::INFINITY,
-                certified: true,
+                certified,
                 stats,
                 elapsed: start.elapsed(),
             };
@@ -245,10 +363,11 @@ pub fn solve_with_incumbent<P: BoundingProblem>(
         if let Some((_, inc_cost)) = &incumbent {
             let gap = inc_cost - frontier_bound;
             if gap <= config.absolute_gap || gap <= config.relative_gap * inc_cost.abs() {
+                let certified = stats.degradation.is_clean();
                 return BnbOutcome {
                     incumbent,
                     best_lower_bound: frontier_bound,
-                    certified: true,
+                    certified,
                     stats,
                     elapsed: start.elapsed(),
                 };
@@ -294,7 +413,7 @@ pub fn solve_with_incumbent<P: BoundingProblem>(
         };
 
         for child in [left, right] {
-            let a = problem.assess(&child);
+            let a = sanitize(problem.assess(&child), &mut stats);
             stats.nodes_assessed += 1;
             adopt_candidate(&mut incumbent, a.candidate, &mut stats);
             match a.lower_bound {
@@ -325,13 +444,37 @@ pub fn solve_with_incumbent<P: BoundingProblem>(
             Some((_, c)) => *c,
             None => f64::INFINITY,
         });
+    let certified = certified && heap.is_empty() && stats.degradation.is_clean();
     BnbOutcome {
         incumbent,
         best_lower_bound,
-        certified: certified && heap.is_empty(),
+        certified,
         stats,
         elapsed: start.elapsed(),
     }
+}
+
+/// Records degradation and rejects non-finite data before it can reach the
+/// heap or the incumbent: a NaN lower bound is replaced by `−∞` (sound — it
+/// never prunes — and totally ordered, so the heap stays consistent), and a
+/// candidate with non-finite cost or coordinates is dropped.
+fn sanitize(mut a: NodeAssessment, stats: &mut BnbStats) -> NodeAssessment {
+    if let Some(d) = &a.degradation {
+        stats.degradation.record(d);
+    }
+    if let Some(lb) = a.lower_bound {
+        if lb.is_nan() {
+            a.lower_bound = Some(f64::NEG_INFINITY);
+            stats.degradation.rejected_bounds += 1;
+        }
+    }
+    if let Some((point, cost)) = &a.candidate {
+        if !cost.is_finite() || point.iter().any(|v| !v.is_finite()) {
+            a.candidate = None;
+            stats.degradation.rejected_candidates += 1;
+        }
+    }
+    a
 }
 
 fn adopt_candidate(

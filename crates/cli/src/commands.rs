@@ -5,7 +5,7 @@
 //! process boundary. The binary's `main` only does I/O.
 
 use crate::{args::ParsedArgs, csv, CliError, Result};
-use ldafp_core::{eval, FixedPointClassifier, LdaFpConfig, LdaFpTrainer, LdaModel};
+use ldafp_core::{eval, FixedPointClassifier, LdaFpConfig, LdaFpTrainer, LdaModel, TrainingOutcome};
 use ldafp_datasets::BinaryDataset;
 use ldafp_hwmodel::power::MacPowerModel;
 use ldafp_hwmodel::rtl::{generate_verilog, RtlConfig};
@@ -27,16 +27,34 @@ pub struct ModelDocument {
     pub fisher_cost: Option<f64>,
     /// Training-set error at save time.
     pub training_error: f64,
+    /// How the LDA-FP search ended (certified / budget-exhausted /
+    /// degraded / fallback-rounded). `None` for the rounded baseline and
+    /// for documents written by older versions of this tool.
+    #[serde(default)]
+    pub outcome: Option<TrainingOutcome>,
+}
+
+/// Maps a training outcome to the process exit code contract:
+/// `0` certified, `2` budget-exhausted or degraded, `3` fallback-rounded.
+/// (Exit code `1` is reserved for hard errors.)
+#[must_use]
+pub fn exit_code(outcome: &TrainingOutcome) -> u8 {
+    match outcome {
+        TrainingOutcome::Certified => 0,
+        TrainingOutcome::BudgetExhausted | TrainingOutcome::Degraded { .. } => 2,
+        TrainingOutcome::FallbackRounded => 3,
+    }
 }
 
 /// `ldafp train --data <csv> --bits <n> [--k <n>] [--rho <p>] [--baseline]
-/// [--budget-secs <n>] [--quick]` — trains a classifier and returns the
-/// model document as JSON.
+/// [--budget-secs <n>] [--max-solver-retries <n>] [--quick]` — trains a
+/// classifier and returns the model document as JSON plus the training
+/// outcome (`None` for the baseline, which involves no search).
 ///
 /// # Errors
 ///
 /// Propagates CSV, argument and training failures.
-pub fn train(args: &ParsedArgs, csv_text: &str) -> Result<String> {
+pub fn train(args: &ParsedArgs, csv_text: &str) -> Result<(String, Option<TrainingOutcome>)> {
     let data = csv::parse(csv_text)?;
     let bits: u32 = args.get_parsed("bits", 8)?;
     let max_k: u32 = args.get_parsed("k", 4)?;
@@ -46,9 +64,9 @@ pub fn train(args: &ParsedArgs, csv_text: &str) -> Result<String> {
         return Err(CliError(format!("--bits must be in 1..=31, got {bits}")));
     }
 
-    let (algorithm, classifier, fisher_cost) = if args.has_flag("baseline") {
+    let (algorithm, classifier, fisher_cost, outcome) = if args.has_flag("baseline") {
         let (clf, _format) = eval::quantized_lda_auto(&data, bits, max_k)?;
-        ("lda-rounded".to_string(), clf, None)
+        ("lda-rounded".to_string(), clf, None, None)
     } else {
         let mut cfg = if args.has_flag("quick") {
             LdaFpConfig::fast()
@@ -57,12 +75,14 @@ pub fn train(args: &ParsedArgs, csv_text: &str) -> Result<String> {
         };
         cfg.rho = rho;
         cfg.bnb.time_budget = Some(Duration::from_secs(budget_secs));
+        apply_recovery_args(args, &mut cfg)?;
         let trainer = LdaFpTrainer::new(cfg);
         let (model, _format) = trainer.train_auto(&data, bits, max_k)?;
         (
             "lda-fp".to_string(),
             model.classifier().clone(),
             Some(model.fisher_cost()),
+            Some(model.outcome().clone()),
         )
     };
 
@@ -72,8 +92,17 @@ pub fn train(args: &ParsedArgs, csv_text: &str) -> Result<String> {
         algorithm,
         classifier,
         fisher_cost,
+        outcome: outcome.clone(),
     };
-    Ok(serde_json::to_string_pretty(&doc)?)
+    Ok((serde_json::to_string_pretty(&doc)?, outcome))
+}
+
+/// Threads `--max-solver-retries` into the recovery schedule. `0` disables
+/// the retry path entirely (failed relaxations degrade to trivial bounds
+/// immediately).
+fn apply_recovery_args(args: &ParsedArgs, cfg: &mut LdaFpConfig) -> Result<()> {
+    cfg.recovery.max_retries = args.get_parsed("max-solver-retries", cfg.recovery.max_retries)?;
+    Ok(())
 }
 
 /// `ldafp eval --model <json> --data <csv>` — classification report.
@@ -127,6 +156,9 @@ pub fn info(model_json: &str) -> Result<String> {
     out.push_str(&format!("training error: {:.2}%\n", 100.0 * doc.training_error));
     if let Some(j) = doc.fisher_cost {
         out.push_str(&format!("fisher cost: {j:.6}\n"));
+    }
+    if let Some(o) = &doc.outcome {
+        out.push_str(&format!("training outcome: {} — {}\n", o.label(), o.summary()));
     }
     out.push_str(&format!("threshold: {}\n", clf.threshold().to_f64()));
     out.push_str("weights:\n");
@@ -202,10 +234,12 @@ pub fn demo(args: &ParsedArgs) -> Result<String> {
          word length: {bits} bits (LDA-FP chose {format})\n\n\
          float LDA test error:        {:.2}%\n\
          rounded LDA test error:      {:.2}%\n\
-         LDA-FP test error:           {:.2}%\n",
+         LDA-FP test error:           {:.2}%\n\
+         training outcome:            {}\n",
         100.0 * float_error(&lda, &test_set),
         100.0 * eval::error_rate(&baseline, &test_set),
         100.0 * eval::error_rate(model.classifier(), &test_set),
+        model.outcome().label(),
     ))
 }
 
@@ -233,11 +267,12 @@ pub fn wordlength(args: &ParsedArgs, csv_text: &str) -> Result<String> {
             search.min_bits, search.max_bits
         )));
     }
-    let cfg = if args.has_flag("quick") {
+    let mut cfg = if args.has_flag("quick") {
         LdaFpConfig::fast()
     } else {
         LdaFpConfig::default()
     };
+    apply_recovery_args(args, &mut cfg)?;
     let trainer = LdaFpTrainer::new(cfg);
 
     let pm = MacPowerModel::default();
@@ -308,8 +343,8 @@ mod tests {
         ParsedArgs::parse(
             raw.iter().copied(),
             &[
-                "data", "bits", "k", "rho", "budget-secs", "module", "model", "out",
-                "target", "min-bits", "max-bits",
+                "data", "bits", "k", "rho", "budget-secs", "max-solver-retries", "module",
+                "model", "out", "target", "min-bits", "max-bits",
             ],
             &["baseline", "quick", "testbench"],
         )
@@ -319,11 +354,14 @@ mod tests {
     #[test]
     fn train_eval_info_roundtrip() {
         let csv_text = easy_csv();
-        let model_json = train(&parsed(&["--bits", "6", "--quick"]), &csv_text).unwrap();
+        let (model_json, outcome) =
+            train(&parsed(&["--bits", "6", "--quick"]), &csv_text).unwrap();
         let doc: ModelDocument = serde_json::from_str(&model_json).unwrap();
         assert_eq!(doc.algorithm, "lda-fp");
         assert_eq!(doc.classifier.word_length(), 6);
         assert!(doc.training_error <= 0.1, "error {}", doc.training_error);
+        assert_eq!(doc.outcome, outcome);
+        assert!(outcome.is_some(), "lda-fp training must report an outcome");
 
         let report = eval_cmd(&model_json, &csv_text).unwrap();
         assert!(report.contains("error rate"), "{report}");
@@ -331,19 +369,59 @@ mod tests {
         let summary = info(&model_json).unwrap();
         assert!(summary.contains("lda-fp model"), "{summary}");
         assert!(summary.contains("w[  0]"), "{summary}");
+        assert!(summary.contains("training outcome:"), "{summary}");
     }
 
     #[test]
     fn baseline_flag_trains_rounded_lda() {
-        let model_json = train(&parsed(&["--bits", "8", "--baseline"]), &easy_csv()).unwrap();
+        let (model_json, outcome) =
+            train(&parsed(&["--bits", "8", "--baseline"]), &easy_csv()).unwrap();
         let doc: ModelDocument = serde_json::from_str(&model_json).unwrap();
         assert_eq!(doc.algorithm, "lda-rounded");
         assert!(doc.fisher_cost.is_none());
+        assert!(outcome.is_none(), "baseline has no search outcome");
+    }
+
+    #[test]
+    fn train_accepts_max_solver_retries() {
+        let (model_json, _) = train(
+            &parsed(&["--bits", "6", "--quick", "--max-solver-retries", "0"]),
+            &easy_csv(),
+        )
+        .unwrap();
+        let doc: ModelDocument = serde_json::from_str(&model_json).unwrap();
+        assert_eq!(doc.algorithm, "lda-fp");
+    }
+
+    #[test]
+    fn exit_codes_distinguish_outcomes() {
+        assert_eq!(exit_code(&TrainingOutcome::Certified), 0);
+        assert_eq!(exit_code(&TrainingOutcome::BudgetExhausted), 2);
+        assert_eq!(
+            exit_code(&TrainingOutcome::Degraded {
+                recovered_solves: 1,
+                trivial_bounds: 0,
+                suspect_infeasible: 0,
+                uncertified_rescale: false,
+            }),
+            2
+        );
+        assert_eq!(exit_code(&TrainingOutcome::FallbackRounded), 3);
+    }
+
+    #[test]
+    fn model_document_without_outcome_field_still_parses() {
+        // Documents written before the outcome field existed must load.
+        let (model_json, _) = train(&parsed(&["--bits", "6", "--quick"]), &easy_csv()).unwrap();
+        let mut value: serde_json::Value = serde_json::from_str(&model_json).unwrap();
+        value.as_object_mut().unwrap().remove("outcome");
+        let doc: ModelDocument = serde_json::from_value(value).unwrap();
+        assert!(doc.outcome.is_none());
     }
 
     #[test]
     fn export_rtl_produces_verilog() {
-        let model_json = train(&parsed(&["--bits", "6", "--quick"]), &easy_csv()).unwrap();
+        let (model_json, _) = train(&parsed(&["--bits", "6", "--quick"]), &easy_csv()).unwrap();
         let v = export_rtl(&parsed(&["--module", "demo_clf", "--testbench"]), &model_json)
             .unwrap();
         assert!(v.contains("module demo_clf ("), "{v}");
@@ -352,7 +430,7 @@ mod tests {
 
     #[test]
     fn eval_rejects_feature_mismatch() {
-        let model_json = train(&parsed(&["--bits", "6", "--quick"]), &easy_csv()).unwrap();
+        let (model_json, _) = train(&parsed(&["--bits", "6", "--quick"]), &easy_csv()).unwrap();
         let err = eval_cmd(&model_json, "0.1,0.2,0.3,A\n0.2,0.1,0.0,B\n").unwrap_err();
         assert!(err.0.contains("features"), "{}", err.0);
     }

@@ -43,9 +43,19 @@ pub fn parse(text: &str) -> Result<BinaryDataset> {
 
         let mut features = Vec::with_capacity(feature_fields.len());
         for f in feature_fields {
-            features.push(f.parse::<f64>().map_err(|_| {
+            let v = f.parse::<f64>().map_err(|_| {
                 CliError(format!("line {}: '{}' is not a number", lineno + 1, f))
-            })?);
+            })?;
+            // `"NaN".parse::<f64>()` succeeds, so finiteness needs its own
+            // check — non-finite features would poison the scatter moments.
+            if !v.is_finite() {
+                return Err(CliError(format!(
+                    "line {}: feature value '{}' is not finite — NaN and infinities are not valid training data",
+                    lineno + 1,
+                    f
+                )));
+            }
+            features.push(v);
         }
         match width {
             None => width = Some(features.len()),
@@ -83,8 +93,8 @@ pub fn parse(text: &str) -> Result<BinaryDataset> {
             "both classes need at least one sample (labels A/1 and B/0)".to_string(),
         ));
     }
-    BinaryDataset::new(to_matrix(rows_a), to_matrix(rows_b))
-        .ok_or_else(|| CliError("classes have inconsistent shapes".to_string()))
+    BinaryDataset::validated(to_matrix(rows_a), to_matrix(rows_b))
+        .map_err(|e| CliError(format!("invalid dataset: {e}")))
 }
 
 /// Serializes a dataset back to CSV (class A first, labels `A`/`B`).
@@ -142,6 +152,16 @@ mod tests {
         assert!(err.0.contains("not a number"), "{}", err.0);
         let err = parse("0.1,0.2,C\n").unwrap_err();
         assert!(err.0.contains("unknown label"), "{}", err.0);
+    }
+
+    #[test]
+    fn rejects_non_finite_values_with_line_numbers() {
+        for bad in ["NaN", "nan", "inf", "-inf", "Infinity"] {
+            let text = format!("0.1,0.2,A\n{bad},0.4,B\n");
+            let err = parse(&text).unwrap_err();
+            assert!(err.0.contains("line 2"), "{bad}: {}", err.0);
+            assert!(err.0.contains("not finite"), "{bad}: {}", err.0);
+        }
     }
 
     #[test]

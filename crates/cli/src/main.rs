@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! ldafp train      --data train.csv --bits 6 [--k 4] [--rho 0.99]
-//!                  [--baseline] [--quick] [--budget-secs 30] [--out model.json]
+//!                  [--baseline] [--quick] [--budget-secs 30]
+//!                  [--max-solver-retries 3] [--out model.json]
 //! ldafp eval       --model model.json --data test.csv
 //! ldafp info       --model model.json
 //! ldafp export-rtl --model model.json [--module name] [--testbench] [--out clf.v]
@@ -13,6 +14,11 @@
 //! CSV format: one sample per line, comma-separated features, last column
 //! is the label (`A`/`B`, `0`/`1` or `-1`/`1`). `#` comments and a header
 //! row are allowed.
+//!
+//! Exit codes: `0` success (for `train`: certified optimum), `1` hard
+//! error, `2` training finished but degraded or budget-exhausted (the
+//! model is usable, the optimality proof is not), `3` training deployed
+//! the rounded float-LDA fallback because the search found no incumbent.
 
 use ldafp_cli::args::ParsedArgs;
 use ldafp_cli::{commands, CliError};
@@ -23,9 +29,9 @@ run `ldafp help` or see the crate docs for the option list";
 
 fn main() -> ExitCode {
     match run() {
-        Ok(output) => {
+        Ok((output, code)) => {
             print!("{output}");
-            ExitCode::SUCCESS
+            ExitCode::from(code)
         }
         Err(e) => {
             eprintln!("ldafp: {e}");
@@ -34,13 +40,13 @@ fn main() -> ExitCode {
     }
 }
 
-fn run() -> ldafp_cli::Result<String> {
+fn run() -> ldafp_cli::Result<(String, u8)> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let args = ParsedArgs::parse(
         raw,
         &[
-            "data", "bits", "k", "rho", "budget-secs", "module", "model", "out",
-            "target", "min-bits", "max-bits",
+            "data", "bits", "k", "rho", "budget-secs", "max-solver-retries", "module",
+            "model", "out", "target", "min-bits", "max-bits",
         ],
         &["baseline", "quick", "testbench"],
     )?;
@@ -50,13 +56,20 @@ fn run() -> ldafp_cli::Result<String> {
         .map(String::as_str)
         .unwrap_or("help");
 
+    let mut code = 0u8;
     let output = match command {
         "train" => {
             let data_path = args
                 .get("data")
                 .ok_or_else(|| CliError("train needs --data <csv>".to_string()))?;
             let csv_text = std::fs::read_to_string(data_path)?;
-            commands::train(&args, &csv_text)?
+            let (json, outcome) = commands::train(&args, &csv_text)?;
+            if let Some(o) = &outcome {
+                // Stderr, so piping / --out never mixes it into the JSON.
+                eprintln!("ldafp: training outcome: {} — {}", o.label(), o.summary());
+                code = commands::exit_code(o);
+            }
+            json
         }
         "eval" => {
             let model = read_required(&args, "model")?;
@@ -83,9 +96,9 @@ fn run() -> ldafp_cli::Result<String> {
     // --out redirects the payload to a file, leaving a confirmation on stdout.
     if let Some(path) = args.get("out") {
         std::fs::write(path, &output)?;
-        return Ok(format!("wrote {path}\n"));
+        return Ok((format!("wrote {path}\n"), code));
     }
-    Ok(output)
+    Ok((output, code))
 }
 
 fn read_required(args: &ParsedArgs, key: &str) -> ldafp_cli::Result<String> {

@@ -13,6 +13,14 @@ pub enum CoreError {
     /// The LDA-FP constraint set admits no fixed-point weight vector at all
     /// (every grid point violates the overflow constraints).
     NoFeasibleClassifier,
+    /// Every `QK.F` split tried by the automatic format search failed.
+    /// Each entry pairs the format label (e.g. `"Q2.3"`) with the error it
+    /// produced, so callers see the full picture instead of only the last
+    /// failure.
+    AutoFormatSearchFailed {
+        /// `(format label, error message)` per attempted split, in order.
+        failures: Vec<(String, String)>,
+    },
     /// A linear-algebra kernel failed.
     Linalg(ldafp_linalg::LinalgError),
     /// The convex relaxation solver failed.
@@ -32,6 +40,13 @@ impl fmt::Display for CoreError {
             }
             CoreError::NoFeasibleClassifier => {
                 write!(f, "no fixed-point weight vector satisfies the overflow constraints")
+            }
+            CoreError::AutoFormatSearchFailed { failures } => {
+                write!(f, "automatic format search failed for every split:")?;
+                for (fmt, err) in failures {
+                    write!(f, " [{fmt}: {err}]")?;
+                }
+                Ok(())
             }
             CoreError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
             CoreError::Solver(e) => write!(f, "solver failure: {e}"),

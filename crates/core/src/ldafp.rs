@@ -1,9 +1,14 @@
 use crate::{CoreError, FixedPointClassifier, LdaModel, Result, TrainingProblem};
-use ldafp_bnb::{BnbConfig, BnbStats, BoundingProblem, BoxNode, NodeAssessment};
+#[cfg(feature = "fault-injection")]
+use ldafp_bnb::{FaultKind, FaultPlan};
+use ldafp_bnb::{BnbConfig, BnbStats, BoundingProblem, BoxNode, NodeAssessment, NodeDegradation};
 use ldafp_datasets::BinaryDataset;
 use ldafp_fixedpoint::{QFormat, RoundingMode};
 use ldafp_linalg::vecops;
-use ldafp_solver::{SocpProblem, SolverConfig, SolverError};
+use ldafp_solver::{
+    error_kind, solve_with_recovery_checked, RecoveryConfig, SocpProblem, SolverConfig,
+    SolverError,
+};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
@@ -35,6 +40,12 @@ pub struct LdaFpConfig {
     pub bnb: BnbConfig,
     /// Interior-point solver tolerances for the node relaxations.
     pub solver: SolverConfig,
+    /// Retry schedule for node relaxations that fail numerically (Tikhonov
+    /// regularization, loosened tolerances, perturbed starts). Replaces the
+    /// old silent zero-bound fallback: failures are retried, recorded, and
+    /// surfaced in the [`TrainingOutcome`].
+    #[serde(default)]
+    pub recovery: RecoveryConfig,
     /// Seed the incumbent with a scaled-rounding sweep of the float LDA
     /// direction before searching.
     pub scaled_rounding: bool,
@@ -90,6 +101,7 @@ impl Default for LdaFpConfig {
                 tol: 1e-7,
                 ..SolverConfig::default()
             },
+            recovery: RecoveryConfig::default(),
             scaled_rounding: true,
             scaled_rounding_steps: 160,
             coordinate_polish: true,
@@ -123,6 +135,98 @@ impl LdaFpConfig {
     }
 }
 
+/// How a training run ended — every [`LdaFpModel`] carries one, so a
+/// certified optimum is never confused with a luckily-surviving incumbent.
+///
+/// Precedence (strongest label wins): [`FallbackRounded`] >
+/// [`Degraded`] > [`BudgetExhausted`] > [`Certified`].
+///
+/// [`FallbackRounded`]: TrainingOutcome::FallbackRounded
+/// [`Degraded`]: TrainingOutcome::Degraded
+/// [`BudgetExhausted`]: TrainingOutcome::BudgetExhausted
+/// [`Certified`]: TrainingOutcome::Certified
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TrainingOutcome {
+    /// Branch-and-bound proved global optimality of the deployed weights
+    /// (within the configured gaps) with every node solved cleanly.
+    Certified,
+    /// The search hit its node or time budget; the incumbent is the best
+    /// point found so far, with no optimality proof.
+    BudgetExhausted,
+    /// Training completed, but part of the search ran on a degraded path —
+    /// the incumbent is feasible and exact, the optimality evidence is not.
+    Degraded {
+        /// Node relaxations that succeeded only after the retry schedule.
+        recovered_solves: usize,
+        /// Node relaxations that fell back to the trivial `J ≥ 0` bound.
+        trivial_bounds: usize,
+        /// Infeasibility claims contradicted by a feasible grid probe.
+        suspect_infeasible: usize,
+        /// The empirically re-selected deployment scale has a different
+        /// Fisher cost than the search optimum, so the certificate does not
+        /// cover the deployed weights.
+        uncertified_rescale: bool,
+    },
+    /// The search produced no incumbent at all; the deployed classifier is
+    /// the float-LDA direction rounded onto the feasible `QK.F` grid — a
+    /// labeled last resort, never an unlabeled answer.
+    FallbackRounded,
+}
+
+impl TrainingOutcome {
+    /// Whether this outcome carries a global-optimality certificate.
+    pub fn is_certified(&self) -> bool {
+        matches!(self, TrainingOutcome::Certified)
+    }
+
+    /// Stable lowercase label (used by CLI reports and exit codes).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrainingOutcome::Certified => "certified",
+            TrainingOutcome::BudgetExhausted => "budget-exhausted",
+            TrainingOutcome::Degraded { .. } => "degraded",
+            TrainingOutcome::FallbackRounded => "fallback-rounded",
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        match self {
+            TrainingOutcome::Certified => "certified global optimum".to_string(),
+            TrainingOutcome::BudgetExhausted => {
+                "search budget exhausted; incumbent returned without proof".to_string()
+            }
+            TrainingOutcome::Degraded {
+                recovered_solves,
+                trivial_bounds,
+                suspect_infeasible,
+                uncertified_rescale,
+            } => {
+                let mut parts = Vec::new();
+                if *recovered_solves > 0 {
+                    parts.push(format!("{recovered_solves} recovered solves"));
+                }
+                if *trivial_bounds > 0 {
+                    parts.push(format!("{trivial_bounds} trivial bounds"));
+                }
+                if *suspect_infeasible > 0 {
+                    parts.push(format!("{suspect_infeasible} suspect infeasibility claims"));
+                }
+                if *uncertified_rescale {
+                    parts.push("deployed scale differs from certified point".to_string());
+                }
+                if parts.is_empty() {
+                    parts.push("sanitized non-finite search data".to_string());
+                }
+                format!("degraded search: {}", parts.join(", "))
+            }
+            TrainingOutcome::FallbackRounded => {
+                "search found no incumbent; deployed rounded float-LDA fallback".to_string()
+            }
+        }
+    }
+}
+
 /// A trained LDA-FP model: the fixed-point classifier plus search
 /// provenance.
 #[derive(Debug, Clone)]
@@ -130,7 +234,7 @@ pub struct LdaFpModel {
     classifier: FixedPointClassifier,
     weights: Vec<f64>,
     fisher_cost: f64,
-    certified: bool,
+    outcome: TrainingOutcome,
     stats: BnbStats,
     elapsed: Duration,
 }
@@ -152,12 +256,18 @@ impl LdaFpModel {
     }
 
     /// Whether branch-and-bound proved global optimality (within the
-    /// configured gaps) rather than exhausting a budget.
+    /// configured gaps) rather than exhausting a budget or degrading.
     pub fn certified(&self) -> bool {
-        self.certified
+        self.outcome.is_certified()
     }
 
-    /// Branch-and-bound search statistics.
+    /// How the training run ended — certificate, budget, degradation or
+    /// fallback. See [`TrainingOutcome`].
+    pub fn outcome(&self) -> &TrainingOutcome {
+        &self.outcome
+    }
+
+    /// Branch-and-bound search statistics (including degradation counters).
     pub fn stats(&self) -> &BnbStats {
         &self.stats
     }
@@ -174,17 +284,34 @@ impl LdaFpModel {
 #[derive(Debug, Clone, Default)]
 pub struct LdaFpTrainer {
     config: LdaFpConfig,
+    /// Deterministic faults injected into node assessments (test harness).
+    #[cfg(feature = "fault-injection")]
+    fault: Option<FaultPlan>,
 }
 
 impl LdaFpTrainer {
     /// Creates a trainer with the given configuration.
     pub fn new(config: LdaFpConfig) -> Self {
-        LdaFpTrainer { config }
+        LdaFpTrainer {
+            config,
+            #[cfg(feature = "fault-injection")]
+            fault: None,
+        }
     }
 
     /// Borrow the configuration.
     pub fn config(&self) -> &LdaFpConfig {
         &self.config
+    }
+
+    /// Injects a deterministic [`FaultPlan`] into every node assessment of
+    /// subsequent training runs — the soundness-testing harness. Only
+    /// available with the `fault-injection` feature.
+    #[cfg(feature = "fault-injection")]
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
     }
 
     /// Trains a fixed-point classifier in the given format.
@@ -230,6 +357,10 @@ impl LdaFpTrainer {
         let mut node_problem = NodeProblem {
             tp: &tp,
             config: &self.config,
+            #[cfg(feature = "fault-injection")]
+            fault: self.fault.clone(),
+            #[cfg(feature = "fault-injection")]
+            next_node: 0,
         };
         let outcome = ldafp_bnb::solve_with_incumbent(
             &mut node_problem,
@@ -249,6 +380,22 @@ impl LdaFpTrainer {
             }
         }
 
+        // ---- Last-resort fallback ---------------------------------------
+        // The search and seeding found nothing. Before giving up, run a
+        // dense scaled-rounding sweep of the float-LDA direction (plus a
+        // polish pass): if *any* feasible grid point exists along that ray,
+        // training returns it — labeled `FallbackRounded`, never unlabeled.
+        let mut fellback = false;
+        if best.is_none() {
+            let steps = self.config.scaled_rounding_steps.max(320);
+            self.scaled_rounding_sweep_with_steps(&tp, lda.weights(), steps, &mut best);
+            if let Some((w, _)) = best.clone() {
+                let polished = self.polish(&tp, w);
+                self.consider(&tp, &polished, &mut best);
+            }
+            fellback = best.is_some();
+        }
+
         let (weights, fisher_cost) = best.ok_or(CoreError::NoFeasibleClassifier)?;
         let search_optimum_cost = fisher_cost;
         let (weights, fisher_cost) = if self.config.empirical_scale_selection {
@@ -259,8 +406,22 @@ impl LdaFpTrainer {
         // A certificate covers the Fisher-cost optimum of formulation (21);
         // if empirical selection deploys a different-cost scaling, the
         // deployed model is no longer the certified point.
-        let certified =
-            outcome.certified && (fisher_cost - search_optimum_cost).abs() <= 1e-12;
+        let uncertified_rescale = (fisher_cost - search_optimum_cost).abs() > 1e-12;
+        let degradation = &outcome.stats.degradation;
+        let training_outcome = if fellback {
+            TrainingOutcome::FallbackRounded
+        } else if !degradation.is_clean() || uncertified_rescale {
+            TrainingOutcome::Degraded {
+                recovered_solves: degradation.recovered_solves,
+                trivial_bounds: degradation.trivial_bounds,
+                suspect_infeasible: degradation.suspect_infeasible,
+                uncertified_rescale,
+            }
+        } else if !outcome.certified {
+            TrainingOutcome::BudgetExhausted
+        } else {
+            TrainingOutcome::Certified
+        };
         let threshold = if self.config.empirical_threshold_selection {
             self.select_threshold_by_training_error(&tp, data, &weights)?
         } else {
@@ -271,7 +432,7 @@ impl LdaFpTrainer {
             classifier,
             weights,
             fisher_cost,
-            certified,
+            outcome: training_outcome,
             stats: outcome.stats,
             elapsed: start.elapsed(),
         })
@@ -304,7 +465,9 @@ impl LdaFpTrainer {
     ///
     /// # Errors
     ///
-    /// Returns the last per-format error if every split fails.
+    /// When every split fails, returns
+    /// [`CoreError::AutoFormatSearchFailed`] aggregating each format's
+    /// failure (not just the last one).
     pub fn train_auto(
         &self,
         data: &BinaryDataset,
@@ -312,7 +475,7 @@ impl LdaFpTrainer {
         max_k: u32,
     ) -> Result<(LdaFpModel, QFormat)> {
         let mut best: Option<(LdaFpModel, QFormat, f64)> = None;
-        let mut last_err: Option<CoreError> = None;
+        let mut failures: Vec<(String, String)> = Vec::new();
         for k in 1..=max_k.min(word_length) {
             let Ok(format) = QFormat::new(k, word_length - k) else {
                 continue;
@@ -331,12 +494,13 @@ impl LdaFpTrainer {
                         best = Some((model, format, err));
                     }
                 }
-                Err(e) => last_err = Some(e),
+                Err(e) => failures.push((format.to_string(), e.to_string())),
             }
         }
         match best {
             Some((model, format, _)) => Ok((model, format)),
-            None => Err(last_err.unwrap_or(CoreError::NoFeasibleClassifier)),
+            None if failures.is_empty() => Err(CoreError::NoFeasibleClassifier),
+            None => Err(CoreError::AutoFormatSearchFailed { failures }),
         }
     }
 
@@ -362,6 +526,23 @@ impl LdaFpTrainer {
         unit_w: &[f64],
         best: &mut Option<(Vec<f64>, f64)>,
     ) {
+        self.scaled_rounding_sweep_with_steps(
+            tp,
+            unit_w,
+            self.config.scaled_rounding_steps,
+            best,
+        );
+    }
+
+    /// [`Self::scaled_rounding_sweep`] with an explicit step count (the
+    /// fallback path sweeps denser than the configured seeding).
+    fn scaled_rounding_sweep_with_steps(
+        &self,
+        tp: &TrainingProblem,
+        unit_w: &[f64],
+        steps: usize,
+        best: &mut Option<(Vec<f64>, f64)>,
+    ) {
         let format = tp.format();
         let max_abs = vecops::norm_inf(unit_w);
         if max_abs == 0.0 {
@@ -372,7 +553,7 @@ impl LdaFpTrainer {
         if !(lambda_max > lambda_min && lambda_max.is_finite()) {
             return;
         }
-        let steps = self.config.scaled_rounding_steps.max(2);
+        let steps = steps.max(2);
         let ratio = (lambda_max / lambda_min).powf(1.0 / (steps - 1) as f64);
         let mut lambda = lambda_min;
         let mut prev: Option<Vec<f64>> = None;
@@ -562,11 +743,36 @@ impl LdaFpTrainer {
     }
 }
 
+/// `(lower bound, rounded candidate, degradation marker)` triple the node
+/// assessment paths produce before assembly into a [`NodeAssessment`].
+type AssessmentParts = (
+    Option<f64>,
+    Option<(Vec<f64>, f64)>,
+    Option<NodeDegradation>,
+);
+
+/// Result of probing an infeasibility claim against grid points in the
+/// box (see [`NodeProblem::feasibility_witness`]).
+enum Witness {
+    /// A grid point strictly inside the feasible region (with the solver's
+    /// own phase-I margin): the infeasibility claim is refuted.
+    Interior(Vec<f64>),
+    /// A grid point on the feasible boundary: consistent with "no strict
+    /// interior", but too valuable to discard with the pruned node.
+    Boundary(Vec<f64>),
+    /// No feasible grid point among the probes: the claim stands.
+    None,
+}
+
 /// The per-node bounding problem: the paper's eqs. 25–27 over one
 /// `(w, t)` box. Dimensions `0..M` are the weights, dimension `M` is `t`.
 struct NodeProblem<'a> {
     tp: &'a TrainingProblem,
     config: &'a LdaFpConfig,
+    #[cfg(feature = "fault-injection")]
+    fault: Option<FaultPlan>,
+    #[cfg(feature = "fault-injection")]
+    next_node: usize,
 }
 
 impl NodeProblem<'_> {
@@ -610,16 +816,16 @@ impl NodeProblem<'_> {
         }
     }
 
-    /// Builds and solves the relaxation (eq. 25) for the given box and
-    /// `η`, returning the solution if the box is feasible.
-    fn solve_relaxation(
+    /// Builds the relaxation (eq. 25) for the given box and `η`, returning
+    /// the problem plus the box-center warm start.
+    fn build_relaxation(
         &self,
         lo: &[f64],
         hi: &[f64],
         t_lo: f64,
         t_hi: f64,
         eta: f64,
-    ) -> std::result::Result<ldafp_solver::Solution, SolverError> {
+    ) -> std::result::Result<(SocpProblem, Vec<f64>), SolverError> {
         let m = self.tp.num_features();
         let d = &self.tp.moments().mean_diff;
         let mut p = SocpProblem::new(self.tp.moments().s_w.scaled(2.0 / eta), vec![0.0; m])?;
@@ -637,7 +843,90 @@ impl NodeProblem<'_> {
                 reason: "projection constraint construction failed".to_string(),
             })?;
         let center: Vec<f64> = lo.iter().zip(hi).map(|(&l, &h)| 0.5 * (l + h)).collect();
+        Ok((p, center))
+    }
+
+    /// Builds and solves the relaxation without the recovery path (used for
+    /// the optional second, candidate-only solve where errors are harmless).
+    fn solve_relaxation(
+        &self,
+        lo: &[f64],
+        hi: &[f64],
+        t_lo: f64,
+        t_hi: f64,
+        eta: f64,
+    ) -> std::result::Result<ldafp_solver::Solution, SolverError> {
+        let (p, center) = self.build_relaxation(lo, hi, t_lo, t_hi, eta)?;
         p.solve_from(Some(&center), &self.config.solver)
+    }
+
+    /// The trivial-bound degraded assessment used when the bound solve is
+    /// beyond recovery: `J ≥ 0` always holds, so a zero bound keeps the
+    /// search sound (never prunes the optimum), and the center-rounded
+    /// candidate keeps terminal boxes resolvable without a solver — a
+    /// terminal box pins a single grid point, so the incumbent survives.
+    fn degraded_assessment(
+        &self,
+        lo: &[f64],
+        hi: &[f64],
+        e: &SolverError,
+    ) -> AssessmentParts {
+        let center: Vec<f64> = lo.iter().zip(hi).map(|(&l, &h)| 0.5 * (l + h)).collect();
+        (
+            Some(0.0),
+            self.rounded_candidate(&center),
+            Some(NodeDegradation::TrivialBound {
+                error_kind: error_kind(e).to_string(),
+            }),
+        )
+    }
+
+    /// Distrust-but-verify probe for infeasibility claims: checks the
+    /// snapped box center and (for `M ≤ 6`) every box corner — all grid
+    /// points, since `lo`/`hi` are grid-snapped — against the relaxation's
+    /// own constraints.
+    ///
+    /// The solver's `Infeasible` asserts "no *strictly* feasible point
+    /// within the phase-I margin", so the two tiers mean different things:
+    /// a strictly interior probe point refutes the claim outright
+    /// ([`Witness::Interior`]); a boundary-feasible point is consistent
+    /// with it (thin boxes legitimately have no interior) but must not be
+    /// silently discarded by the prune ([`Witness::Boundary`]).
+    fn feasibility_witness(&self, p: &SocpProblem, lo: &[f64], hi: &[f64]) -> Witness {
+        let format = self.tp.format();
+        let m = lo.len();
+        let center: Vec<f64> = lo.iter().zip(hi).map(|(&l, &h)| 0.5 * (l + h)).collect();
+        let snapped: Vec<f64> = format
+            .round_slice_to_grid(&center, self.config.rounding)
+            .iter()
+            .zip(lo.iter().zip(hi))
+            .map(|(&v, (&l, &h))| v.clamp(l, h))
+            .collect();
+        let mut probes: Vec<Vec<f64>> = vec![snapped];
+        if m <= 6 {
+            for mask in 0u32..(1 << m) {
+                probes.push(
+                    (0..m)
+                        .map(|d| if mask >> d & 1 == 1 { hi[d] } else { lo[d] })
+                        .collect(),
+                );
+            }
+        }
+        let margin = self.config.solver.feasibility_margin;
+        let mut boundary = None;
+        for w in probes {
+            let violation = p.max_violation(&w);
+            if violation < -margin {
+                return Witness::Interior(w);
+            }
+            if violation <= 1e-9 && boundary.is_none() {
+                boundary = Some(w);
+            }
+        }
+        match boundary {
+            Some(w) => Witness::Boundary(w),
+            None => Witness::None,
+        }
     }
 
     /// Rounds a relaxation solution to the grid and returns it (oriented
@@ -660,6 +949,17 @@ impl NodeProblem<'_> {
 
 impl BoundingProblem for NodeProblem<'_> {
     fn assess(&mut self, node: &BoxNode) -> NodeAssessment {
+        // Deterministic fault injection (test harness): decide this node's
+        // fate before anything else so the node index is stable.
+        #[cfg(feature = "fault-injection")]
+        let fault = {
+            let index = self.next_node;
+            self.next_node += 1;
+            self.fault
+                .as_ref()
+                .and_then(|plan| plan.fault_for(index).map(|kind| (kind, plan.clone())))
+        };
+
         let Some((lo, hi)) = self.snapped_bounds(node) else {
             return NodeAssessment::infeasible();
         };
@@ -673,16 +973,101 @@ impl BoundingProblem for NodeProblem<'_> {
             return NodeAssessment::infeasible();
         }
 
-        let (lower_bound, mut candidate) = match self.solve_relaxation(&lo, &hi, t_lo, t_hi, eta) {
-            Ok(sol) => {
-                let cand = self.rounded_candidate(&sol.x);
-                (Some(sol.objective.max(0.0)), cand)
+        #[cfg(feature = "fault-injection")]
+        if let Some((FaultKind::Slow(d), _)) = &fault {
+            std::thread::sleep(*d);
+        }
+
+        // Per-attempt fault hook for the recovering solve path.
+        #[cfg(feature = "fault-injection")]
+        let inject = |attempt: usize| -> Option<SolverError> {
+            match &fault {
+                Some((FaultKind::Numerical, plan)) if plan.attempt_fails(attempt) => {
+                    Some(SolverError::NumericalFailure {
+                        reason: format!("injected fault (attempt {attempt})"),
+                    })
+                }
+                Some((FaultKind::Infeasible, _)) => {
+                    Some(SolverError::Infeasible { max_violation: 1.0 })
+                }
+                _ => None,
             }
-            Err(SolverError::Infeasible { .. }) => return NodeAssessment::infeasible(),
-            // Conservative on numerical trouble: J ≥ 0 always holds, so a
-            // zero bound keeps the search sound (never prunes the optimum).
-            Err(_) => (Some(0.0), None),
         };
+        #[cfg(not(feature = "fault-injection"))]
+        let inject = |_: usize| -> Option<SolverError> { None };
+
+        let (lower_bound, mut candidate, degradation) =
+            match self.build_relaxation(&lo, &hi, t_lo, t_hi, eta) {
+                Err(e) => self.degraded_assessment(&lo, &hi, &e),
+                Ok((p, center)) => {
+                    match solve_with_recovery_checked(
+                        &p,
+                        Some(&center),
+                        &self.config.solver,
+                        &self.config.recovery,
+                        inject,
+                    ) {
+                        Ok(rec) => {
+                            let cand = self.rounded_candidate(&rec.solution.x);
+                            // A clean solve's objective is the bound as
+                            // before. A recovered solve ran with loosened
+                            // tolerances and possibly a Tikhonov term
+                            // `½λ‖w‖²`, both of which can only *raise* the
+                            // reported objective — correct the bound down by
+                            // the duality-gap bound and the largest possible
+                            // regularization contribution over the box so it
+                            // stays a true lower bound.
+                            let mut bound = rec.solution.objective;
+                            if rec.recovered() {
+                                bound -= rec.solution.duality_gap_bound;
+                                if rec.lambda > 0.0 {
+                                    let max_norm_sq: f64 = lo
+                                        .iter()
+                                        .zip(&hi)
+                                        .map(|(&l, &h)| (l * l).max(h * h))
+                                        .sum();
+                                    bound -= 0.5 * rec.lambda * max_norm_sq;
+                                }
+                            }
+                            let deg = rec.recovered().then(|| NodeDegradation::Recovered {
+                                attempts: rec.attempts.len().saturating_sub(1),
+                                error_kind: rec
+                                    .attempts
+                                    .iter()
+                                    .find_map(|a| a.error_kind.clone())
+                                    .unwrap_or_else(|| "numerical-failure".to_string()),
+                            });
+                            (Some(bound.max(0.0)), cand, deg)
+                        }
+                        Err(SolverError::Infeasible { .. }) => {
+                            // Infeasibility prunes unconditionally, so the
+                            // claim is only honored when no grid probe in
+                            // the box contradicts it.
+                            match self.feasibility_witness(&p, &lo, &hi) {
+                                Witness::None => return NodeAssessment::infeasible(),
+                                Witness::Boundary(witness) => {
+                                    // "No strict interior" is consistent
+                                    // with a feasible boundary grid point,
+                                    // so the claim is honored as far as the
+                                    // *relaxation* goes — but pruning would
+                                    // discard that grid point, so the node
+                                    // keeps the trivial bound and splits
+                                    // down to enumerable leaves instead.
+                                    // Sound and exact, hence not a
+                                    // degradation.
+                                    (Some(0.0), self.rounded_candidate(&witness), None)
+                                }
+                                Witness::Interior(witness) => (
+                                    Some(0.0),
+                                    self.rounded_candidate(&witness),
+                                    Some(NodeDegradation::SuspectInfeasible),
+                                ),
+                            }
+                        }
+                        Err(e) => self.degraded_assessment(&lo, &hi, &e),
+                    }
+                }
+            };
 
         // Optional second solve with η = inf t² (eq. 27) for a stronger
         // rounded candidate.
@@ -707,6 +1092,7 @@ impl BoundingProblem for NodeProblem<'_> {
         NodeAssessment {
             lower_bound,
             candidate,
+            degradation,
         }
     }
 
@@ -933,5 +1319,74 @@ mod tests {
         let full = LdaFpConfig::default();
         assert!(fast.bnb.max_nodes < full.bnb.max_nodes);
         assert!(!fast.upper_bound_solve);
+    }
+
+    #[test]
+    fn outcome_labels_are_stable() {
+        assert_eq!(TrainingOutcome::Certified.label(), "certified");
+        assert_eq!(TrainingOutcome::BudgetExhausted.label(), "budget-exhausted");
+        let degraded = TrainingOutcome::Degraded {
+            recovered_solves: 2,
+            trivial_bounds: 1,
+            suspect_infeasible: 0,
+            uncertified_rescale: false,
+        };
+        assert_eq!(degraded.label(), "degraded");
+        assert!(degraded.summary().contains("2 recovered solves"));
+        assert!(degraded.summary().contains("1 trivial bounds"));
+        assert_eq!(TrainingOutcome::FallbackRounded.label(), "fallback-rounded");
+        assert!(TrainingOutcome::Certified.is_certified());
+        assert!(!degraded.is_certified());
+    }
+
+    #[test]
+    fn model_outcome_consistent_with_certified() {
+        let trainer = LdaFpTrainer::new(LdaFpConfig::fast());
+        let model = trainer.train(&easy_data(), QFormat::new(2, 2).unwrap()).unwrap();
+        assert_eq!(model.certified(), model.outcome().is_certified());
+        // A clean training run on easy data never needs the fallback.
+        assert_ne!(model.outcome(), &TrainingOutcome::FallbackRounded);
+    }
+
+    #[test]
+    fn tight_budget_reports_budget_exhausted() {
+        let mut cfg = LdaFpConfig::fast();
+        cfg.bnb.max_nodes = 2;
+        cfg.bnb.absolute_gap = 0.0;
+        cfg.bnb.relative_gap = 0.0;
+        let trainer = LdaFpTrainer::new(cfg);
+        // A large grid the search cannot exhaust in 2 nodes with zero gaps.
+        let model = trainer.train(&easy_data(), QFormat::new(2, 6).unwrap()).unwrap();
+        assert!(!model.certified());
+        assert!(matches!(
+            model.outcome(),
+            TrainingOutcome::BudgetExhausted | TrainingOutcome::Degraded { .. }
+        ));
+    }
+
+    #[test]
+    fn auto_format_failure_aggregates_per_format_errors() {
+        // Identical classes: zero mean difference, every split must fail.
+        let rows = Matrix::from_rows(&[&[0.5, 0.5], &[0.25, 0.25], &[0.5, 0.25]]).unwrap();
+        let data = BinaryDataset::new(rows.clone(), rows).unwrap();
+        let trainer = LdaFpTrainer::new(LdaFpConfig::fast());
+        let err = trainer.train_auto(&data, 6, 3).unwrap_err();
+        match err {
+            CoreError::AutoFormatSearchFailed { failures } => {
+                assert!(failures.len() >= 2, "expected every split recorded, got {failures:?}");
+                // Each entry names its format.
+                assert!(failures.iter().all(|(f, _)| f.starts_with('Q')));
+            }
+            other => panic!("expected AutoFormatSearchFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn config_serde_roundtrip_includes_recovery() {
+        let cfg = LdaFpConfig::default();
+        let json = serde_json::to_string(&cfg).unwrap();
+        assert!(json.contains("max_retries"));
+        let back: LdaFpConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
     }
 }

@@ -64,7 +64,7 @@ pub mod wordlength;
 pub use classifier::FixedPointClassifier;
 pub use error::CoreError;
 pub use lda::LdaModel;
-pub use ldafp::{FormatPolicy, LdaFpConfig, LdaFpModel, LdaFpTrainer};
+pub use ldafp::{FormatPolicy, LdaFpConfig, LdaFpModel, LdaFpTrainer, TrainingOutcome};
 pub use problem::TrainingProblem;
 
 /// Convenience alias for results returned by this crate.

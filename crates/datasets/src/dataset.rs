@@ -1,6 +1,58 @@
 use ldafp_linalg::Matrix;
 use ldafp_stats::KFoldSplit;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a [`BinaryDataset`] could not be constructed. Every variant carries
+/// enough location detail for the message to be actionable at the data
+/// boundary (CSV loaders, generators, FFI).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DatasetError {
+    /// The two classes disagree on the number of features.
+    ShapeMismatch {
+        /// Feature count of class A.
+        a_cols: usize,
+        /// Feature count of class B.
+        b_cols: usize,
+    },
+    /// A class has no samples.
+    EmptyClass {
+        /// The empty class.
+        class: ClassLabel,
+    },
+    /// A feature value is NaN or infinite.
+    NonFiniteFeature {
+        /// Class containing the bad value.
+        class: ClassLabel,
+        /// Zero-based row within the class.
+        row: usize,
+        /// Zero-based feature column.
+        col: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::ShapeMismatch { a_cols, b_cols } => write!(
+                f,
+                "classes disagree on feature count: class A has {a_cols} features, class B has {b_cols}"
+            ),
+            DatasetError::EmptyClass { class } => {
+                write!(f, "class {class:?} has no samples; both classes need at least one")
+            }
+            DatasetError::NonFiniteFeature { class, row, col, value } => write!(
+                f,
+                "class {class:?} sample {row}, feature {col} is {value} — feature values must be finite"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
 
 /// Which of the two classes a sample belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -22,14 +74,43 @@ pub struct BinaryDataset {
 }
 
 impl BinaryDataset {
-    /// Creates a dataset, validating that both classes share a feature count.
+    /// Creates a dataset, validating that both classes share a feature
+    /// count, neither class is empty, and every feature value is finite.
     ///
-    /// Returns `None` when feature counts differ or either class is empty.
+    /// Returns `None` on any violation; use [`Self::validated`] when the
+    /// caller needs to know *which* check failed.
     pub fn new(class_a: Matrix, class_b: Matrix) -> Option<Self> {
-        if class_a.cols() != class_b.cols() || class_a.rows() == 0 || class_b.rows() == 0 {
-            return None;
+        Self::validated(class_a, class_b).ok()
+    }
+
+    /// Like [`Self::new`], but reports the specific violation: shape
+    /// mismatch, empty class, or the exact location of a NaN/infinite
+    /// feature value.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DatasetError`] found (shapes, then emptiness,
+    /// then finiteness, scanning class A before class B).
+    pub fn validated(class_a: Matrix, class_b: Matrix) -> Result<Self, DatasetError> {
+        if class_a.cols() != class_b.cols() {
+            return Err(DatasetError::ShapeMismatch {
+                a_cols: class_a.cols(),
+                b_cols: class_b.cols(),
+            });
         }
-        Some(BinaryDataset { class_a, class_b })
+        for (m, class) in [(&class_a, ClassLabel::A), (&class_b, ClassLabel::B)] {
+            if m.rows() == 0 {
+                return Err(DatasetError::EmptyClass { class });
+            }
+            for row in 0..m.rows() {
+                for (col, &value) in m.row(row).iter().enumerate() {
+                    if !value.is_finite() {
+                        return Err(DatasetError::NonFiniteFeature { class, row, col, value });
+                    }
+                }
+            }
+        }
+        Ok(BinaryDataset { class_a, class_b })
     }
 
     /// Number of features `M`.
@@ -153,6 +234,53 @@ mod tests {
         assert!(BinaryDataset::new(a.clone(), b).is_none());
         assert!(BinaryDataset::new(a.clone(), Matrix::zeros(0, 3)).is_none());
         assert!(BinaryDataset::new(a.clone(), a).is_some());
+    }
+
+    #[test]
+    fn validated_reports_shape_mismatch() {
+        let err = BinaryDataset::validated(Matrix::zeros(2, 3), Matrix::zeros(2, 4)).unwrap_err();
+        assert_eq!(err, DatasetError::ShapeMismatch { a_cols: 3, b_cols: 4 });
+        assert!(err.to_string().contains("feature count"));
+    }
+
+    #[test]
+    fn validated_reports_empty_class() {
+        let err = BinaryDataset::validated(Matrix::zeros(0, 3), Matrix::zeros(2, 3)).unwrap_err();
+        assert_eq!(err, DatasetError::EmptyClass { class: ClassLabel::A });
+        let err = BinaryDataset::validated(Matrix::zeros(2, 3), Matrix::zeros(0, 3)).unwrap_err();
+        assert_eq!(err, DatasetError::EmptyClass { class: ClassLabel::B });
+        assert!(err.to_string().contains("no samples"));
+    }
+
+    #[test]
+    fn validated_reports_non_finite_location() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, f64::NAN]]).unwrap();
+        let b = Matrix::from_rows(&[&[0.0, 0.0]]).unwrap();
+        let err = BinaryDataset::validated(a, b).unwrap_err();
+        match err {
+            DatasetError::NonFiniteFeature { class, row, col, value } => {
+                assert_eq!(class, ClassLabel::A);
+                assert_eq!((row, col), (1, 1));
+                assert!(value.is_nan());
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[0.0, f64::INFINITY]]).unwrap();
+        let err = BinaryDataset::validated(a, b).unwrap_err();
+        assert!(matches!(
+            err,
+            DatasetError::NonFiniteFeature { class: ClassLabel::B, row: 0, col: 1, .. }
+        ));
+        assert!(err.to_string().contains("must be finite"));
+    }
+
+    #[test]
+    fn new_rejects_non_finite_features() {
+        let a = Matrix::from_rows(&[&[1.0, f64::NEG_INFINITY]]).unwrap();
+        let b = Matrix::from_rows(&[&[0.0, 0.0]]).unwrap();
+        assert!(BinaryDataset::new(a, b).is_none());
     }
 
     #[test]

@@ -22,4 +22,4 @@ pub mod demo2d;
 pub mod multiclass;
 pub mod synthetic;
 
-pub use dataset::{BinaryDataset, ClassLabel};
+pub use dataset::{BinaryDataset, ClassLabel, DatasetError};

@@ -50,9 +50,14 @@ mod barrier;
 mod error;
 mod phase1;
 mod problem;
+mod recovery;
 
 pub use error::SolverError;
 pub use problem::{KktReport, LinearConstraint, SocConstraint, SocpProblem, Solution, SolverConfig};
+pub use recovery::{
+    error_kind, is_recoverable, solve_with_recovery, solve_with_recovery_checked,
+    RecoveredSolution, RecoveryAttempt, RecoveryConfig,
+};
 
 /// Convenience alias for results returned by this crate.
 pub type Result<T> = std::result::Result<T, SolverError>;

@@ -173,6 +173,24 @@ impl SocpProblem {
         self.n
     }
 
+    /// A copy of the problem with `Q + λI` as its quadratic term — the
+    /// Tikhonov-regularized problem used by the recovering solve path.
+    /// The regularized objective dominates the original by exactly
+    /// `½·λ·‖x‖²`, which callers deriving lower bounds must subtract.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lambda` is negative or non-finite.
+    pub fn regularized(&self, lambda: f64) -> SocpProblem {
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "Tikhonov weight must be finite and non-negative, got {lambda}"
+        );
+        let mut p = self.clone();
+        p.q.add_ridge(lambda).expect("square by construction");
+        p
+    }
+
     /// Number of constraints (linear + cone).
     pub fn num_constraints(&self) -> usize {
         self.linear.len() + self.soc.len()

@@ -1,0 +1,466 @@
+//! Solve-path recovery: escalating retries for transient numerical failure.
+//!
+//! The barrier method can stall on extremely ill-conditioned relaxations
+//! (nearly singular scatter matrices, boxes squeezed to a sliver, `η` close
+//! to zero). Branch-and-bound used to paper over such failures with a
+//! trivial lower bound, silently weakening the optimality certificate. This
+//! module instead retries the solve with an **escalating schedule** before
+//! giving up:
+//!
+//! 1. loosen the barrier tolerance (a coarse center is enough for a bound);
+//! 2. perturb the warm-start point (escapes starts that sit on a constraint
+//!    boundary where phase I stalls);
+//! 3. Tikhonov-regularize the objective (`Q + λI`) so the Newton systems
+//!    are well-conditioned.
+//!
+//! Every attempt is recorded in a [`RecoveryAttempt`] so callers can feed
+//! degradation accounting, and the λ of the successful attempt is reported
+//! so callers can *correct the bound*: the regularized objective satisfies
+//! `f_reg(x) = f(x) + ½λ‖x‖²`, hence over any region `X`
+//!
+//! ```text
+//! min_X f  ≥  min_X f_reg − ½·λ·max_X ‖x‖².
+//! ```
+//!
+//! The perturbation is deterministic (a hash of the attempt index), so a
+//! recovered search is exactly reproducible.
+
+use crate::{Result, SocpProblem, Solution, SolverConfig, SolverError};
+use serde::{Deserialize, Serialize};
+
+/// A solution obtained through the recovering solve path, together with the
+/// escalation trail that produced it.
+#[derive(Debug, Clone)]
+pub struct RecoveredSolution {
+    /// The solution of the (possibly regularized, loosened) solve.
+    pub solution: Solution,
+    /// Every attempt made, in order. Empty when the first solve succeeded.
+    pub attempts: Vec<RecoveryAttempt>,
+    /// Tikhonov weight of the successful attempt (0 = unregularized). When
+    /// nonzero, lower bounds derived from `solution.objective` must be
+    /// corrected downward by `½·λ·max_X ‖x‖²` over the region `X`.
+    pub lambda: f64,
+    /// Barrier tolerance of the successful attempt.
+    pub tol: f64,
+}
+
+impl RecoveredSolution {
+    /// Whether any retry was needed (i.e. the result is a *recovered* solve
+    /// and the search should be accounted as degraded).
+    pub fn recovered(&self) -> bool {
+        !self.attempts.is_empty()
+    }
+}
+
+/// Tuning knobs for [`solve_with_recovery`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryConfig {
+    /// Retry attempts after the initial solve (0 disables recovery).
+    pub max_retries: usize,
+    /// Barrier-tolerance multiplier applied per attempt (`tolᵢ = tol·rᶦ`).
+    pub tol_relax: f64,
+    /// Base Tikhonov weight, relative to the mean diagonal of `Q`.
+    /// Regularization starts at the second retry; the first retry only
+    /// loosens tolerances and perturbs the start.
+    pub tikhonov_base: f64,
+    /// Per-attempt growth of the Tikhonov weight.
+    pub tikhonov_growth: f64,
+    /// Relative magnitude of the deterministic warm-start perturbation.
+    pub perturb_scale: f64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            max_retries: 3,
+            tol_relax: 100.0,
+            tikhonov_base: 1e-8,
+            tikhonov_growth: 1e3,
+            perturb_scale: 1e-3,
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// A configuration with recovery disabled (fail on the first error).
+    pub fn disabled() -> Self {
+        RecoveryConfig {
+            max_retries: 0,
+            ..RecoveryConfig::default()
+        }
+    }
+
+    /// The escalation parameters of retry `attempt` (1-based) for a problem
+    /// whose `Q` has mean diagonal `q_scale`: `(tol_factor, lambda,
+    /// perturbation)`.
+    pub fn schedule(&self, attempt: usize, q_scale: f64) -> (f64, f64, f64) {
+        let tol_factor = self.tol_relax.powi(attempt as i32);
+        let lambda = if attempt >= 2 {
+            self.tikhonov_base * q_scale.max(1e-300) * self.tikhonov_growth.powi(attempt as i32 - 2)
+        } else {
+            0.0
+        };
+        let perturb = self.perturb_scale * attempt as f64;
+        (tol_factor, lambda, perturb)
+    }
+}
+
+/// One recovery attempt: what was escalated and how it ended.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryAttempt {
+    /// 1-based retry index.
+    pub attempt: usize,
+    /// Barrier tolerance used.
+    pub tol: f64,
+    /// Tikhonov weight added to the diagonal of `Q` (0 = none).
+    pub lambda: f64,
+    /// Relative warm-start perturbation applied (0 = none).
+    pub perturbation: f64,
+    /// Error message of the attempt, or `None` when it succeeded.
+    pub error: Option<String>,
+    /// Stable label of the attempt's error kind (see [`error_kind`]), or
+    /// `None` when it succeeded.
+    pub error_kind: Option<String>,
+}
+
+/// Solves `problem`, retrying per `recovery` on non-`Infeasible` failures.
+///
+/// Infeasibility is *not* retried: it is a phase-I certificate, not a
+/// numerical accident, and branch-and-bound must see it to prune.
+///
+/// # Errors
+///
+/// Returns the **last** attempt's error when the schedule is exhausted, or
+/// the original error for non-recoverable kinds ([`SolverError::Infeasible`],
+/// [`SolverError::InvalidProblem`]).
+pub fn solve_with_recovery(
+    problem: &SocpProblem,
+    x0: Option<&[f64]>,
+    config: &SolverConfig,
+    recovery: &RecoveryConfig,
+) -> Result<RecoveredSolution> {
+    solve_with_recovery_checked(problem, x0, config, recovery, |_| None)
+}
+
+/// Like [`solve_with_recovery`], with a fault hook for deterministic fault
+/// injection: `inject(attempt)` may return an error that replaces the real
+/// solve of that attempt (attempt 0 is the initial solve). Production
+/// callers pass a hook that always returns `None`; the fault-injection
+/// harness forces `NumericalFailure`/`Infeasible` at chosen attempts to
+/// exercise the schedule.
+///
+/// # Errors
+///
+/// Same contract as [`solve_with_recovery`].
+pub fn solve_with_recovery_checked(
+    problem: &SocpProblem,
+    x0: Option<&[f64]>,
+    config: &SolverConfig,
+    recovery: &RecoveryConfig,
+    mut inject: impl FnMut(usize) -> Option<SolverError>,
+) -> Result<RecoveredSolution> {
+    let run = |p: &SocpProblem, start: Option<&[f64]>, cfg: &SolverConfig, attempt: usize,
+               inject: &mut dyn FnMut(usize) -> Option<SolverError>| {
+        match inject(attempt) {
+            Some(e) => Err(e),
+            None => p.solve_from(start, cfg),
+        }
+    };
+
+    // Attempt 0: the unmodified problem.
+    let first = run(problem, x0, config, 0, &mut inject);
+    let first_err = match first {
+        Ok(solution) => {
+            return Ok(RecoveredSolution {
+                solution,
+                attempts: Vec::new(),
+                lambda: 0.0,
+                tol: config.tol,
+            })
+        }
+        Err(e) if !is_recoverable(&e) => return Err(e),
+        Err(e) => e,
+    };
+
+    let q_scale = mean_diagonal(problem);
+    let mut attempts: Vec<RecoveryAttempt> = vec![RecoveryAttempt {
+        attempt: 0,
+        tol: config.tol,
+        lambda: 0.0,
+        perturbation: 0.0,
+        error: Some(first_err.to_string()),
+        error_kind: Some(error_kind(&first_err).to_string()),
+    }];
+    let mut last_err = first_err;
+
+    for attempt in 1..=recovery.max_retries {
+        let (tol_factor, lambda, perturbation) = recovery.schedule(attempt, q_scale);
+        let cfg = SolverConfig {
+            tol: config.tol * tol_factor,
+            newton_tol: config.newton_tol * tol_factor,
+            ..config.clone()
+        };
+        let regularized;
+        let p = if lambda > 0.0 {
+            regularized = problem.regularized(lambda);
+            &regularized
+        } else {
+            problem
+        };
+        let perturbed = x0.map(|x| perturb_start(x, perturbation, attempt));
+        let result = run(p, perturbed.as_deref(), &cfg, attempt, &mut inject);
+        match result {
+            Ok(solution) => {
+                attempts.push(RecoveryAttempt {
+                    attempt,
+                    tol: cfg.tol,
+                    lambda,
+                    perturbation,
+                    error: None,
+                    error_kind: None,
+                });
+                return Ok(RecoveredSolution {
+                    solution,
+                    attempts,
+                    lambda,
+                    tol: cfg.tol,
+                });
+            }
+            Err(e) if !is_recoverable(&e) => return Err(e),
+            Err(e) => {
+                attempts.push(RecoveryAttempt {
+                    attempt,
+                    tol: cfg.tol,
+                    lambda,
+                    perturbation,
+                    error: Some(e.to_string()),
+                    error_kind: Some(error_kind(&e).to_string()),
+                });
+                last_err = e;
+            }
+        }
+    }
+    Err(last_err)
+}
+
+/// Whether an error is worth retrying: numerical stalls and linear-algebra
+/// failures are; infeasibility certificates and malformed problems are not.
+pub fn is_recoverable(e: &SolverError) -> bool {
+    matches!(
+        e,
+        SolverError::NumericalFailure { .. } | SolverError::Linalg(_)
+    )
+}
+
+/// A short, stable label for a solver error kind — the key used by
+/// degradation accounting histograms.
+pub fn error_kind(e: &SolverError) -> &'static str {
+    match e {
+        SolverError::InvalidProblem { .. } => "invalid-problem",
+        SolverError::Infeasible { .. } => "infeasible",
+        SolverError::NumericalFailure { .. } => "numerical-failure",
+        SolverError::Linalg(_) => "linalg",
+    }
+}
+
+fn mean_diagonal(p: &SocpProblem) -> f64 {
+    let q = p.q();
+    let n = q.rows().max(1);
+    q.diag().iter().map(|d| d.abs()).sum::<f64>() / n as f64
+}
+
+/// Deterministic warm-start perturbation: each coordinate moves by
+/// `scale · max(1, |xⱼ|) · uⱼ` with `uⱼ ∈ [−1, 1]` derived from a
+/// SplitMix64 hash of `(attempt, j)`.
+fn perturb_start(x: &[f64], scale: f64, attempt: usize) -> Vec<f64> {
+    if scale == 0.0 {
+        return x.to_vec();
+    }
+    x.iter()
+        .enumerate()
+        .map(|(j, &v)| {
+            let h = splitmix64((attempt as u64) << 32 ^ j as u64 ^ 0x9e37_79b9_7f4a_7c15);
+            // Map to [−1, 1].
+            let u = (h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0;
+            v + scale * v.abs().max(1.0) * u
+        })
+        .collect()
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldafp_linalg::Matrix;
+
+    /// minimize (x−2)² + (y−2)² s.t. x + y ≤ 2 → optimum (1, 1).
+    fn toy_problem() -> SocpProblem {
+        let mut p = SocpProblem::new(Matrix::identity(2).scaled(2.0), vec![-4.0, -4.0]).unwrap();
+        p.add_linear(vec![1.0, 1.0], 2.0).unwrap();
+        p
+    }
+
+    #[test]
+    fn clean_solve_records_no_attempts() {
+        let p = toy_problem();
+        let r = solve_with_recovery(
+            &p,
+            None,
+            &SolverConfig::default(),
+            &RecoveryConfig::default(),
+        )
+        .unwrap();
+        assert!(r.attempts.is_empty());
+        assert!(!r.recovered());
+        assert_eq!(r.lambda, 0.0);
+        assert!((r.solution.x[0] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn recovers_after_injected_failures() {
+        let p = toy_problem();
+        // Attempts 0 and 1 fail; attempt 2 is allowed through.
+        let r = solve_with_recovery_checked(
+            &p,
+            Some(&[0.0, 0.0]),
+            &SolverConfig::default(),
+            &RecoveryConfig::default(),
+            |attempt| {
+                (attempt < 2).then(|| SolverError::NumericalFailure {
+                    reason: "injected".to_string(),
+                })
+            },
+        )
+        .unwrap();
+        assert!(r.recovered());
+        // Failed attempts 0 and 1 plus the successful attempt 2.
+        assert_eq!(r.attempts.len(), 3);
+        assert!(r.attempts[0].error.is_some());
+        assert!(r.attempts[1].error.is_some());
+        assert!(r.attempts[2].error.is_none());
+        // Attempt 2 engages Tikhonov regularization.
+        assert!(r.lambda > 0.0);
+        assert_eq!(r.attempts[2].lambda, r.lambda);
+        // λ is tiny relative to Q, so the solution barely moves.
+        assert!((r.solution.x[0] - 1.0).abs() < 1e-3);
+        assert!((r.solution.x[1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn exhausted_schedule_returns_last_error() {
+        let p = toy_problem();
+        let recovery = RecoveryConfig {
+            max_retries: 2,
+            ..RecoveryConfig::default()
+        };
+        let mut calls = 0usize;
+        let err = solve_with_recovery_checked(
+            &p,
+            None,
+            &SolverConfig::default(),
+            &recovery,
+            |_| {
+                calls += 1;
+                Some(SolverError::NumericalFailure {
+                    reason: format!("injected #{calls}"),
+                })
+            },
+        )
+        .unwrap_err();
+        // Initial attempt + 2 retries, all injected.
+        assert_eq!(calls, 3);
+        assert!(matches!(err, SolverError::NumericalFailure { .. }));
+        assert!(err.to_string().contains("#3"), "{err}");
+    }
+
+    #[test]
+    fn infeasible_is_not_retried() {
+        let p = toy_problem();
+        let mut calls = 0usize;
+        let err = solve_with_recovery_checked(
+            &p,
+            None,
+            &SolverConfig::default(),
+            &RecoveryConfig::default(),
+            |_| {
+                calls += 1;
+                Some(SolverError::Infeasible { max_violation: 0.1 })
+            },
+        )
+        .unwrap_err();
+        assert_eq!(calls, 1);
+        assert!(matches!(err, SolverError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn zero_retries_disables_recovery() {
+        let p = toy_problem();
+        let mut calls = 0usize;
+        let err = solve_with_recovery_checked(
+            &p,
+            None,
+            &SolverConfig::default(),
+            &RecoveryConfig::disabled(),
+            |_| {
+                calls += 1;
+                Some(SolverError::NumericalFailure {
+                    reason: "injected".to_string(),
+                })
+            },
+        )
+        .unwrap_err();
+        assert_eq!(calls, 1);
+        assert!(is_recoverable(&err));
+    }
+
+    #[test]
+    fn schedule_escalates_monotonically() {
+        let rc = RecoveryConfig::default();
+        let q_scale = 2.0;
+        let mut prev_tol = 0.0;
+        let mut prev_lambda = -1.0;
+        for attempt in 1..=4 {
+            let (tol_factor, lambda, perturb) = rc.schedule(attempt, q_scale);
+            assert!(tol_factor > prev_tol, "tol must escalate");
+            assert!(lambda >= prev_lambda, "lambda must not shrink");
+            assert!(perturb > 0.0);
+            prev_tol = tol_factor;
+            prev_lambda = lambda;
+        }
+        // Regularization engages from the second retry.
+        assert_eq!(rc.schedule(1, q_scale).1, 0.0);
+        assert!(rc.schedule(2, q_scale).1 > 0.0);
+    }
+
+    #[test]
+    fn perturbation_is_deterministic_and_bounded() {
+        let x = vec![1.0, -2.0, 0.0];
+        let a = perturb_start(&x, 1e-3, 1);
+        let b = perturb_start(&x, 1e-3, 1);
+        assert_eq!(a, b);
+        let c = perturb_start(&x, 1e-3, 2);
+        assert_ne!(a, c);
+        for (orig, p) in x.iter().zip(&a) {
+            assert!((orig - p).abs() <= 1e-3 * orig.abs().max(1.0) + 1e-15);
+        }
+        assert_eq!(perturb_start(&x, 0.0, 1), x);
+    }
+
+    #[test]
+    fn error_kinds_are_stable() {
+        assert_eq!(
+            error_kind(&SolverError::Infeasible { max_violation: 0.0 }),
+            "infeasible"
+        );
+        assert_eq!(
+            error_kind(&SolverError::NumericalFailure { reason: String::new() }),
+            "numerical-failure"
+        );
+    }
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# CI gate: build, test (including the feature-gated fault-injection
+# suites), and lint with warnings promoted to errors.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo test -q -p ldafp-bnb --features fault-injection
+cargo test -q -p ldafp-core --features fault-injection
+cargo clippy --all-targets -- -D warnings

@@ -1,0 +1,52 @@
+//! Criterion benchmarks for the serving hot path: one row at a time vs a
+//! single-threaded batch vs the worker-pool batch, on the 42-feature
+//! synthetic workload. The `serve_bench` binary reports the same three
+//! modes as a throughput summary (`BENCH_serve.json`).
+//!
+//! ```text
+//! cargo bench -p ldafp-bench --bench serve
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldafp_bench::experiments::serve_fixture;
+use ldafp_serve::WorkerPool;
+use std::hint::black_box;
+
+fn bench_serve_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve/predict");
+    group.sample_size(20);
+    for &rows in &[256usize, 4096] {
+        let (engine, data) = serve_fixture(42, rows);
+
+        group.bench_with_input(BenchmarkId::new("single_row", rows), &rows, |b, _| {
+            b.iter(|| {
+                for row in &data {
+                    black_box(engine.predict_row(black_box(row)).unwrap());
+                }
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("batched", rows), &rows, |b, _| {
+            b.iter(|| black_box(engine.predict_batch(black_box(&data)).unwrap()))
+        });
+
+        let pool = WorkerPool::with_default_size();
+        group.bench_with_input(
+            BenchmarkId::new("parallel", rows),
+            &rows,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        engine
+                            .predict_batch_on(&pool, black_box(data.clone()))
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_modes);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Serving-throughput summary: single-row vs batched vs multi-threaded
+//! prediction, written to `BENCH_serve.json` so later PRs have a perf
+//! trajectory to compare against.
+//!
+//! ```text
+//! cargo run -p ldafp-bench --release --bin serve_bench [-- --quick]
+//! ```
+
+use ldafp_bench::experiments::{run_serve_throughput, ServeBenchConfig};
+use ldafp_bench::{quick_flag, table};
+
+fn main() {
+    let mut config = ServeBenchConfig::default();
+    if quick_flag() {
+        config.rows = 2_000;
+        config.repeats = 2;
+    }
+    eprintln!(
+        "serve throughput — {} rows × {} features, {} repeats/mode",
+        config.rows, config.num_features, config.repeats
+    );
+    let report = run_serve_throughput(&config);
+
+    let cells = vec![
+        vec![
+            "single row".to_string(),
+            format!("{:.0}", report.single_row_rows_per_s),
+            "1.00x".to_string(),
+        ],
+        vec![
+            "batched".to_string(),
+            format!("{:.0}", report.batched_rows_per_s),
+            format!("{:.2}x", report.batch_speedup()),
+        ],
+        vec![
+            format!("parallel ({} threads)", report.threads),
+            format!("{:.0}", report.parallel_rows_per_s),
+            format!(
+                "{:.2}x",
+                report.parallel_rows_per_s / report.single_row_rows_per_s
+            ),
+        ],
+    ];
+    println!(
+        "{}",
+        table::render(&["mode", "rows/s", "speedup vs single-row"], &cells)
+    );
+    println!(
+        "parallel vs batched: {:.2}x on {} worker thread(s) — meaningful only \
+         on multi-core hosts; single-core runs report pool overhead.",
+        report.parallel_speedup(),
+        report.threads
+    );
+
+    let out = "BENCH_serve.json";
+    std::fs::write(out, report.to_json_string()).expect("write BENCH_serve.json");
+    println!("wrote {out}");
+}

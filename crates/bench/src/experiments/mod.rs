@@ -5,6 +5,7 @@ mod ablation;
 mod bci;
 mod fig2;
 mod power;
+mod serve;
 mod synthetic;
 mod tradeoff;
 
@@ -12,5 +13,8 @@ pub use ablation::{run_ablation, AblationConfig, AblationRow};
 pub use bci::{run_table2, Table2Config, Table2Row};
 pub use fig2::{run_fig2, BoundaryRobustness, Fig2Config, Fig2Report};
 pub use power::{run_power, PowerConfig, PowerRow};
+pub use serve::{
+    run_serve_throughput, serve_fixture, ServeBenchConfig, ServeThroughputReport,
+};
 pub use synthetic::{run_synthetic_sweep, SyntheticSweepConfig, SyntheticSweepRow};
 pub use tradeoff::{iso_accuracy_savings, run_tradeoff, TradeoffConfig, TradeoffPoint};

@@ -1,0 +1,187 @@
+//! Inference-throughput benchmark for the serving runtime: single-row vs
+//! batched vs multi-threaded prediction on the synthetic workload, with a
+//! machine-readable `BENCH_serve.json` summary so later PRs can track the
+//! perf trajectory.
+
+use ldafp_core::FixedPointClassifier;
+use ldafp_fixedpoint::QFormat;
+use ldafp_serve::json::Value;
+use ldafp_serve::{InferenceEngine, ModelArtifact, WorkerPool};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+/// Workload shape for [`run_serve_throughput`].
+#[derive(Debug, Clone)]
+pub struct ServeBenchConfig {
+    /// Feature count (42 ≈ the paper's BCI workload).
+    pub num_features: usize,
+    /// Rows per timed batch.
+    pub rows: usize,
+    /// Inference worker threads (`0` = one per core).
+    pub threads: usize,
+    /// Timing repeats per mode; the best run is reported (min-time
+    /// estimator, robust to scheduler noise).
+    pub repeats: usize,
+}
+
+impl Default for ServeBenchConfig {
+    fn default() -> Self {
+        ServeBenchConfig {
+            num_features: 42,
+            rows: 20_000,
+            threads: 0,
+            repeats: 5,
+        }
+    }
+}
+
+/// Measured throughput for the three prediction modes.
+#[derive(Debug, Clone)]
+pub struct ServeThroughputReport {
+    /// Rows per timed batch.
+    pub rows: usize,
+    /// Feature count.
+    pub num_features: usize,
+    /// Worker threads the parallel mode actually used.
+    pub threads: usize,
+    /// One `predict_row` call per row.
+    pub single_row_rows_per_s: f64,
+    /// One `predict_batch` call for all rows (single-threaded).
+    pub batched_rows_per_s: f64,
+    /// `predict_batch_on` across the worker pool.
+    pub parallel_rows_per_s: f64,
+}
+
+impl ServeThroughputReport {
+    /// Batched speedup over the row-at-a-time loop.
+    #[must_use]
+    pub fn batch_speedup(&self) -> f64 {
+        self.batched_rows_per_s / self.single_row_rows_per_s
+    }
+
+    /// Multi-threaded speedup over single-threaded batching. On a
+    /// single-core host this hovers near 1× (pool overhead included);
+    /// the number is reported, not asserted.
+    #[must_use]
+    pub fn parallel_speedup(&self) -> f64 {
+        self.parallel_rows_per_s / self.batched_rows_per_s
+    }
+
+    /// The `BENCH_serve.json` document.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        Value::object([
+            ("bench", Value::from("serve-throughput")),
+            ("rows", Value::from(self.rows)),
+            ("num_features", Value::from(self.num_features)),
+            ("threads", Value::from(self.threads)),
+            (
+                "single_row_rows_per_s",
+                Value::from(self.single_row_rows_per_s),
+            ),
+            ("batched_rows_per_s", Value::from(self.batched_rows_per_s)),
+            ("parallel_rows_per_s", Value::from(self.parallel_rows_per_s)),
+            ("batch_speedup", Value::from(self.batch_speedup())),
+            ("parallel_speedup", Value::from(self.parallel_speedup())),
+        ])
+        .to_pretty_string()
+    }
+}
+
+/// Builds the benchmark fixture: a `Q2.6` classifier with pseudorandom
+/// weights and a matching row set, deterministic across runs.
+#[must_use]
+pub fn serve_fixture(num_features: usize, rows: usize) -> (InferenceEngine, Vec<Vec<f64>>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let format = QFormat::new(2, 6).expect("static format");
+    let weights: Vec<f64> = (0..num_features).map(|_| rng.gen_range(-1.5..1.5)).collect();
+    let clf = FixedPointClassifier::from_float(&weights, 0.125, format)
+        .expect("fixture classifier");
+    let engine =
+        InferenceEngine::new(ModelArtifact::binary(clf)).expect("fixture artifact validates");
+    let data: Vec<Vec<f64>> = (0..rows)
+        .map(|_| (0..num_features).map(|_| rng.gen_range(-0.9..0.9)).collect())
+        .collect();
+    (engine, data)
+}
+
+/// Runs the three prediction modes and reports rows/s for each.
+#[must_use]
+pub fn run_serve_throughput(config: &ServeBenchConfig) -> ServeThroughputReport {
+    let (engine, rows) = serve_fixture(config.num_features, config.rows);
+    let pool = if config.threads == 0 {
+        WorkerPool::with_default_size()
+    } else {
+        WorkerPool::new(config.threads)
+    };
+
+    let best = |f: &mut dyn FnMut()| -> f64 {
+        let mut best_s = f64::INFINITY;
+        for _ in 0..config.repeats.max(1) {
+            let t = Instant::now();
+            f();
+            best_s = best_s.min(t.elapsed().as_secs_f64());
+        }
+        config.rows as f64 / best_s
+    };
+
+    let single_row_rows_per_s = best(&mut || {
+        for row in &rows {
+            let _ = engine.predict_row(row).expect("fixture rows are valid");
+        }
+    });
+    let batched_rows_per_s = best(&mut || {
+        let _ = engine.predict_batch(&rows).expect("fixture rows are valid");
+    });
+    let parallel_rows_per_s = best(&mut || {
+        let _ = engine
+            .predict_batch_on(&pool, rows.clone())
+            .expect("fixture rows are valid");
+    });
+
+    ServeThroughputReport {
+        rows: config.rows,
+        num_features: config.num_features,
+        threads: pool.threads(),
+        single_row_rows_per_s,
+        batched_rows_per_s,
+        parallel_rows_per_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_report_is_positive_and_serializes() {
+        let report = run_serve_throughput(&ServeBenchConfig {
+            rows: 400,
+            repeats: 1,
+            threads: 2,
+            ..ServeBenchConfig::default()
+        });
+        assert!(report.single_row_rows_per_s > 0.0);
+        assert!(report.batched_rows_per_s > 0.0);
+        assert!(report.parallel_rows_per_s > 0.0);
+        assert_eq!(report.threads, 2);
+        let json = report.to_json_string();
+        for needle in [
+            "\"bench\"",
+            "\"parallel_speedup\"",
+            "\"batched_rows_per_s\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree_on_the_fixture() {
+        let (engine, rows) = serve_fixture(8, 300);
+        let pool = WorkerPool::new(3);
+        let seq = engine.predict_batch(&rows).unwrap();
+        let par = engine.predict_batch_on(&pool, rows).unwrap();
+        assert_eq!(seq.predictions, par.predictions);
+    }
+}

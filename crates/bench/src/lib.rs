@@ -12,6 +12,7 @@
 //! | Figure 2 (boundary robustness) | [`experiments::run_fig2`] | `fig2` |
 //! | §5 power claims | [`experiments::run_power`] | `power` |
 //! | Ablation (our addition) | [`experiments::run_ablation`] | `ablation` |
+//! | Serving throughput (our addition) | [`experiments::run_serve_throughput`] | `serve_bench` |
 
 pub mod experiments;
 pub mod table;

@@ -4,11 +4,12 @@
 //! contents) to an output string, so the test suite drives them without a
 //! process boundary. The binary's `main` only does I/O.
 
-use crate::{args::ParsedArgs, csv, CliError, Result};
+use crate::{args::ParsedArgs, csv, model_json, CliError, Result};
 use ldafp_core::{eval, FixedPointClassifier, LdaFpConfig, LdaFpTrainer, LdaModel, TrainingOutcome};
 use ldafp_datasets::BinaryDataset;
 use ldafp_hwmodel::power::MacPowerModel;
 use ldafp_hwmodel::rtl::{generate_verilog, RtlConfig};
+use ldafp_serve::{InferenceEngine, ModelArtifact, TrainingInfo};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -94,7 +95,83 @@ pub fn train(args: &ParsedArgs, csv_text: &str) -> Result<(String, Option<Traini
         fisher_cost,
         outcome: outcome.clone(),
     };
-    Ok((serde_json::to_string_pretty(&doc)?, outcome))
+
+    // `--save-model <path>` additionally writes the deployment artifact —
+    // the checksummed, serve-ready envelope consumed by `predict`/`serve`.
+    if let Some(path) = args.get("save-model") {
+        save_artifact(&doc, path)?;
+    }
+
+    Ok((model_json::to_json_string(&doc), outcome))
+}
+
+/// Converts a training-side model document into the serving artifact and
+/// writes it to `path`.
+///
+/// # Errors
+///
+/// Propagates artifact validation and I/O failures.
+pub fn save_artifact(doc: &ModelDocument, path: &str) -> Result<()> {
+    let mut artifact = ModelArtifact::binary(doc.classifier.clone());
+    let mut training = TrainingInfo {
+        algorithm: Some(doc.algorithm.clone()),
+        training_error: Some(doc.training_error),
+        fisher_cost: doc.fisher_cost,
+        ..TrainingInfo::default()
+    };
+    if let Some(o) = &doc.outcome {
+        training = training.with_outcome(o);
+    }
+    artifact.training = training;
+    artifact.save(path)?;
+    Ok(())
+}
+
+/// `ldafp predict --model <artifact> --input <csv>` — integer-only batch
+/// inference against a saved serving artifact. Rows may be unlabeled or
+/// carry a trailing label column (ignored). Output is CSV: one prediction
+/// per input row, then a datapath-counter summary comment.
+///
+/// # Errors
+///
+/// Propagates artifact parse/validation failures, CSV failures, and
+/// feature-count mismatches (with the offending row index).
+pub fn predict(artifact_json: &str, csv_text: &str) -> Result<String> {
+    let artifact = ModelArtifact::from_json_str(artifact_json)?;
+    let rows = csv::parse_features(csv_text)?;
+    let engine = InferenceEngine::new(artifact)?;
+    let out = engine.predict_batch(&rows)?;
+    let mut text = String::from("row,class,label,score\n");
+    for (i, p) in out.predictions.iter().enumerate() {
+        text.push_str(&format!("{i},{},{},{}\n", p.class_index, p.label, p.score));
+    }
+    text.push_str(&format!(
+        "# rows: {}, accumulator wraps: {}, saturated inputs: {}\n",
+        out.stats.rows, out.stats.accumulator_wraps, out.stats.saturated_inputs
+    ));
+    Ok(text)
+}
+
+/// `ldafp serve --model <artifact> --addr <host:port> [--threads <n>]` —
+/// starts the TCP inference server and returns its handle. The caller
+/// (`main`) blocks on [`ldafp_serve::ServerHandle::join`]; tests drive the
+/// handle directly.
+///
+/// # Errors
+///
+/// Propagates artifact parse/validation failures and socket bind errors.
+pub fn serve_start(
+    artifact_json: &str,
+    addr: &str,
+    threads: usize,
+) -> Result<ldafp_serve::ServerHandle> {
+    let artifact = ModelArtifact::from_json_str(artifact_json)?;
+    let engine = InferenceEngine::new(artifact)?;
+    let config = ldafp_serve::ServerConfig {
+        inference_threads: threads,
+        ..ldafp_serve::ServerConfig::default()
+    };
+    Ok(ldafp_serve::serve(engine, addr, config)?)
 }
 
 /// Threads `--max-solver-retries` into the recovery schedule. `0` disables
@@ -111,7 +188,7 @@ fn apply_recovery_args(args: &ParsedArgs, cfg: &mut LdaFpConfig) -> Result<()> {
 ///
 /// Propagates parse failures and feature-count mismatches.
 pub fn eval_cmd(model_json: &str, csv_text: &str) -> Result<String> {
-    let doc: ModelDocument = serde_json::from_str(model_json)?;
+    let doc = model_json::from_json_str(model_json)?;
     let data = csv::parse(csv_text)?;
     if data.num_features() != doc.classifier.num_features() {
         return Err(CliError(format!(
@@ -144,7 +221,7 @@ pub fn eval_cmd(model_json: &str, csv_text: &str) -> Result<String> {
 ///
 /// Propagates JSON parse failures.
 pub fn info(model_json: &str) -> Result<String> {
-    let doc: ModelDocument = serde_json::from_str(model_json)?;
+    let doc = model_json::from_json_str(model_json)?;
     let clf = &doc.classifier;
     let mut out = format!(
         "{} model, format {} ({} bits/word), {} features\n",
@@ -180,7 +257,7 @@ pub fn info(model_json: &str) -> Result<String> {
 ///
 /// Propagates JSON parse and RTL generation failures.
 pub fn export_rtl(args: &ParsedArgs, model_json: &str) -> Result<String> {
-    let doc: ModelDocument = serde_json::from_str(model_json)?;
+    let doc = model_json::from_json_str(model_json)?;
     let cfg = RtlConfig {
         module_name: args.get("module").unwrap_or("ldafp_classifier").to_string(),
         with_testbench: args.has_flag("testbench"),
@@ -344,7 +421,8 @@ mod tests {
             raw.iter().copied(),
             &[
                 "data", "bits", "k", "rho", "budget-secs", "max-solver-retries", "module",
-                "model", "out", "target", "min-bits", "max-bits",
+                "model", "out", "target", "min-bits", "max-bits", "save-model", "input",
+                "addr", "threads",
             ],
             &["baseline", "quick", "testbench"],
         )
@@ -356,7 +434,7 @@ mod tests {
         let csv_text = easy_csv();
         let (model_json, outcome) =
             train(&parsed(&["--bits", "6", "--quick"]), &csv_text).unwrap();
-        let doc: ModelDocument = serde_json::from_str(&model_json).unwrap();
+        let doc = model_json::from_json_str(&model_json).unwrap();
         assert_eq!(doc.algorithm, "lda-fp");
         assert_eq!(doc.classifier.word_length(), 6);
         assert!(doc.training_error <= 0.1, "error {}", doc.training_error);
@@ -376,7 +454,7 @@ mod tests {
     fn baseline_flag_trains_rounded_lda() {
         let (model_json, outcome) =
             train(&parsed(&["--bits", "8", "--baseline"]), &easy_csv()).unwrap();
-        let doc: ModelDocument = serde_json::from_str(&model_json).unwrap();
+        let doc = model_json::from_json_str(&model_json).unwrap();
         assert_eq!(doc.algorithm, "lda-rounded");
         assert!(doc.fisher_cost.is_none());
         assert!(outcome.is_none(), "baseline has no search outcome");
@@ -389,7 +467,7 @@ mod tests {
             &easy_csv(),
         )
         .unwrap();
-        let doc: ModelDocument = serde_json::from_str(&model_json).unwrap();
+        let doc = model_json::from_json_str(&model_json).unwrap();
         assert_eq!(doc.algorithm, "lda-fp");
     }
 
@@ -413,10 +491,88 @@ mod tests {
     fn model_document_without_outcome_field_still_parses() {
         // Documents written before the outcome field existed must load.
         let (model_json, _) = train(&parsed(&["--bits", "6", "--quick"]), &easy_csv()).unwrap();
-        let mut value: serde_json::Value = serde_json::from_str(&model_json).unwrap();
-        value.as_object_mut().unwrap().remove("outcome");
-        let doc: ModelDocument = serde_json::from_value(value).unwrap();
-        assert!(doc.outcome.is_none());
+        let mut doc = model_json::from_json_str(&model_json).unwrap();
+        doc.outcome = None;
+        let text = model_json::to_json_string(&doc);
+        // Delete the field entirely (keys are sorted; `fisher_cost` precedes).
+        let stripped = text.replace(",\n  \"outcome\": null", "");
+        assert_ne!(stripped, text, "outcome field not found in {text}");
+        let reparsed = model_json::from_json_str(&stripped).unwrap();
+        assert!(reparsed.outcome.is_none());
+        assert_eq!(reparsed.classifier, doc.classifier);
+    }
+
+    #[test]
+    fn save_model_writes_a_loadable_artifact_that_predicts_identically() {
+        let dir = std::env::temp_dir().join(format!(
+            "ldafp-cli-save-model-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ldafp.json");
+        let csv_text = easy_csv();
+        let (model_json, _) = train(
+            &parsed(&[
+                "--bits",
+                "6",
+                "--quick",
+                "--save-model",
+                path.to_str().unwrap(),
+            ]),
+            &csv_text,
+        )
+        .unwrap();
+
+        let artifact = ModelArtifact::load(&path).unwrap();
+        let doc = model_json::from_json_str(&model_json).unwrap();
+        let rows = csv::parse_features(&csv_text).unwrap();
+        let engine = InferenceEngine::new(artifact).unwrap();
+        let out = engine.predict_batch(&rows).unwrap();
+        assert_eq!(out.predictions.len(), rows.len());
+        for (row, p) in rows.iter().zip(&out.predictions) {
+            // Artifact inference must agree bit-for-bit with the trained
+            // classifier's own decision rule.
+            assert_eq!(p.class_index, usize::from(!doc.classifier.classify(row)));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn predict_emits_one_line_per_row_plus_counters() {
+        let format = ldafp_fixedpoint::QFormat::new(2, 5).unwrap();
+        let clf =
+            FixedPointClassifier::from_float(&[0.5, -0.25], 0.0, format).unwrap();
+        let artifact_json =
+            ModelArtifact::binary(clf.clone()).to_json_string();
+        let out = predict(&artifact_json, "0.4,0.1\n-0.4,0.1,B\n").unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "row,class,label,score");
+        assert!(lines[1].starts_with("0,"), "{out}");
+        assert!(lines[2].starts_with("1,"), "{out}");
+        assert!(lines[3].contains("rows: 2"), "{out}");
+        // Decisions match the classifier.
+        assert!(lines[1].starts_with(&format!("0,{}", usize::from(!clf.classify(&[0.4, 0.1])))));
+        assert!(lines[2].starts_with(&format!("1,{}", usize::from(!clf.classify(&[-0.4, 0.1])))));
+    }
+
+    #[test]
+    fn predict_rejects_feature_mismatch_with_row_index() {
+        let format = ldafp_fixedpoint::QFormat::new(2, 5).unwrap();
+        let clf = FixedPointClassifier::from_float(&[0.5, -0.25], 0.0, format).unwrap();
+        let artifact_json = ModelArtifact::binary(clf).to_json_string();
+        let err = predict(&artifact_json, "0.4,0.1,0.9\n").unwrap_err();
+        assert!(err.0.contains("serving error"), "{}", err.0);
+        assert!(err.0.contains('2') && err.0.contains('3'), "{}", err.0);
+    }
+
+    #[test]
+    fn serve_start_binds_and_shuts_down() {
+        let format = ldafp_fixedpoint::QFormat::new(2, 5).unwrap();
+        let clf = FixedPointClassifier::from_float(&[0.5, -0.25], 0.0, format).unwrap();
+        let artifact_json = ModelArtifact::binary(clf).to_json_string();
+        let mut handle = serve_start(&artifact_json, "127.0.0.1:0", 1).unwrap();
+        assert_ne!(handle.addr().port(), 0);
+        handle.shutdown();
     }
 
     #[test]

@@ -97,6 +97,70 @@ pub fn parse(text: &str) -> Result<BinaryDataset> {
         .map_err(|e| CliError(format!("invalid dataset: {e}")))
 }
 
+/// Parses CSV text into unlabeled feature rows — the `predict` input
+/// format. Rows are all-numeric; a trailing non-numeric field (a label
+/// column from a labeled file) is tolerated and ignored, so the same file
+/// works for `eval` and `predict`. Comments, blank lines and a header row
+/// are skipped as in [`parse`].
+///
+/// # Errors
+///
+/// Returns a [`CliError`] naming the offending line for ragged rows,
+/// non-finite values, or numbers that fail to parse mid-row.
+pub fn parse_features(text: &str) -> Result<Vec<Vec<f64>>> {
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut width: Option<usize> = None;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        // Header detection, as in `parse`.
+        if width.is_none() && fields[0].parse::<f64>().is_err() {
+            continue;
+        }
+        // Tolerate a trailing label column from a labeled file.
+        if let Some(last) = fields.last() {
+            if fields.len() > 1 && last.parse::<f64>().is_err() {
+                fields.pop();
+            }
+        }
+        let mut features = Vec::with_capacity(fields.len());
+        for f in fields {
+            let v = f.parse::<f64>().map_err(|_| {
+                CliError(format!("line {}: '{}' is not a number", lineno + 1, f))
+            })?;
+            if !v.is_finite() {
+                return Err(CliError(format!(
+                    "line {}: feature value '{}' is not finite",
+                    lineno + 1,
+                    f
+                )));
+            }
+            features.push(v);
+        }
+        match width {
+            None => width = Some(features.len()),
+            Some(w) if w != features.len() => {
+                return Err(CliError(format!(
+                    "line {}: {} features, expected {}",
+                    lineno + 1,
+                    features.len(),
+                    w
+                )))
+            }
+            _ => {}
+        }
+        rows.push(features);
+    }
+    if rows.is_empty() {
+        return Err(CliError("no data rows found".to_string()));
+    }
+    Ok(rows)
+}
+
 /// Serializes a dataset back to CSV (class A first, labels `A`/`B`).
 pub fn write(data: &BinaryDataset) -> String {
     let mut out = String::new();
@@ -174,6 +238,22 @@ mod tests {
     fn rejects_empty_input() {
         assert!(parse("").is_err());
         assert!(parse("# only comments\n").is_err());
+    }
+
+    #[test]
+    fn parse_features_handles_unlabeled_and_labeled_rows() {
+        // Pure feature rows.
+        let rows = parse_features("0.1,0.2\n0.3,0.4\n").unwrap();
+        assert_eq!(rows, vec![vec![0.1, 0.2], vec![0.3, 0.4]]);
+        // A labeled eval file works too: the label column is dropped.
+        let rows = parse_features("# c\nx1,x2,label\n0.1,0.2,A\n0.3,0.4,B\n").unwrap();
+        assert_eq!(rows, vec![vec![0.1, 0.2], vec![0.3, 0.4]]);
+        // Errors carry line numbers.
+        let err = parse_features("0.1,0.2\n0.3\n").unwrap_err();
+        assert!(err.0.contains("line 2"), "{}", err.0);
+        let err = parse_features("0.1,NaN\n").unwrap_err();
+        assert!(err.0.contains("not finite"), "{}", err.0);
+        assert!(parse_features("").is_err());
     }
 
     #[test]

@@ -6,9 +6,11 @@
 //!   (hand-rolled: the offline dependency set has no CSV crate, and the
 //!   format needed here is trivial — comma-separated floats plus a label);
 //! * [`args`] — a small flag parser (`--key value` / `--flag`);
-//! * [`commands`] — the `train`, `eval`, `export-rtl`, `info` and `demo`
-//!   subcommand implementations, each returning its output as a `String`
-//!   so tests can assert on it.
+//! * [`model_json`] — the model-document codec (layout-compatible with the
+//!   serde derives, parsed with positional error reporting);
+//! * [`commands`] — the `train`, `eval`, `predict`, `serve`, `export-rtl`,
+//!   `info` and `demo` subcommand implementations, each returning its
+//!   output as a `String` so tests can assert on it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -16,6 +18,7 @@
 pub mod args;
 pub mod commands;
 pub mod csv;
+pub mod model_json;
 
 /// CLI-level errors: user-facing messages, one per failure.
 #[derive(Debug)]
@@ -50,6 +53,12 @@ impl From<ldafp_fixedpoint::FixedPointError> for CliError {
 impl From<serde_json::Error> for CliError {
     fn from(e: serde_json::Error) -> Self {
         CliError(format!("serialization error: {e}"))
+    }
+}
+
+impl From<ldafp_serve::ServeError> for CliError {
+    fn from(e: ldafp_serve::ServeError) -> Self {
+        CliError(format!("serving error: {e}"))
     }
 }
 

@@ -4,7 +4,10 @@
 //! ldafp train      --data train.csv --bits 6 [--k 4] [--rho 0.99]
 //!                  [--baseline] [--quick] [--budget-secs 30]
 //!                  [--max-solver-retries 3] [--out model.json]
+//!                  [--save-model model.ldafp.json]
 //! ldafp eval       --model model.json --data test.csv
+//! ldafp predict    --model model.ldafp.json --input rows.csv
+//! ldafp serve      --model model.ldafp.json --addr 127.0.0.1:7878 [--threads 4]
 //! ldafp info       --model model.json
 //! ldafp export-rtl --model model.json [--module name] [--testbench] [--out clf.v]
 //! ldafp wordlength --data train.csv --target 0.2 [--min-bits 3] [--max-bits 16]
@@ -24,8 +27,21 @@ use ldafp_cli::args::ParsedArgs;
 use ldafp_cli::{commands, CliError};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: ldafp <train|eval|info|export-rtl|wordlength|demo> [options]
-run `ldafp help` or see the crate docs for the option list";
+const USAGE: &str = "usage: ldafp <command> [options]
+
+commands:
+  train       --data <csv> --bits <n> [--k n] [--rho p] [--baseline] [--quick]
+              [--budget-secs n] [--max-solver-retries n] [--out model.json]
+              [--save-model model.ldafp.json]
+  eval        --model <model.json> --data <csv>
+  predict     --model <model.ldafp.json> --input <csv>
+  serve       --model <model.ldafp.json> --addr <host:port> [--threads n]
+  info        --model <model.json>
+  export-rtl  --model <model.json> [--module name] [--testbench] [--out clf.v]
+  wordlength  --data <csv> --target <error> [--min-bits n] [--max-bits n]
+  demo        [--bits n]
+
+run `ldafp help` or see the crate docs for details";
 
 fn main() -> ExitCode {
     match run() {
@@ -46,7 +62,8 @@ fn run() -> ldafp_cli::Result<(String, u8)> {
         raw,
         &[
             "data", "bits", "k", "rho", "budget-secs", "max-solver-retries", "module",
-            "model", "out", "target", "min-bits", "max-bits",
+            "model", "out", "target", "min-bits", "max-bits", "save-model", "input",
+            "addr", "threads",
         ],
         &["baseline", "quick", "testbench"],
     )?;
@@ -59,9 +76,12 @@ fn run() -> ldafp_cli::Result<(String, u8)> {
     let mut code = 0u8;
     let output = match command {
         "train" => {
-            let data_path = args
-                .get("data")
-                .ok_or_else(|| CliError("train needs --data <csv>".to_string()))?;
+            let data_path = args.get("data").ok_or_else(|| {
+                CliError(
+                    "train needs --data <csv>\nusage: ldafp train --data <csv> --bits <n> [--save-model model.ldafp.json]"
+                        .to_string(),
+                )
+            })?;
             let csv_text = std::fs::read_to_string(data_path)?;
             let (json, outcome) = commands::train(&args, &csv_text)?;
             if let Some(o) = &outcome {
@@ -72,22 +92,51 @@ fn run() -> ldafp_cli::Result<(String, u8)> {
             json
         }
         "eval" => {
-            let model = read_required(&args, "model")?;
-            let data_path = args
-                .get("data")
-                .ok_or_else(|| CliError("eval needs --data <csv>".to_string()))?;
+            let model = read_required_for(&args, "eval", "model")?;
+            let data_path = args.get("data").ok_or_else(|| {
+                CliError(
+                    "eval needs --data <csv>\nusage: ldafp eval --model <model.json> --data <csv>"
+                        .to_string(),
+                )
+            })?;
             let csv_text = std::fs::read_to_string(data_path)?;
             commands::eval_cmd(&model, &csv_text)?
         }
-        "info" => commands::info(&read_required(&args, "model")?)?,
+        "predict" => {
+            let artifact = read_required_for(&args, "predict", "model")?;
+            let input_path = args.get("input").ok_or_else(|| {
+                CliError("predict needs --input <csv>\nusage: ldafp predict --model <model.ldafp.json> --input <csv>".to_string())
+            })?;
+            let csv_text = std::fs::read_to_string(input_path)?;
+            commands::predict(&artifact, &csv_text)?
+        }
+        "serve" => {
+            let artifact = read_required_for(&args, "serve", "model")?;
+            let addr = args.get("addr").ok_or_else(|| {
+                CliError("serve needs --addr <host:port>\nusage: ldafp serve --model <model.ldafp.json> --addr <host:port> [--threads n]".to_string())
+            })?;
+            let threads: usize = args.get_parsed("threads", 0)?;
+            let mut handle = commands::serve_start(&artifact, addr, threads)?;
+            // Stderr so scripts scraping stdout stay quiet; the handle's
+            // resolved address matters when the user asked for port 0.
+            eprintln!("ldafp: serving on {}", handle.addr());
+            handle.join(); // returns when a client sends `shutdown`
+            String::new()
+        }
+        "info" => commands::info(&read_required_for(&args, "info", "model")?)?,
         "wordlength" => {
-            let data_path = args
-                .get("data")
-                .ok_or_else(|| CliError("wordlength needs --data <csv>".to_string()))?;
+            let data_path = args.get("data").ok_or_else(|| {
+                CliError(
+                    "wordlength needs --data <csv>\nusage: ldafp wordlength --data <csv> --target <error>"
+                        .to_string(),
+                )
+            })?;
             let csv_text = std::fs::read_to_string(data_path)?;
             commands::wordlength(&args, &csv_text)?
         }
-        "export-rtl" => commands::export_rtl(&args, &read_required(&args, "model")?)?,
+        "export-rtl" => {
+            commands::export_rtl(&args, &read_required_for(&args, "export-rtl", "model")?)?
+        }
         "demo" => commands::demo(&args)?,
         "help" | "--help" | "-h" => format!("{USAGE}\n"),
         other => return Err(CliError(format!("unknown command '{other}'\n{USAGE}"))),
@@ -101,9 +150,11 @@ fn run() -> ldafp_cli::Result<(String, u8)> {
     Ok((output, code))
 }
 
-fn read_required(args: &ParsedArgs, key: &str) -> ldafp_cli::Result<String> {
-    let path = args
-        .get(key)
-        .ok_or_else(|| CliError(format!("this command needs --{key} <file>")))?;
+fn read_required_for(args: &ParsedArgs, cmd: &str, key: &str) -> ldafp_cli::Result<String> {
+    let path = args.get(key).ok_or_else(|| {
+        CliError(format!(
+            "{cmd} needs --{key} <file>\nrun `ldafp help` for the full usage"
+        ))
+    })?;
     Ok(std::fs::read_to_string(path)?)
 }

@@ -1,0 +1,301 @@
+//! Hand-rolled JSON (de)serialization for [`ModelDocument`].
+//!
+//! The document layout is byte-compatible with what `serde_json` derives
+//! for the same types (externally-tagged enums, struct field names), so
+//! documents written by earlier versions of this tool keep loading — but
+//! the codec itself goes through [`ldafp_serve::json`], which reports
+//! parse failures with line/column/offset instead of panicking, and works
+//! in dependency-free builds.
+
+use crate::commands::ModelDocument;
+use crate::{CliError, Result};
+use ldafp_core::{FixedPointClassifier, TrainingOutcome};
+use ldafp_fixedpoint::{Fx, QFormat, RoundingMode};
+use ldafp_serve::json::{self, Value};
+
+/// Serializes a model document to pretty JSON.
+pub fn to_json_string(doc: &ModelDocument) -> String {
+    let opt_num = |v: Option<f64>| v.map_or(Value::Null, Value::from);
+    Value::object([
+        ("version", Value::from(doc.version.as_str())),
+        ("algorithm", Value::from(doc.algorithm.as_str())),
+        ("classifier", classifier_json(&doc.classifier)),
+        ("fisher_cost", opt_num(doc.fisher_cost)),
+        ("training_error", Value::from(doc.training_error)),
+        (
+            "outcome",
+            doc.outcome.as_ref().map_or(Value::Null, outcome_json),
+        ),
+    ])
+    .to_pretty_string()
+}
+
+/// Parses a model document.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] with the JSON position for syntax errors, or a
+/// field path for structural ones.
+pub fn from_json_str(text: &str) -> Result<ModelDocument> {
+    let doc = json::parse(text)
+        .map_err(|e| CliError(format!("model document is not valid JSON: {e}")))?;
+    Ok(ModelDocument {
+        version: require_str(&doc, "version")?,
+        algorithm: require_str(&doc, "algorithm")?,
+        classifier: classifier_from_json(
+            doc.get("classifier")
+                .ok_or_else(|| missing("classifier"))?,
+        )?,
+        fisher_cost: optional_f64(&doc, "fisher_cost"),
+        training_error: doc
+            .get("training_error")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| missing("training_error"))?,
+        outcome: match doc.get("outcome") {
+            None => None,
+            Some(v) if v.is_null() => None,
+            Some(v) => Some(outcome_from_json(v)?),
+        },
+    })
+}
+
+fn classifier_json(clf: &FixedPointClassifier) -> Value {
+    let format = clf.format();
+    Value::object([
+        ("format", qformat_json(format)),
+        (
+            "weights",
+            Value::Array(clf.weights().iter().map(fx_json).collect()),
+        ),
+        ("threshold", fx_json(&clf.threshold())),
+        ("rounding", Value::from(rounding_tag(clf.rounding()))),
+    ])
+}
+
+fn classifier_from_json(v: &Value) -> Result<FixedPointClassifier> {
+    let format = qformat_from_json(v.get("format").ok_or_else(|| missing("classifier.format"))?)?;
+    let weights = v
+        .get("weights")
+        .and_then(Value::as_array)
+        .ok_or_else(|| missing("classifier.weights"))?
+        .iter()
+        .enumerate()
+        .map(|(i, w)| fx_raw_from_json(w, &format!("classifier.weights[{i}]")))
+        .collect::<Result<Vec<i64>>>()?;
+    let threshold = fx_raw_from_json(
+        v.get("threshold")
+            .ok_or_else(|| missing("classifier.threshold"))?,
+        "classifier.threshold",
+    )?;
+    let rounding = rounding_from_tag(
+        v.get("rounding")
+            .and_then(Value::as_str)
+            .ok_or_else(|| missing("classifier.rounding"))?,
+    )?;
+    FixedPointClassifier::from_raw_parts(format, &weights, threshold, rounding)
+        .map_err(|e| CliError(format!("model document rejected: {e}")))
+}
+
+fn qformat_json(format: QFormat) -> Value {
+    Value::object([
+        ("k", Value::from(format.k())),
+        ("f", Value::from(format.f())),
+    ])
+}
+
+fn qformat_from_json(v: &Value) -> Result<QFormat> {
+    let field = |key: &str| {
+        v.get(key)
+            .and_then(Value::as_i64)
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or_else(|| missing(&format!("classifier.format.{key}")))
+    };
+    QFormat::new(field("k")?, field("f")?)
+        .map_err(|e| CliError(format!("invalid model format: {e}")))
+}
+
+fn fx_json(x: &Fx) -> Value {
+    Value::object([
+        ("raw", Value::from(x.raw())),
+        ("format", qformat_json(x.format())),
+    ])
+}
+
+fn fx_raw_from_json(v: &Value, context: &str) -> Result<i64> {
+    v.get("raw")
+        .and_then(Value::as_i64)
+        .ok_or_else(|| missing(&format!("{context}.raw")))
+}
+
+/// Serde's externally-tagged encoding for [`TrainingOutcome`]: unit
+/// variants are bare strings, the struct variant is a single-key object.
+fn outcome_json(o: &TrainingOutcome) -> Value {
+    match o {
+        TrainingOutcome::Certified => Value::from("Certified"),
+        TrainingOutcome::BudgetExhausted => Value::from("BudgetExhausted"),
+        TrainingOutcome::FallbackRounded => Value::from("FallbackRounded"),
+        TrainingOutcome::Degraded {
+            recovered_solves,
+            trivial_bounds,
+            suspect_infeasible,
+            uncertified_rescale,
+        } => Value::object([(
+            "Degraded",
+            Value::object([
+                ("recovered_solves", Value::from(*recovered_solves)),
+                ("trivial_bounds", Value::from(*trivial_bounds)),
+                ("suspect_infeasible", Value::from(*suspect_infeasible)),
+                ("uncertified_rescale", Value::from(*uncertified_rescale)),
+            ]),
+        )]),
+    }
+}
+
+fn outcome_from_json(v: &Value) -> Result<TrainingOutcome> {
+    if let Some(tag) = v.as_str() {
+        return match tag {
+            "Certified" => Ok(TrainingOutcome::Certified),
+            "BudgetExhausted" => Ok(TrainingOutcome::BudgetExhausted),
+            "FallbackRounded" => Ok(TrainingOutcome::FallbackRounded),
+            other => Err(CliError(format!("unknown training outcome '{other}'"))),
+        };
+    }
+    let degraded = v
+        .get("Degraded")
+        .ok_or_else(|| CliError("unrecognized training outcome encoding".to_string()))?;
+    let count = |key: &str| {
+        degraded
+            .get(key)
+            .and_then(Value::as_i64)
+            .and_then(|n| usize::try_from(n).ok())
+            .ok_or_else(|| missing(&format!("outcome.Degraded.{key}")))
+    };
+    Ok(TrainingOutcome::Degraded {
+        recovered_solves: count("recovered_solves")?,
+        trivial_bounds: count("trivial_bounds")?,
+        suspect_infeasible: count("suspect_infeasible")?,
+        uncertified_rescale: degraded
+            .get("uncertified_rescale")
+            .and_then(Value::as_bool)
+            .ok_or_else(|| missing("outcome.Degraded.uncertified_rescale"))?,
+    })
+}
+
+fn rounding_tag(mode: RoundingMode) -> &'static str {
+    match mode {
+        RoundingMode::NearestEven => "NearestEven",
+        RoundingMode::NearestAway => "NearestAway",
+        RoundingMode::Floor => "Floor",
+        RoundingMode::Ceil => "Ceil",
+        RoundingMode::TowardZero => "TowardZero",
+    }
+}
+
+fn rounding_from_tag(tag: &str) -> Result<RoundingMode> {
+    match tag {
+        "NearestEven" => Ok(RoundingMode::NearestEven),
+        "NearestAway" => Ok(RoundingMode::NearestAway),
+        "Floor" => Ok(RoundingMode::Floor),
+        "Ceil" => Ok(RoundingMode::Ceil),
+        "TowardZero" => Ok(RoundingMode::TowardZero),
+        other => Err(CliError(format!("unknown rounding mode '{other}'"))),
+    }
+}
+
+fn require_str(v: &Value, key: &str) -> Result<String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| missing(key))
+}
+
+fn optional_f64(v: &Value, key: &str) -> Option<f64> {
+    v.get(key).and_then(Value::as_f64)
+}
+
+fn missing(path: &str) -> CliError {
+    CliError(format!("model document is missing or mistypes '{path}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(outcome: Option<TrainingOutcome>) -> ModelDocument {
+        let format = QFormat::new(2, 5).unwrap();
+        ModelDocument {
+            version: "ldafp-cli test".to_string(),
+            algorithm: "lda-fp".to_string(),
+            classifier: FixedPointClassifier::from_float(&[0.5, -0.25], 0.125, format)
+                .unwrap(),
+            fisher_cost: Some(1.75),
+            training_error: 0.0625,
+            outcome,
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_document_exactly() {
+        for outcome in [
+            None,
+            Some(TrainingOutcome::Certified),
+            Some(TrainingOutcome::BudgetExhausted),
+            Some(TrainingOutcome::FallbackRounded),
+            Some(TrainingOutcome::Degraded {
+                recovered_solves: 3,
+                trivial_bounds: 1,
+                suspect_infeasible: 0,
+                uncertified_rescale: true,
+            }),
+        ] {
+            let doc = sample(outcome);
+            let text = to_json_string(&doc);
+            let back = from_json_str(&text).unwrap();
+            assert_eq!(back, doc);
+        }
+    }
+
+    #[test]
+    fn missing_outcome_field_still_parses() {
+        // Documents from before the outcome field existed.
+        let text = to_json_string(&sample(Some(TrainingOutcome::Certified)));
+        let stripped = text.replace("\"outcome\": \"Certified\"", "\"outcome\": null");
+        assert_ne!(stripped, text);
+        assert!(from_json_str(&stripped).unwrap().outcome.is_none());
+    }
+
+    #[test]
+    fn syntax_errors_carry_positions() {
+        let err = from_json_str("{\"version\": \"x\",").unwrap_err();
+        assert!(err.0.contains("line"), "{}", err.0);
+        assert!(err.0.contains("offset"), "{}", err.0);
+    }
+
+    #[test]
+    fn structural_errors_name_the_field() {
+        let err = from_json_str("{\"version\": \"x\", \"algorithm\": \"y\"}").unwrap_err();
+        assert!(err.0.contains("classifier"), "{}", err.0);
+    }
+
+    #[test]
+    fn layout_matches_serde_field_names() {
+        // The field names the rest of the ecosystem (and older tools) expect.
+        let text = to_json_string(&sample(Some(TrainingOutcome::Certified)));
+        for needle in [
+            "\"version\"",
+            "\"algorithm\"",
+            "\"classifier\"",
+            "\"format\"",
+            "\"weights\"",
+            "\"raw\"",
+            "\"threshold\"",
+            "\"rounding\"",
+            "\"NearestEven\"",
+            "\"fisher_cost\"",
+            "\"training_error\"",
+            "\"outcome\"",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+    }
+}

@@ -59,6 +59,53 @@ impl FixedPointClassifier {
         })
     }
 
+    /// Reconstructs a classifier from raw two's-complement integers — the
+    /// deserialization path for persisted model artifacts, where weights are
+    /// stored as the exact integers the hardware would hold.
+    ///
+    /// Unlike [`Self::from_float`] nothing is re-quantized: the raw values
+    /// are adopted verbatim, so a save → load round trip is bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::InvalidTrainingData`] for an empty weight
+    /// vector or any raw value outside the format's representable range
+    /// (artifacts must not silently wrap corrupted weights into range).
+    pub fn from_raw_parts(
+        format: QFormat,
+        raw_weights: &[i64],
+        raw_threshold: i64,
+        rounding: RoundingMode,
+    ) -> Result<Self> {
+        if raw_weights.is_empty() {
+            return Err(crate::CoreError::InvalidTrainingData {
+                reason: "classifier needs at least one weight".to_string(),
+            });
+        }
+        let check = |raw: i64, what: &str| -> Result<()> {
+            if raw < format.min_raw() || raw > format.max_raw() {
+                return Err(crate::CoreError::InvalidTrainingData {
+                    reason: format!(
+                        "{what} raw value {raw} outside {format} range [{}, {}]",
+                        format.min_raw(),
+                        format.max_raw()
+                    ),
+                });
+            }
+            Ok(())
+        };
+        for &raw in raw_weights {
+            check(raw, "weight")?;
+        }
+        check(raw_threshold, "threshold")?;
+        Ok(FixedPointClassifier {
+            weights: raw_weights.iter().map(|&r| format.from_raw(r)).collect(),
+            threshold: format.from_raw(raw_threshold),
+            format,
+            rounding,
+        })
+    }
+
     /// The classifier's fixed-point format.
     pub fn format(&self) -> QFormat {
         self.format
@@ -168,6 +215,39 @@ mod tests {
     #[test]
     fn empty_weights_rejected() {
         assert!(FixedPointClassifier::from_float(&[], 0.0, fmt(2, 2)).is_err());
+    }
+
+    #[test]
+    fn from_raw_parts_roundtrips_bit_identically() {
+        let clf = FixedPointClassifier::from_float(&[0.3, -0.8], 0.1, fmt(2, 4)).unwrap();
+        let raws: Vec<i64> = clf.weights().iter().map(|w| w.raw()).collect();
+        let back = FixedPointClassifier::from_raw_parts(
+            clf.format(),
+            &raws,
+            clf.threshold().raw(),
+            clf.rounding(),
+        )
+        .unwrap();
+        assert_eq!(back, clf);
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_out_of_range_and_empty() {
+        let format = fmt(2, 2); // raw range [-8, 7]
+        assert!(FixedPointClassifier::from_raw_parts(format, &[], 0, RoundingMode::NearestEven)
+            .is_err());
+        assert!(
+            FixedPointClassifier::from_raw_parts(format, &[8], 0, RoundingMode::NearestEven)
+                .is_err()
+        );
+        assert!(
+            FixedPointClassifier::from_raw_parts(format, &[0], -9, RoundingMode::NearestEven)
+                .is_err()
+        );
+        assert!(
+            FixedPointClassifier::from_raw_parts(format, &[-8, 7], 3, RoundingMode::NearestEven)
+                .is_ok()
+        );
     }
 
     #[test]

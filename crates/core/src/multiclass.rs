@@ -78,9 +78,61 @@ impl OneVsRestClassifier {
         }
     }
 
+    /// Reassembles an ensemble from its parts — the deserialization path for
+    /// persisted model artifacts. `margin_scales` must carry one calibration
+    /// factor per head; the values are adopted verbatim (not re-derived from
+    /// weight norms) so a save → load round trip predicts bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::InvalidTrainingData`] when there are no
+    /// heads, the scale count disagrees with the head count, a scale is not
+    /// finite, or the heads disagree on format or feature count (one shared
+    /// datapath serves every head).
+    pub fn from_parts(
+        heads: Vec<FixedPointClassifier>,
+        margin_scales: Vec<f64>,
+    ) -> Result<Self> {
+        let invalid = |reason: String| crate::CoreError::InvalidTrainingData { reason };
+        if heads.is_empty() {
+            return Err(invalid("ensemble needs at least one head".to_string()));
+        }
+        if heads.len() != margin_scales.len() {
+            return Err(invalid(format!(
+                "{} heads but {} margin scales",
+                heads.len(),
+                margin_scales.len()
+            )));
+        }
+        let (format, features) = (heads[0].format(), heads[0].num_features());
+        for (c, head) in heads.iter().enumerate() {
+            if head.format() != format || head.num_features() != features {
+                return Err(invalid(format!(
+                    "head {c} is {} with {} features; expected {format} with {features}",
+                    head.format(),
+                    head.num_features()
+                )));
+            }
+        }
+        if let Some(s) = margin_scales.iter().find(|s| !s.is_finite()) {
+            return Err(invalid(format!("margin scale {s} is not finite")));
+        }
+        Ok(OneVsRestClassifier {
+            heads,
+            margin_scales,
+        })
+    }
+
     /// Number of classes.
     pub fn num_classes(&self) -> usize {
         self.heads.len()
+    }
+
+    /// The per-head margin calibration factors (`∝ 1/‖w_c‖`), in class
+    /// order. Persisted alongside the heads so reconstruction does not
+    /// re-derive them.
+    pub fn margin_scales(&self) -> &[f64] {
+        &self.margin_scales
     }
 
     /// Number of features.
@@ -234,6 +286,43 @@ mod tests {
             assert!(c < 3);
             assert_eq!(c, clf.classify(x));
         }
+    }
+
+    #[test]
+    fn from_parts_roundtrips_and_validates() {
+        let data = blob_data(6);
+        let trainer = LdaFpTrainer::new(LdaFpConfig::fast());
+        let format = QFormat::new(2, 4).unwrap();
+        let (clf, _) = train_one_vs_rest(&trainer, &data, format).unwrap();
+        let back = OneVsRestClassifier::from_parts(
+            clf.heads().to_vec(),
+            clf.margin_scales().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(back, clf);
+        for (x, _) in data.iter_labeled().take(20) {
+            assert_eq!(back.classify(x), clf.classify(x));
+        }
+
+        assert!(OneVsRestClassifier::from_parts(vec![], vec![]).is_err());
+        assert!(
+            OneVsRestClassifier::from_parts(clf.heads().to_vec(), vec![1.0]).is_err(),
+            "scale count mismatch must be rejected"
+        );
+        let mut bad_scales = clf.margin_scales().to_vec();
+        bad_scales[0] = f64::NAN;
+        assert!(OneVsRestClassifier::from_parts(clf.heads().to_vec(), bad_scales).is_err());
+        let mut mixed = clf.heads().to_vec();
+        mixed[0] = FixedPointClassifier::from_float(
+            &clf.heads()[0].weight_values(),
+            0.0,
+            QFormat::new(3, 3).unwrap(),
+        )
+        .unwrap();
+        assert!(
+            OneVsRestClassifier::from_parts(mixed, clf.margin_scales().to_vec()).is_err(),
+            "format disagreement must be rejected"
+        );
     }
 
     #[test]

@@ -56,7 +56,31 @@ pub struct MacTrace {
 /// # }
 /// ```
 pub fn mac_dot(w: &[Fx], x: &[Fx], mode: RoundingMode) -> Result<Fx> {
-    Ok(mac_dot_traced(w, x, mode)?.0)
+    Ok(mac_dot_counted(w, x, mode)?.0)
+}
+
+/// Like [`mac_dot`] but also returns the number of steps where the running
+/// sum wrapped past the format's range, without allocating a full
+/// [`MacTrace`]. This is the serving hot path: inference engines want the
+/// overflow count for their per-batch counters at zero allocation cost.
+///
+/// # Errors
+///
+/// Same failure modes as [`mac_dot`].
+pub fn mac_dot_counted(w: &[Fx], x: &[Fx], mode: RoundingMode) -> Result<(Fx, usize)> {
+    let fmt = check_operands(w, x)?;
+    let mut acc = fmt.zero();
+    let mut overflows = 0usize;
+    for (wi, xi) in w.iter().zip(x) {
+        let p = wi.wrapping_mul(*xi, mode)?;
+        let unbounded = acc.raw() as i128 + p.raw() as i128;
+        let next = acc.wrapping_add(p)?;
+        if next.raw() as i128 != unbounded {
+            overflows += 1;
+        }
+        acc = next;
+    }
+    Ok((acc, overflows))
 }
 
 /// Like [`mac_dot`] but also returns the full [`MacTrace`].
@@ -292,6 +316,24 @@ mod tests {
             mac_dot(&mixed, &xs, RoundingMode::Floor),
             Err(FixedPointError::FormatMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn counted_agrees_with_traced_exhaustively() {
+        let fmt = q(2, 1);
+        let vals: Vec<Fx> = fmt.enumerate().collect();
+        let x = [vals[7], vals[2], vals[5]];
+        for &a in &vals {
+            for &b in &vals {
+                for &c in &vals {
+                    let w = [a, b, c];
+                    let (y_t, trace) = mac_dot_traced(&w, &x, RoundingMode::Floor).unwrap();
+                    let (y_c, n) = mac_dot_counted(&w, &x, RoundingMode::Floor).unwrap();
+                    assert_eq!(y_t, y_c);
+                    assert_eq!(trace.intermediate_overflows, n);
+                }
+            }
+        }
     }
 
     #[test]

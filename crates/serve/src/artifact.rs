@@ -1,0 +1,725 @@
+//! The persisted model artifact: a versioned, self-describing, checksummed
+//! JSON envelope around the exact integers a trained classifier deploys.
+//!
+//! Design rules:
+//!
+//! * **Weights are stored as raw two's-complement integers**, never as
+//!   floats: a save → load round trip must reproduce the hardware word
+//!   bit-for-bit, so predictions after reload are bit-identical to the
+//!   in-memory model (property-tested in `tests/proptests.rs`).
+//! * **Self-describing**: the envelope carries the format version, the
+//!   `QK.F` format, the rounding mode, class labels, input-scaling
+//!   metadata and the training outcome, so a serving process needs nothing
+//!   but the file.
+//! * **Forward-compatibility stop**: an artifact written by a newer tool
+//!   (greater `format_version`) is rejected with
+//!   [`ServeError::UnsupportedVersion`] instead of being misread.
+//! * **Checksummed**: the payload is protected by FNV-1a/64 over its
+//!   canonical (compact, sorted-key) serialization; corruption that still
+//!   parses as JSON is caught at load time.
+//!
+//! ```text
+//! {
+//!   "format": "ldafp-model",
+//!   "format_version": 1,
+//!   "created_by": "ldafp-serve 0.1.0",
+//!   "checksum": "fnv1a64:89abcdef01234567",
+//!   "payload": {
+//!     "kind": "binary" | "one-vs-rest",
+//!     "qformat": {"k": 2, "f": 6},
+//!     "rounding": "nearest-even",
+//!     "class_labels": ["A", "B"],
+//!     "input_scale": [1.0],                 // len 1: uniform; len M: per-feature
+//!     "training": {"algorithm": "lda-fp", "outcome": "certified", ...},
+//!     "binary": {"weights": [-3, 17, ...], "threshold": 5},
+//!     // or, for one-vs-rest:
+//!     "heads": [{"weights": [...], "threshold": ...}, ...],
+//!     "margin_scales": [0.71, ...]
+//!   }
+//! }
+//! ```
+
+use crate::error::{Result, ServeError};
+use crate::json::{self, Value};
+use ldafp_core::multiclass::OneVsRestClassifier;
+use ldafp_core::{FixedPointClassifier, TrainingOutcome};
+use ldafp_fixedpoint::{QFormat, RoundingMode};
+use std::path::Path;
+
+/// Newest artifact format version this runtime reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// The `format` magic string identifying an artifact document.
+pub const FORMAT_MAGIC: &str = "ldafp-model";
+
+/// The deployable model inside an artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServedModel {
+    /// A single binary classifier (the paper's eq. 12 datapath).
+    Binary(FixedPointClassifier),
+    /// A one-vs-rest multiclass ensemble sharing one datapath.
+    OneVsRest(OneVsRestClassifier),
+}
+
+impl ServedModel {
+    /// Number of input features.
+    pub fn num_features(&self) -> usize {
+        match self {
+            ServedModel::Binary(clf) => clf.num_features(),
+            ServedModel::OneVsRest(clf) => clf.num_features(),
+        }
+    }
+
+    /// The shared `QK.F` format of every register in the datapath.
+    pub fn format(&self) -> QFormat {
+        match self {
+            ServedModel::Binary(clf) => clf.format(),
+            ServedModel::OneVsRest(clf) => clf.heads()[0].format(),
+        }
+    }
+
+    /// Number of output classes (2 for binary).
+    pub fn num_classes(&self) -> usize {
+        match self {
+            ServedModel::Binary(_) => 2,
+            ServedModel::OneVsRest(clf) => clf.num_classes(),
+        }
+    }
+}
+
+/// Provenance recorded at save time: how the model was trained and how it
+/// performed. Advisory metadata — never consulted on the inference path.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TrainingInfo {
+    /// Which trainer produced the model (`"lda-fp"`, `"lda-rounded"`, …).
+    pub algorithm: Option<String>,
+    /// Stable outcome label (`"certified"`, `"degraded"`, …).
+    pub outcome: Option<String>,
+    /// Human-readable outcome summary (degradation statistics).
+    pub outcome_summary: Option<String>,
+    /// Training-set error at save time.
+    pub training_error: Option<f64>,
+    /// Discrete Fisher cost at the trained weights, when optimized.
+    pub fisher_cost: Option<f64>,
+}
+
+impl TrainingInfo {
+    /// Populates the outcome fields from a [`TrainingOutcome`].
+    pub fn with_outcome(mut self, outcome: &TrainingOutcome) -> Self {
+        self.outcome = Some(outcome.label().to_string());
+        self.outcome_summary = Some(outcome.summary());
+        self
+    }
+
+    fn is_empty(&self) -> bool {
+        self.algorithm.is_none()
+            && self.outcome.is_none()
+            && self.outcome_summary.is_none()
+            && self.training_error.is_none()
+            && self.fisher_cost.is_none()
+    }
+}
+
+/// A complete model artifact: the model plus everything a serving process
+/// needs to run it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelArtifact {
+    /// The deployable model.
+    pub model: ServedModel,
+    /// Human-readable class labels, in output order (binary: `[A, B]`).
+    pub class_labels: Vec<String>,
+    /// Input scaling applied before quantization: one shared factor
+    /// (`len == 1`) or one factor per feature (`len == num_features`).
+    /// Records the preprocessing the training data went through so serving
+    /// inputs land on the same grid.
+    pub input_scale: Vec<f64>,
+    /// Training provenance.
+    pub training: TrainingInfo,
+}
+
+impl ModelArtifact {
+    /// Wraps a binary classifier with default `A`/`B` labels and unit
+    /// input scaling.
+    pub fn binary(classifier: FixedPointClassifier) -> Self {
+        ModelArtifact {
+            model: ServedModel::Binary(classifier),
+            class_labels: vec!["A".to_string(), "B".to_string()],
+            input_scale: vec![1.0],
+            training: TrainingInfo::default(),
+        }
+    }
+
+    /// Wraps a one-vs-rest ensemble with class-index labels and unit input
+    /// scaling.
+    pub fn one_vs_rest(classifier: OneVsRestClassifier) -> Self {
+        let class_labels = (0..classifier.num_classes())
+            .map(|c| c.to_string())
+            .collect();
+        ModelArtifact {
+            model: ServedModel::OneVsRest(classifier),
+            class_labels,
+            input_scale: vec![1.0],
+            training: TrainingInfo::default(),
+        }
+    }
+
+    /// Number of input features.
+    pub fn num_features(&self) -> usize {
+        self.model.num_features()
+    }
+
+    /// Checks internal consistency (label counts, scale arity, finite
+    /// positive scales).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Schema`] naming the offending field.
+    pub fn validate(&self) -> Result<()> {
+        let schema = |context: &str, message: String| ServeError::Schema {
+            context: context.to_string(),
+            message,
+        };
+        if self.class_labels.len() != self.model.num_classes() {
+            return Err(schema(
+                "class_labels",
+                format!(
+                    "{} labels for {} classes",
+                    self.class_labels.len(),
+                    self.model.num_classes()
+                ),
+            ));
+        }
+        let m = self.num_features();
+        if self.input_scale.len() != 1 && self.input_scale.len() != m {
+            return Err(schema(
+                "input_scale",
+                format!(
+                    "{} factors; expected 1 (uniform) or {m} (per-feature)",
+                    self.input_scale.len()
+                ),
+            ));
+        }
+        if let Some(s) = self
+            .input_scale
+            .iter()
+            .find(|s| !s.is_finite() || **s <= 0.0)
+        {
+            return Err(schema(
+                "input_scale",
+                format!("scale factor {s} must be finite and positive"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Serializes to the artifact document (pretty JSON with checksum).
+    pub fn to_json_string(&self) -> String {
+        let payload = self.payload_json();
+        let checksum = checksum_of(&payload);
+        Value::object([
+            ("format", Value::from(FORMAT_MAGIC)),
+            ("format_version", Value::from(FORMAT_VERSION)),
+            (
+                "created_by",
+                Value::from(format!("ldafp-serve {}", env!("CARGO_PKG_VERSION"))),
+            ),
+            ("checksum", Value::from(checksum)),
+            ("payload", payload),
+        ])
+        .to_pretty_string()
+    }
+
+    /// Parses and verifies an artifact document.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::Json`] with line/column/offset for malformed or
+    ///   truncated documents;
+    /// * [`ServeError::WrongMagic`] / [`ServeError::UnsupportedVersion`]
+    ///   for foreign or too-new documents;
+    /// * [`ServeError::ChecksumMismatch`] for corrupted payloads;
+    /// * [`ServeError::Schema`] for structurally invalid payloads;
+    /// * [`ServeError::Model`] when the core layer rejects the weights.
+    pub fn from_json_str(text: &str) -> Result<Self> {
+        let doc = json::parse(text)?;
+        let magic = doc.get("format").and_then(Value::as_str);
+        if magic != Some(FORMAT_MAGIC) {
+            return Err(ServeError::WrongMagic {
+                found: match doc.get("format") {
+                    Some(v) => format!("'{}'", v.to_compact_string()),
+                    None => "absent".to_string(),
+                },
+            });
+        }
+        let version = require_u32(&doc, "format_version")?;
+        if version > FORMAT_VERSION {
+            return Err(ServeError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let payload = doc.get("payload").ok_or_else(|| ServeError::Schema {
+            context: "payload".to_string(),
+            message: "missing".to_string(),
+        })?;
+        let stored = require_str(&doc, "checksum")?;
+        let computed = checksum_of(payload);
+        if stored != computed {
+            return Err(ServeError::ChecksumMismatch {
+                stored: stored.to_string(),
+                computed,
+            });
+        }
+        let artifact = Self::payload_from_json(payload)?;
+        artifact.validate()?;
+        Ok(artifact)
+    }
+
+    /// Writes the artifact to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] on write failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        std::fs::write(path, self.to_json_string()).map_err(|source| ServeError::Io {
+            target: path.display().to_string(),
+            source,
+        })
+    }
+
+    /// Reads and verifies an artifact from `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on read failure, plus every failure mode of
+    /// [`Self::from_json_str`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|source| ServeError::Io {
+            target: path.display().to_string(),
+            source,
+        })?;
+        Self::from_json_str(&text)
+    }
+
+    fn payload_json(&self) -> Value {
+        let format = self.model.format();
+        let mut fields: Vec<(&'static str, Value)> = vec![
+            (
+                "qformat",
+                Value::object([("k", Value::from(format.k())), ("f", Value::from(format.f()))]),
+            ),
+            (
+                "class_labels",
+                Value::Array(
+                    self.class_labels
+                        .iter()
+                        .map(|l| Value::from(l.as_str()))
+                        .collect(),
+                ),
+            ),
+            ("input_scale", Value::from(self.input_scale.clone())),
+        ];
+        if !self.training.is_empty() {
+            let t = &self.training;
+            let opt_str = |v: &Option<String>| {
+                v.as_ref().map_or(Value::Null, |s| Value::from(s.as_str()))
+            };
+            let opt_num = |v: &Option<f64>| v.map_or(Value::Null, Value::from);
+            fields.push((
+                "training",
+                Value::object([
+                    ("algorithm", opt_str(&t.algorithm)),
+                    ("outcome", opt_str(&t.outcome)),
+                    ("outcome_summary", opt_str(&t.outcome_summary)),
+                    ("training_error", opt_num(&t.training_error)),
+                    ("fisher_cost", opt_num(&t.fisher_cost)),
+                ]),
+            ));
+        }
+        match &self.model {
+            ServedModel::Binary(clf) => {
+                fields.push(("kind", Value::from("binary")));
+                fields.push(("rounding", Value::from(rounding_name(clf.rounding()))));
+                fields.push(("binary", head_json(clf)));
+            }
+            ServedModel::OneVsRest(clf) => {
+                fields.push(("kind", Value::from("one-vs-rest")));
+                fields.push((
+                    "rounding",
+                    Value::from(rounding_name(clf.heads()[0].rounding())),
+                ));
+                fields.push((
+                    "heads",
+                    Value::Array(clf.heads().iter().map(head_json).collect()),
+                ));
+                fields.push((
+                    "margin_scales",
+                    Value::from(clf.margin_scales().to_vec()),
+                ));
+            }
+        }
+        Value::object(fields)
+    }
+
+    fn payload_from_json(payload: &Value) -> Result<Self> {
+        let k = require_u32_at(payload, "qformat", "k")?;
+        let f = require_u32_at(payload, "qformat", "f")?;
+        let format = QFormat::new(k, f).map_err(|e| ServeError::Schema {
+            context: "payload.qformat".to_string(),
+            message: e.to_string(),
+        })?;
+        let rounding = parse_rounding(require_str(payload, "rounding")?)?;
+        let class_labels: Vec<String> = require_array(payload, "class_labels")?
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                v.as_str().map(str::to_string).ok_or_else(|| ServeError::Schema {
+                    context: format!("payload.class_labels[{i}]"),
+                    message: "expected a string".to_string(),
+                })
+            })
+            .collect::<Result<_>>()?;
+        let input_scale = f64_array(payload, "input_scale")?;
+        let training = match payload.get("training") {
+            None => TrainingInfo::default(),
+            Some(t) => TrainingInfo {
+                algorithm: opt_str(t, "algorithm"),
+                outcome: opt_str(t, "outcome"),
+                outcome_summary: opt_str(t, "outcome_summary"),
+                training_error: opt_f64(t, "training_error"),
+                fisher_cost: opt_f64(t, "fisher_cost"),
+            },
+        };
+
+        let kind = require_str(payload, "kind")?;
+        let model = match kind {
+            "binary" => {
+                let head = payload.get("binary").ok_or_else(|| ServeError::Schema {
+                    context: "payload.binary".to_string(),
+                    message: "missing for kind 'binary'".to_string(),
+                })?;
+                ServedModel::Binary(head_from_json(head, "payload.binary", format, rounding)?)
+            }
+            "one-vs-rest" => {
+                let heads = require_array(payload, "heads")?
+                    .iter()
+                    .enumerate()
+                    .map(|(i, h)| {
+                        head_from_json(h, &format!("payload.heads[{i}]"), format, rounding)
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                let margin_scales = f64_array(payload, "margin_scales")?;
+                ServedModel::OneVsRest(OneVsRestClassifier::from_parts(heads, margin_scales)?)
+            }
+            other => {
+                return Err(ServeError::Schema {
+                    context: "payload.kind".to_string(),
+                    message: format!("unknown model kind '{other}'"),
+                })
+            }
+        };
+        Ok(ModelArtifact {
+            model,
+            class_labels,
+            input_scale,
+            training,
+        })
+    }
+}
+
+fn head_json(clf: &FixedPointClassifier) -> Value {
+    Value::object([
+        (
+            "weights",
+            Value::Array(clf.weights().iter().map(|w| Value::from(w.raw())).collect()),
+        ),
+        ("threshold", Value::from(clf.threshold().raw())),
+    ])
+}
+
+fn head_from_json(
+    head: &Value,
+    context: &str,
+    format: QFormat,
+    rounding: RoundingMode,
+) -> Result<FixedPointClassifier> {
+    let weights = head
+        .get("weights")
+        .and_then(Value::as_array)
+        .ok_or_else(|| ServeError::Schema {
+            context: format!("{context}.weights"),
+            message: "expected an array of raw integers".to_string(),
+        })?
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            v.as_i64().ok_or_else(|| ServeError::Schema {
+                context: format!("{context}.weights[{i}]"),
+                message: "expected a raw integer".to_string(),
+            })
+        })
+        .collect::<Result<Vec<i64>>>()?;
+    let threshold = head
+        .get("threshold")
+        .and_then(Value::as_i64)
+        .ok_or_else(|| ServeError::Schema {
+            context: format!("{context}.threshold"),
+            message: "expected a raw integer".to_string(),
+        })?;
+    Ok(FixedPointClassifier::from_raw_parts(
+        format, &weights, threshold, rounding,
+    )?)
+}
+
+/// Stable on-disk name of a rounding mode.
+pub fn rounding_name(mode: RoundingMode) -> &'static str {
+    match mode {
+        RoundingMode::NearestEven => "nearest-even",
+        RoundingMode::NearestAway => "nearest-away",
+        RoundingMode::Floor => "floor",
+        RoundingMode::Ceil => "ceil",
+        RoundingMode::TowardZero => "toward-zero",
+    }
+}
+
+/// Inverse of [`rounding_name`].
+///
+/// # Errors
+///
+/// Returns [`ServeError::Schema`] for unknown names.
+pub fn parse_rounding(name: &str) -> Result<RoundingMode> {
+    match name {
+        "nearest-even" => Ok(RoundingMode::NearestEven),
+        "nearest-away" => Ok(RoundingMode::NearestAway),
+        "floor" => Ok(RoundingMode::Floor),
+        "ceil" => Ok(RoundingMode::Ceil),
+        "toward-zero" => Ok(RoundingMode::TowardZero),
+        other => Err(ServeError::Schema {
+            context: "payload.rounding".to_string(),
+            message: format!("unknown rounding mode '{other}'"),
+        }),
+    }
+}
+
+/// FNV-1a/64 checksum of a payload value's canonical serialization, in the
+/// artifact's `fnv1a64:<16 hex digits>` spelling.
+pub fn checksum_of(payload: &Value) -> String {
+    let canonical = payload.to_compact_string();
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in canonical.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("fnv1a64:{hash:016x}")
+}
+
+fn schema_err(context: &str, message: &str) -> ServeError {
+    ServeError::Schema {
+        context: context.to_string(),
+        message: message.to_string(),
+    }
+}
+
+fn require_str<'a>(v: &'a Value, key: &str) -> Result<&'a str> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| schema_err(key, "expected a string"))
+}
+
+fn require_u32(v: &Value, key: &str) -> Result<u32> {
+    v.get(key)
+        .and_then(Value::as_i64)
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or_else(|| schema_err(key, "expected a non-negative integer"))
+}
+
+fn require_u32_at(v: &Value, outer: &str, key: &str) -> Result<u32> {
+    v.get(outer)
+        .and_then(|o| o.get(key))
+        .and_then(Value::as_i64)
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or_else(|| schema_err(&format!("payload.{outer}.{key}"), "expected a non-negative integer"))
+}
+
+fn require_array<'a>(v: &'a Value, key: &str) -> Result<&'a [Value]> {
+    v.get(key)
+        .and_then(Value::as_array)
+        .ok_or_else(|| schema_err(&format!("payload.{key}"), "expected an array"))
+}
+
+fn f64_array(v: &Value, key: &str) -> Result<Vec<f64>> {
+    require_array(v, key)?
+        .iter()
+        .enumerate()
+        .map(|(i, x)| {
+            x.as_f64().ok_or_else(|| {
+                schema_err(&format!("payload.{key}[{i}]"), "expected a number")
+            })
+        })
+        .collect()
+}
+
+fn opt_str(v: &Value, key: &str) -> Option<String> {
+    v.get(key).and_then(Value::as_str).map(str::to_string)
+}
+
+fn opt_f64(v: &Value, key: &str) -> Option<f64> {
+    v.get(key).and_then(Value::as_f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_binary() -> ModelArtifact {
+        let format = QFormat::new(2, 5).unwrap();
+        let clf =
+            FixedPointClassifier::from_float(&[0.5, -0.25, 1.0], -0.125, format).unwrap();
+        let mut artifact = ModelArtifact::binary(clf);
+        artifact.training = TrainingInfo {
+            algorithm: Some("lda-fp".to_string()),
+            training_error: Some(0.0125),
+            fisher_cost: Some(3.5),
+            ..TrainingInfo::default()
+        }
+        .with_outcome(&TrainingOutcome::Certified);
+        artifact
+    }
+
+    #[test]
+    fn binary_roundtrip_is_bit_identical() {
+        let artifact = sample_binary();
+        let text = artifact.to_json_string();
+        let back = ModelArtifact::from_json_str(&text).unwrap();
+        assert_eq!(back, artifact);
+    }
+
+    #[test]
+    fn envelope_carries_magic_version_checksum() {
+        let text = sample_binary().to_json_string();
+        let doc = json::parse(&text).unwrap();
+        assert_eq!(doc.get("format").unwrap().as_str(), Some(FORMAT_MAGIC));
+        assert_eq!(
+            doc.get("format_version").unwrap().as_i64(),
+            Some(i64::from(FORMAT_VERSION))
+        );
+        assert!(doc
+            .get("checksum")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .starts_with("fnv1a64:"));
+    }
+
+    #[test]
+    fn newer_version_rejected() {
+        let text = sample_binary()
+            .to_json_string()
+            .replace(
+                &format!("\"format_version\": {FORMAT_VERSION}"),
+                &format!("\"format_version\": {}", FORMAT_VERSION + 7),
+            );
+        match ModelArtifact::from_json_str(&text) {
+            Err(ServeError::UnsupportedVersion { found, supported }) => {
+                assert_eq!(found, FORMAT_VERSION + 7);
+                assert_eq!(supported, FORMAT_VERSION);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        assert!(matches!(
+            ModelArtifact::from_json_str("{\"format\": \"something-else\"}"),
+            Err(ServeError::WrongMagic { .. })
+        ));
+        assert!(matches!(
+            ModelArtifact::from_json_str("{}"),
+            Err(ServeError::WrongMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        // Tamper with the payload (swap the two class labels) without
+        // updating the stored checksum: still valid JSON, still a valid
+        // schema, but no longer the payload that was hashed.
+        let text = sample_binary().to_json_string();
+        let tampered = text.replace("\"A\"", "\"X\"");
+        assert_ne!(tampered, text, "layout changed? {text}");
+        assert!(matches!(
+            ModelArtifact::from_json_str(&tampered),
+            Err(ServeError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_file_reports_offset() {
+        let text = sample_binary().to_json_string();
+        let truncated = &text[..text.len() / 2];
+        match ModelArtifact::from_json_str(truncated) {
+            Err(ServeError::Json(e)) => {
+                assert!(e.message.contains("truncated"), "{e}");
+                assert!(e.offset <= truncated.len());
+                assert!(e.line >= 1);
+            }
+            other => panic!("expected Json error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_scales_and_labels() {
+        let mut artifact = sample_binary();
+        artifact.input_scale = vec![1.0, 2.0]; // neither 1 nor M=3
+        assert!(matches!(
+            artifact.validate(),
+            Err(ServeError::Schema { .. })
+        ));
+        let mut artifact = sample_binary();
+        artifact.input_scale = vec![-1.0];
+        assert!(artifact.validate().is_err());
+        let mut artifact = sample_binary();
+        artifact.class_labels = vec!["only-one".to_string()];
+        assert!(artifact.validate().is_err());
+    }
+
+    #[test]
+    fn rounding_names_roundtrip() {
+        for mode in [
+            RoundingMode::NearestEven,
+            RoundingMode::NearestAway,
+            RoundingMode::Floor,
+            RoundingMode::Ceil,
+            RoundingMode::TowardZero,
+        ] {
+            assert_eq!(parse_rounding(rounding_name(mode)).unwrap(), mode);
+        }
+        assert!(parse_rounding("stochastic").is_err());
+    }
+
+    #[test]
+    fn save_load_roundtrip_on_disk() {
+        let artifact = sample_binary();
+        let dir = std::env::temp_dir().join(format!(
+            "ldafp-serve-artifact-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        artifact.save(&path).unwrap();
+        let back = ModelArtifact::load(&path).unwrap();
+        assert_eq!(back, artifact);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        assert!(matches!(
+            ModelArtifact::load("/nonexistent/ldafp/model.json"),
+            Err(ServeError::Io { .. })
+        ));
+    }
+}

@@ -1,0 +1,186 @@
+//! A minimal blocking client for the wire protocol — used by the CLI's
+//! `predict --remote` path, the loopback integration test, and anyone who
+//! wants to talk to a server from Rust without hand-rolling frames.
+
+use crate::error::{Result, ServeError};
+use crate::json::Value;
+use crate::metrics::MetricsSnapshot;
+use crate::wire::{self, Request};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One prediction as reported over the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemotePrediction {
+    /// Winning class index.
+    pub class_index: usize,
+    /// The server's label for that class.
+    pub label: String,
+    /// Advisory margin (see [`crate::engine::Prediction::score`]).
+    pub score: f64,
+}
+
+/// A predict reply: predictions in request order plus datapath counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictReply {
+    /// One prediction per request row, in order.
+    pub predictions: Vec<RemotePrediction>,
+    /// Accumulator wrap events in this batch.
+    pub accumulator_wraps: u64,
+    /// Out-of-range inputs clipped in this batch.
+    pub saturated_inputs: u64,
+}
+
+/// A blocking connection to one server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connects with `timeout` applied to connect, reads, and writes.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the address does not resolve or connect.
+    pub fn connect(
+        addr: impl ToSocketAddrs + std::fmt::Display,
+        timeout: Duration,
+    ) -> Result<Self> {
+        let io_err = |source: std::io::Error| ServeError::Io {
+            target: addr.to_string(),
+            source,
+        };
+        let resolved = addr
+            .to_socket_addrs()
+            .map_err(io_err)?
+            .next()
+            .ok_or_else(|| {
+                io_err(std::io::Error::new(
+                    std::io::ErrorKind::AddrNotAvailable,
+                    "address resolved to nothing",
+                ))
+            })?;
+        let stream = TcpStream::connect_timeout(&resolved, timeout).map_err(io_err)?;
+        stream.set_read_timeout(Some(timeout)).map_err(io_err)?;
+        stream.set_write_timeout(Some(timeout)).map_err(io_err)?;
+        stream.set_nodelay(true).map_err(io_err)?;
+        Ok(Client {
+            stream,
+            max_frame: wire::DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Classifies a batch of rows.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or [`ServeError::Protocol`] carrying the
+    /// server's error message when the server rejected the request.
+    pub fn predict(&mut self, rows: &[Vec<f64>]) -> Result<PredictReply> {
+        let reply = self.call(&Request::Predict {
+            rows: rows.to_vec(),
+        })?;
+        let predictions = reply
+            .get("predictions")
+            .and_then(Value::as_array)
+            .ok_or_else(|| malformed("predictions"))?
+            .iter()
+            .map(|p| {
+                Ok(RemotePrediction {
+                    class_index: p
+                        .get("class")
+                        .and_then(Value::as_i64)
+                        .and_then(|c| usize::try_from(c).ok())
+                        .ok_or_else(|| malformed("predictions[].class"))?,
+                    label: p
+                        .get("label")
+                        .and_then(Value::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                    score: p.get("score").and_then(Value::as_f64).unwrap_or(0.0),
+                })
+            })
+            .collect::<Result<_>>()?;
+        Ok(PredictReply {
+            predictions,
+            accumulator_wraps: field_u64(&reply, "accumulator_wraps"),
+            saturated_inputs: field_u64(&reply, "saturated_inputs"),
+        })
+    }
+
+    /// Probes liveness; returns the server's model summary JSON.
+    ///
+    /// # Errors
+    ///
+    /// Transport or server-side failures.
+    pub fn health(&mut self) -> Result<Value> {
+        self.call(&Request::Health)
+    }
+
+    /// Fetches the rolling metrics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Transport or server-side failures.
+    pub fn stats(&mut self) -> Result<MetricsSnapshot> {
+        let reply = self.call(&Request::Stats)?;
+        let stats = reply.get("stats").ok_or_else(|| malformed("stats"))?;
+        Ok(MetricsSnapshot {
+            requests: field_u64(stats, "requests"),
+            rows: field_u64(stats, "rows"),
+            errors: field_u64(stats, "errors"),
+            accumulator_wraps: field_u64(stats, "accumulator_wraps"),
+            saturated_inputs: field_u64(stats, "saturated_inputs"),
+            p50_us: field_u64(stats, "p50_us"),
+            p99_us: field_u64(stats, "p99_us"),
+        })
+    }
+
+    /// Asks the server to shut down gracefully.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures before the acknowledgement arrives.
+    pub fn shutdown_server(&mut self) -> Result<()> {
+        self.call(&Request::Shutdown).map(|_| ())
+    }
+
+    fn call(&mut self, request: &Request) -> Result<Value> {
+        wire::write_frame(&mut self.stream, &request.to_json()).map_err(|source| {
+            ServeError::Io {
+                target: peer_of(&self.stream),
+                source,
+            }
+        })?;
+        let reply = wire::read_frame(&mut self.stream, self.max_frame)?
+            .ok_or_else(|| ServeError::Protocol("server closed before replying".to_string()))?;
+        if reply.get("ok").and_then(Value::as_bool) == Some(true) {
+            Ok(reply)
+        } else {
+            let message = reply
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or("server reported failure without a message");
+            Err(ServeError::Protocol(format!("server error: {message}")))
+        }
+    }
+}
+
+fn field_u64(v: &Value, key: &str) -> u64 {
+    v.get(key)
+        .and_then(Value::as_i64)
+        .and_then(|n| u64::try_from(n).ok())
+        .unwrap_or(0)
+}
+
+fn malformed(field: &str) -> ServeError {
+    ServeError::Protocol(format!("server reply is missing '{field}'"))
+}
+
+fn peer_of(stream: &TcpStream) -> String {
+    stream
+        .peer_addr()
+        .map_or_else(|_| "peer".to_string(), |a| a.to_string())
+}

@@ -1,0 +1,383 @@
+//! Integer-only batched inference.
+//!
+//! The engine reproduces the deployed datapath exactly: features are
+//! scaled (per the artifact's input-scaling metadata), quantized to the
+//! model's `QK.F` grid with the model's rounding mode, and pushed through
+//! the same wrapping MAC ([`ldafp_fixedpoint::mac_dot_counted`]) the
+//! training-time classifier uses. Every decision this engine emits is
+//! bit-identical to calling [`FixedPointClassifier::classify`] /
+//! [`OneVsRestClassifier::classify`] on the in-memory model — the
+//! property tests assert it.
+//!
+//! Floats appear in exactly two advisory places, never in a decision:
+//! the reported `score` (a human-readable margin) and the one-vs-rest
+//! margin calibration, which mirrors the in-memory ensemble verbatim.
+//!
+//! Batches can be sharded across a [`WorkerPool`]; results are
+//! reassembled by shard index, so the output order always matches the
+//! input order regardless of worker scheduling.
+
+use crate::artifact::{ModelArtifact, ServedModel};
+use crate::error::{Result, ServeError};
+use crate::pool::WorkerPool;
+use ldafp_core::multiclass::OneVsRestClassifier;
+use ldafp_core::FixedPointClassifier;
+use ldafp_fixedpoint::mac_dot_counted;
+use std::sync::{Arc, Mutex};
+
+/// One classified row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Winning class index (binary: 0 = `y ≥ T`, 1 otherwise).
+    pub class_index: usize,
+    /// The artifact's label for that class.
+    pub label: String,
+    /// Advisory decision margin in value units (binary: `(y − T)·2⁻ᶠ`;
+    /// one-vs-rest: the winner's calibrated margin). Not used to decide.
+    pub score: f64,
+}
+
+/// Datapath event counters for a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchStats {
+    /// Rows classified.
+    pub rows: usize,
+    /// Wrapping-accumulator overflow events across all MACs in the batch.
+    /// Nonzero wraps with correct decisions is the paper's expected regime;
+    /// a sudden spike flags inputs outside the training distribution.
+    pub accumulator_wraps: u64,
+    /// Inputs that fell outside the representable range `[min, max]` of the
+    /// `QK.F` format *before* quantization clipped them.
+    pub saturated_inputs: u64,
+}
+
+impl BatchStats {
+    fn absorb(&mut self, other: BatchStats) {
+        self.rows += other.rows;
+        self.accumulator_wraps += other.accumulator_wraps;
+        self.saturated_inputs += other.saturated_inputs;
+    }
+}
+
+/// A classified batch: predictions in input order plus datapath counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutput {
+    /// One prediction per input row, in input order.
+    pub predictions: Vec<Prediction>,
+    /// Aggregated counters.
+    pub stats: BatchStats,
+}
+
+/// The inference runtime around one loaded artifact.
+///
+/// Cheap to clone (the artifact is behind an `Arc`), `Send + Sync`, and
+/// stateless between calls — the server shares one engine across
+/// connection threads.
+#[derive(Debug, Clone)]
+pub struct InferenceEngine {
+    artifact: Arc<ModelArtifact>,
+}
+
+impl InferenceEngine {
+    /// Wraps a validated artifact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelArtifact::validate`] failures.
+    pub fn new(artifact: ModelArtifact) -> Result<Self> {
+        artifact.validate()?;
+        Ok(InferenceEngine {
+            artifact: Arc::new(artifact),
+        })
+    }
+
+    /// The artifact being served.
+    pub fn artifact(&self) -> &ModelArtifact {
+        &self.artifact
+    }
+
+    /// Number of input features.
+    pub fn num_features(&self) -> usize {
+        self.artifact.num_features()
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.artifact.model.num_classes()
+    }
+
+    /// Classifies one row.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::FeatureMismatch`] when the row length disagrees with
+    /// the model.
+    pub fn predict_row(&self, row: &[f64]) -> Result<(Prediction, BatchStats)> {
+        self.predict_row_at(row, 0)
+    }
+
+    /// Classifies a batch sequentially, preserving input order.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ServeError::FeatureMismatch`] encountered, carrying the
+    /// offending row's batch index.
+    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Result<BatchOutput> {
+        let mut predictions = Vec::with_capacity(rows.len());
+        let mut stats = BatchStats::default();
+        for (i, row) in rows.iter().enumerate() {
+            let (p, s) = self.predict_row_at(row, i)?;
+            predictions.push(p);
+            stats.absorb(s);
+        }
+        Ok(BatchOutput { predictions, stats })
+    }
+
+    /// Classifies a batch across a worker pool.
+    ///
+    /// Rows are sharded into `pool.threads()` contiguous chunks; each shard
+    /// is classified on a worker and the outputs are reassembled by shard
+    /// index, so the result order equals the input order deterministically.
+    /// Falls back to the sequential path when the pool has one thread or
+    /// the batch is too small to be worth sharding.
+    ///
+    /// # Errors
+    ///
+    /// The lowest-row-index [`ServeError::FeatureMismatch`] in the batch
+    /// (indices are batch-global, as in [`Self::predict_batch`]).
+    pub fn predict_batch_on(
+        &self,
+        pool: &WorkerPool,
+        rows: Vec<Vec<f64>>,
+    ) -> Result<BatchOutput> {
+        const MIN_ROWS_PER_SHARD: usize = 16;
+        let shards = pool
+            .threads()
+            .min(rows.len() / MIN_ROWS_PER_SHARD.max(1))
+            .max(1);
+        if shards == 1 {
+            return self.predict_batch(&rows);
+        }
+        let rows = Arc::new(rows);
+        let chunk = rows.len().div_ceil(shards);
+        let slots: Arc<Mutex<Vec<Option<Result<BatchOutput>>>>> =
+            Arc::new(Mutex::new((0..shards).map(|_| None).collect()));
+        let engine = self.clone();
+        {
+            let rows = Arc::clone(&rows);
+            let slots = Arc::clone(&slots);
+            pool.scatter(shards, move |shard| {
+                let start = shard * chunk;
+                let end = (start + chunk).min(rows.len());
+                let out = engine
+                    .predict_batch(&rows[start..end])
+                    .map_err(|e| offset_row(e, start));
+                slots.lock().unwrap_or_else(|e| e.into_inner())[shard] = Some(out);
+            });
+        }
+        // Workers may not have dropped their closure clones of `slots` the
+        // instant scatter's barrier releases, so take the contents through
+        // the lock rather than unwrapping the Arc.
+        let slots = std::mem::take(&mut *slots.lock().unwrap_or_else(|e| e.into_inner()));
+        let mut predictions = Vec::with_capacity(rows.len());
+        let mut stats = BatchStats::default();
+        for slot in slots {
+            let shard = slot.expect("scatter ran every shard")?;
+            predictions.extend(shard.predictions);
+            stats.absorb(shard.stats);
+        }
+        Ok(BatchOutput { predictions, stats })
+    }
+
+    fn predict_row_at(&self, row: &[f64], index: usize) -> Result<(Prediction, BatchStats)> {
+        if row.len() != self.num_features() {
+            return Err(ServeError::FeatureMismatch {
+                expected: self.num_features(),
+                got: row.len(),
+                row: index,
+            });
+        }
+        let scaled = self.scale_row(row);
+        let format = self.artifact.model.format();
+        let saturated_inputs = scaled
+            .iter()
+            .filter(|x| **x < format.min_value() || **x > format.max_value())
+            .count() as u64;
+        let (class_index, score, wraps) = match &self.artifact.model {
+            ServedModel::Binary(clf) => binary_decision(clf, &scaled),
+            ServedModel::OneVsRest(clf) => one_vs_rest_decision(clf, &scaled),
+        };
+        let prediction = Prediction {
+            class_index,
+            label: self.artifact.class_labels[class_index].clone(),
+            score,
+        };
+        let stats = BatchStats {
+            rows: 1,
+            accumulator_wraps: wraps,
+            saturated_inputs,
+        };
+        Ok((prediction, stats))
+    }
+
+    fn scale_row(&self, row: &[f64]) -> Vec<f64> {
+        let scale = &self.artifact.input_scale;
+        if scale.len() == 1 {
+            if scale[0] == 1.0 {
+                return row.to_vec();
+            }
+            return row.iter().map(|x| x * scale[0]).collect();
+        }
+        row.iter().zip(scale).map(|(x, s)| x * s).collect()
+    }
+}
+
+/// Binary decision on the wrapping MAC. Identical comparison to
+/// [`FixedPointClassifier::classify`]: `y.raw ≥ T.raw` picks class 0.
+fn binary_decision(clf: &FixedPointClassifier, scaled: &[f64]) -> (usize, f64, u64) {
+    let format = clf.format();
+    let xq = format.quantize_slice(scaled, clf.rounding());
+    let (y, wraps) = mac_dot_counted(clf.weights(), &xq, clf.rounding())
+        .expect("formats agree by construction");
+    let margin_raw = y.raw() - clf.threshold().raw();
+    let class_index = usize::from(margin_raw < 0);
+    (
+        class_index,
+        margin_raw as f64 * format.resolution(),
+        wraps as u64,
+    )
+}
+
+/// One-vs-rest decision mirroring [`OneVsRestClassifier::classify`]:
+/// per-head raw margin, calibrated by `margin_scale`, argmax with ties to
+/// the lowest class index.
+fn one_vs_rest_decision(clf: &OneVsRestClassifier, scaled: &[f64]) -> (usize, f64, u64) {
+    let format = clf.heads()[0].format();
+    let rounding = clf.heads()[0].rounding();
+    let xq = format.quantize_slice(scaled, rounding);
+    let mut best_class = 0usize;
+    let mut best_margin = f64::NEG_INFINITY;
+    let mut wraps = 0u64;
+    for (c, (head, scale)) in clf.heads().iter().zip(clf.margin_scales()).enumerate() {
+        let (y, w) = mac_dot_counted(head.weights(), &xq, rounding)
+            .expect("heads share the format by construction");
+        wraps += w as u64;
+        let margin = (y.raw() - head.threshold().raw()) as f64 * scale;
+        if margin > best_margin {
+            best_margin = margin;
+            best_class = c;
+        }
+    }
+    (best_class, best_margin, wraps)
+}
+
+fn offset_row(e: ServeError, by: usize) -> ServeError {
+    match e {
+        ServeError::FeatureMismatch { expected, got, row } => ServeError::FeatureMismatch {
+            expected,
+            got,
+            row: row + by,
+        },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldafp_fixedpoint::QFormat;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn binary_engine() -> (InferenceEngine, FixedPointClassifier) {
+        let format = QFormat::new(2, 6).unwrap();
+        let clf = FixedPointClassifier::from_float(
+            &[0.75, -0.5, 0.25, 1.0],
+            0.125,
+            format,
+        )
+        .unwrap();
+        let engine = InferenceEngine::new(ModelArtifact::binary(clf.clone())).unwrap();
+        (engine, clf)
+    }
+
+    fn random_rows(n: usize, m: usize, seed: u64, amp: f64) -> Vec<Vec<f64>> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..m).map(|_| rng.gen_range(-amp..amp)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn binary_matches_in_memory_classifier_bit_for_bit() {
+        let (engine, clf) = binary_engine();
+        for row in random_rows(200, 4, 7, 1.8) {
+            let (p, _) = engine.predict_row(&row).unwrap();
+            let expected = usize::from(!clf.classify(&row));
+            assert_eq!(p.class_index, expected, "row {row:?}");
+        }
+    }
+
+    #[test]
+    fn batch_order_is_input_order_sequential_and_parallel() {
+        let (engine, _) = binary_engine();
+        let rows = random_rows(257, 4, 11, 1.5);
+        let sequential = engine.predict_batch(&rows).unwrap();
+        let pool = WorkerPool::new(4);
+        let parallel = engine.predict_batch_on(&pool, rows.clone()).unwrap();
+        assert_eq!(sequential, parallel);
+        assert_eq!(sequential.predictions.len(), rows.len());
+        assert_eq!(sequential.stats.rows, rows.len());
+    }
+
+    #[test]
+    fn feature_mismatch_carries_global_row_index() {
+        let (engine, _) = binary_engine();
+        let mut rows = random_rows(100, 4, 3, 1.0);
+        rows[73] = vec![0.0; 5];
+        match engine.predict_batch(&rows) {
+            Err(ServeError::FeatureMismatch { expected, got, row }) => {
+                assert_eq!((expected, got, row), (4, 5, 73));
+            }
+            other => panic!("expected FeatureMismatch, got {other:?}"),
+        }
+        let pool = WorkerPool::new(4);
+        match engine.predict_batch_on(&pool, rows) {
+            Err(ServeError::FeatureMismatch { row, .. }) => assert_eq!(row, 73),
+            other => panic!("expected FeatureMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn saturation_counter_sees_out_of_range_inputs() {
+        let (engine, _) = binary_engine();
+        // Q2.6 represents [-2, 2); 100.0 is far outside.
+        let (_, stats) = engine.predict_row(&[100.0, 0.0, 0.0, -100.0]).unwrap();
+        assert_eq!(stats.saturated_inputs, 2);
+        let (_, clean) = engine.predict_row(&[0.5, 0.5, 0.5, 0.5]).unwrap();
+        assert_eq!(clean.saturated_inputs, 0);
+    }
+
+    #[test]
+    fn input_scale_is_applied_before_quantization() {
+        let (_, clf) = binary_engine();
+        let mut artifact = ModelArtifact::binary(clf.clone());
+        artifact.input_scale = vec![0.5];
+        let engine = InferenceEngine::new(artifact).unwrap();
+        for row in random_rows(50, 4, 13, 3.0) {
+            let halved: Vec<f64> = row.iter().map(|x| x * 0.5).collect();
+            let (p, _) = engine.predict_row(&row).unwrap();
+            assert_eq!(p.class_index, usize::from(!clf.classify(&halved)));
+        }
+    }
+
+    #[test]
+    fn wrap_counter_fires_on_adversarial_weights() {
+        // Large same-sign weights and inputs force accumulator wraps in Q2.x.
+        let format = QFormat::new(2, 4).unwrap();
+        let clf = FixedPointClassifier::from_float(&[1.9; 8], 0.0, format).unwrap();
+        let engine = InferenceEngine::new(ModelArtifact::binary(clf)).unwrap();
+        let (_, stats) = engine.predict_row(&[1.9; 8]).unwrap();
+        assert!(stats.accumulator_wraps > 0);
+    }
+}

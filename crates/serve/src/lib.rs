@@ -1,0 +1,47 @@
+//! `ldafp-serve` — model artifacts and an integer-only inference runtime
+//! with a threaded TCP server for LDA-FP classifiers.
+//!
+//! The paper trains classifiers whose deployed form is a handful of `QK.F`
+//! integers and a wrapping MAC. This crate is the deployment half of that
+//! story, in three layers:
+//!
+//! 1. **[`artifact`]** — a versioned, checksummed JSON envelope holding
+//!    the exact raw two's-complement weights (never floats), the `QK.F`
+//!    format, rounding mode, class labels, input-scaling metadata, and the
+//!    training outcome. Save → load → predict is bit-identical to the
+//!    in-memory model.
+//! 2. **[`engine`]** — batched inference over the same wrapping-MAC
+//!    datapath used at training time ([`ldafp_fixedpoint::mac_dot_counted`]),
+//!    with per-batch overflow/saturation counters and deterministic
+//!    input-order results, optionally sharded across a [`pool::WorkerPool`]
+//!    built on `std::thread` (no async runtime).
+//! 3. **[`server`]/[`client`]** — a minimal length-prefixed JSON-over-TCP
+//!    protocol ([`wire`]) on `std::net`, with per-connection timeouts,
+//!    bounded request frames, graceful shutdown, and a rolling
+//!    [`metrics`] snapshot (request/row counts, p50/p99 latency,
+//!    saturation events).
+//!
+//! JSON is hand-rolled in [`json`] (object-key-sorted, shortest-roundtrip
+//! floats) so the serving stack has zero dependencies beyond the
+//! workspace's own crates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod client;
+pub mod engine;
+pub mod error;
+pub mod json;
+pub mod metrics;
+pub mod pool;
+pub mod server;
+pub mod wire;
+
+pub use artifact::{ModelArtifact, ServedModel, TrainingInfo, FORMAT_VERSION};
+pub use client::{Client, PredictReply, RemotePrediction};
+pub use engine::{BatchOutput, BatchStats, InferenceEngine, Prediction};
+pub use error::{Result, ServeError};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use pool::WorkerPool;
+pub use server::{serve, ServerConfig, ServerHandle};

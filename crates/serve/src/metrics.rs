@@ -1,0 +1,163 @@
+//! Lock-free rolling metrics for the server: request/row counters, datapath
+//! event counters, and a fixed-bucket latency histogram good enough for
+//! p50/p99 without allocation on the hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Upper edges (µs, inclusive) of the latency histogram buckets; the last
+/// bucket is open-ended. Roughly logarithmic from 50µs to 5s.
+const BUCKET_EDGES_US: [u64; 14] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 500_000, 1_000_000,
+    5_000_000,
+];
+
+/// Shared, thread-safe metrics registry. One instance lives behind an
+/// `Arc` for the server's whole lifetime; connection threads record into
+/// it with relaxed atomics.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    requests: AtomicU64,
+    rows: AtomicU64,
+    errors: AtomicU64,
+    accumulator_wraps: AtomicU64,
+    saturated_inputs: AtomicU64,
+    latency_buckets: [AtomicU64; BUCKET_EDGES_US.len() + 1],
+}
+
+/// A point-in-time copy of the counters, with derived percentiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Predict requests served (successfully).
+    pub requests: u64,
+    /// Rows classified across all requests.
+    pub rows: u64,
+    /// Requests rejected with an error.
+    pub errors: u64,
+    /// Accumulator wrap events observed by the engine.
+    pub accumulator_wraps: u64,
+    /// Out-of-range inputs clipped at quantization.
+    pub saturated_inputs: u64,
+    /// Median request latency, µs (upper bucket edge; 0 when empty).
+    pub p50_us: u64,
+    /// 99th-percentile request latency, µs (upper bucket edge).
+    pub p99_us: u64,
+}
+
+impl Metrics {
+    /// Fresh, zeroed registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one served predict request.
+    pub fn record_request(&self, rows: u64, wraps: u64, saturated: u64, latency: Duration) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.rows.fetch_add(rows, Ordering::Relaxed);
+        self.accumulator_wraps.fetch_add(wraps, Ordering::Relaxed);
+        self.saturated_inputs.fetch_add(saturated, Ordering::Relaxed);
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        let bucket = BUCKET_EDGES_US
+            .iter()
+            .position(|edge| us <= *edge)
+            .unwrap_or(BUCKET_EDGES_US.len());
+        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request that failed.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the counters and derives p50/p99 from the histogram.
+    ///
+    /// A percentile is reported as the upper edge of the first bucket whose
+    /// cumulative count reaches that fraction of all requests — an upper
+    /// bound with bucket-width resolution, which is all a rolling health
+    /// endpoint needs.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let buckets: Vec<u64> = self
+            .latency_buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = buckets.iter().sum();
+        let percentile = |p: f64| -> u64 {
+            if total == 0 {
+                return 0;
+            }
+            let target = (p * total as f64).ceil() as u64;
+            let mut cumulative = 0u64;
+            for (i, count) in buckets.iter().enumerate() {
+                cumulative += count;
+                if cumulative >= target {
+                    return BUCKET_EDGES_US
+                        .get(i)
+                        .copied()
+                        .unwrap_or(u64::MAX);
+                }
+            }
+            u64::MAX
+        };
+        MetricsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            rows: self.rows.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            accumulator_wraps: self.accumulator_wraps.load(Ordering::Relaxed),
+            saturated_inputs: self.saturated_inputs.load(Ordering::Relaxed),
+            p50_us: percentile(0.50),
+            p99_us: percentile(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let m = Metrics::new();
+        let s = m.snapshot();
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.p50_us, 0);
+        assert_eq!(s.p99_us, 0);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.record_request(10, 2, 1, Duration::from_micros(80));
+        m.record_request(5, 0, 0, Duration::from_micros(300));
+        m.record_error();
+        let s = m.snapshot();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.rows, 15);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.accumulator_wraps, 2);
+        assert_eq!(s.saturated_inputs, 1);
+    }
+
+    #[test]
+    fn percentiles_track_the_distribution() {
+        let m = Metrics::new();
+        // 98 fast requests, 2 slow ones.
+        for _ in 0..98 {
+            m.record_request(1, 0, 0, Duration::from_micros(40));
+        }
+        for _ in 0..2 {
+            m.record_request(1, 0, 0, Duration::from_millis(40));
+        }
+        let s = m.snapshot();
+        assert_eq!(s.p50_us, 50, "median in the fastest bucket");
+        assert_eq!(s.p99_us, 50_000, "p99 reaches the slow bucket");
+    }
+
+    #[test]
+    fn oversized_latency_lands_in_open_bucket() {
+        let m = Metrics::new();
+        m.record_request(1, 0, 0, Duration::from_secs(60));
+        let s = m.snapshot();
+        assert_eq!(s.p50_us, u64::MAX);
+    }
+}

@@ -1,0 +1,199 @@
+//! A small reusable worker pool on `std::thread` — no external runtime.
+//!
+//! The serving layer needs to fan a batch of rows across cores and to
+//! handle TCP connections concurrently, but the repository deliberately
+//! avoids async runtimes (the inference kernel is pure integer arithmetic;
+//! an executor would add dependency weight for no datapath benefit). This
+//! pool is the classic shared-channel design: one `mpsc` sender handing
+//! boxed closures to `n` long-lived workers draining a mutex-guarded
+//! receiver. Threads are spawned once and reused across batches, so
+//! steady-state dispatch cost is one channel send per job.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads executing boxed jobs.
+///
+/// Dropping the pool closes the channel and joins every worker; jobs
+/// already queued still run to completion first.
+pub struct WorkerPool {
+    sender: Option<mpsc::Sender<Job>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.workers.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                thread::Builder::new()
+                    .name(format!("ldafp-serve-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only long enough to dequeue; the job
+                        // itself runs unlocked so workers proceed in parallel.
+                        let job = {
+                            let guard = receiver.lock().unwrap_or_else(|e| e.into_inner());
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break, // channel closed: pool dropped
+                        }
+                    })
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Pool size chosen from the machine: one worker per available core.
+    pub fn with_default_size() -> Self {
+        Self::new(available_parallelism())
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queues a job for execution on some worker.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.sender
+            .as_ref()
+            .expect("pool sender alive until drop")
+            .send(Box::new(job))
+            .expect("workers alive until drop");
+    }
+
+    /// Runs `f(i)` for every index in `0..n` across the pool and blocks
+    /// until all complete. Panics in jobs are contained to their worker's
+    /// result slot and re-raised here after the barrier.
+    pub fn scatter(&self, n: usize, f: impl Fn(usize) + Send + Sync + 'static) {
+        if n == 0 {
+            return;
+        }
+        let f = Arc::new(f);
+        let (done_tx, done_rx) = mpsc::channel::<std::thread::Result<()>>();
+        for i in 0..n {
+            let f = Arc::clone(&f);
+            let done = done_tx.clone();
+            self.execute(move || {
+                let result =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i)));
+                // The receiver may have bailed on an earlier panic; a dead
+                // channel here is fine.
+                let _ = done.send(result);
+            });
+        }
+        drop(done_tx);
+        for result in done_rx.iter().take(n) {
+            if let Err(panic) = result {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel lets each worker's recv() fail and exit.
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Available hardware parallelism, defaulting to 1 when unknown.
+pub fn available_parallelism() -> usize {
+    thread::available_parallelism().map_or(1, usize::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scatter_runs_every_index_once() {
+        let pool = WorkerPool::new(4);
+        let hits = Arc::new((0..64).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>());
+        let h = Arc::clone(&hits);
+        pool.scatter(64, move |i| {
+            h[i].fetch_add(1, Ordering::SeqCst);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::SeqCst), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_batches() {
+        let pool = WorkerPool::new(2);
+        let total = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let t = Arc::clone(&total);
+            pool.scatter(8, move |_| {
+                t.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(total.load(Ordering::SeqCst), 80);
+        assert_eq!(pool.threads(), 2);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        pool.scatter(3, move |_| {
+            r.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn scatter_propagates_worker_panics() {
+        let pool = WorkerPool::new(2);
+        pool.scatter(4, |i| {
+            if i == 2 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn drop_joins_workers_after_queued_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(2);
+            for _ in 0..16 {
+                let c = Arc::clone(&counter);
+                pool.execute(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        } // drop here: must flush the queue, then join
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+}

@@ -1,0 +1,335 @@
+//! The TCP serving loop: `std::net` only, one thread per connection,
+//! batches sharded across a shared [`WorkerPool`].
+//!
+//! Lifecycle: [`serve`] binds the listener and returns a [`ServerHandle`]
+//! immediately; the accept loop runs on its own thread. Shutdown is
+//! cooperative — a flipped [`AtomicBool`] plus a self-connection to
+//! unblock `accept()` — and can be triggered either from the handle
+//! (in-process) or by a client's `shutdown` request (over the wire).
+//! Connection threads notice the flag at their next read-timeout tick and
+//! drain.
+
+use crate::engine::InferenceEngine;
+use crate::error::{Result, ServeError};
+use crate::json::Value;
+use crate::metrics::Metrics;
+use crate::pool::WorkerPool;
+use crate::wire::{self, Request};
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Tunables for [`serve`]. `Default` is sized for a loopback deployment.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads for batch inference (0 = one per core).
+    pub inference_threads: usize,
+    /// Bound on a single request frame, bytes.
+    pub max_frame: usize,
+    /// Per-connection read timeout. Also the shutdown-notice latency for
+    /// idle connections.
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            inference_threads: 0,
+            max_frame: wire::DEFAULT_MAX_FRAME,
+            read_timeout: Duration::from_millis(250),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Control handle for a running server.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    metrics: Arc<Metrics>,
+    acceptor: Option<thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actually-bound address (resolves `:0` to the assigned port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's live metrics registry.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Whether shutdown has been requested (by this handle or a client).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown and blocks until the accept loop exits.
+    /// Idempotent; in-flight connections drain within one read-timeout.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        wake_acceptor(self.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Blocks until the accept loop exits (e.g. after a client-initiated
+    /// shutdown request), without initiating shutdown itself.
+    pub fn join(&mut self) {
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds `addr` and starts serving `engine` in the background.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] when binding fails (address in use, permissions, …).
+pub fn serve(
+    engine: InferenceEngine,
+    addr: impl ToSocketAddrs + std::fmt::Display,
+    config: ServerConfig,
+) -> Result<ServerHandle> {
+    let listener = TcpListener::bind(&addr).map_err(|source| ServeError::Io {
+        target: addr.to_string(),
+        source,
+    })?;
+    let local = listener.local_addr().map_err(|source| ServeError::Io {
+        target: addr.to_string(),
+        source,
+    })?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let metrics = Arc::new(Metrics::new());
+    let pool = Arc::new(if config.inference_threads == 0 {
+        WorkerPool::with_default_size()
+    } else {
+        WorkerPool::new(config.inference_threads)
+    });
+
+    let acceptor = {
+        let shutdown = Arc::clone(&shutdown);
+        let metrics = Arc::clone(&metrics);
+        thread::Builder::new()
+            .name("ldafp-serve-acceptor".to_string())
+            .spawn(move || {
+                accept_loop(listener, local, engine, pool, metrics, shutdown, config);
+            })
+            .map_err(|source| ServeError::Io {
+                target: "acceptor thread".to_string(),
+                source,
+            })?
+    };
+
+    Ok(ServerHandle {
+        addr: local,
+        shutdown,
+        metrics,
+        acceptor: Some(acceptor),
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn accept_loop(
+    listener: TcpListener,
+    local: SocketAddr,
+    engine: InferenceEngine,
+    pool: Arc<WorkerPool>,
+    metrics: Arc<Metrics>,
+    shutdown: Arc<AtomicBool>,
+    config: ServerConfig,
+) {
+    let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_read_timeout(Some(config.read_timeout));
+        let _ = stream.set_write_timeout(Some(config.write_timeout));
+        let _ = stream.set_nodelay(true);
+        connections.retain(|c| !c.is_finished());
+        let engine = engine.clone();
+        let pool = Arc::clone(&pool);
+        let metrics = Arc::clone(&metrics);
+        let shutdown = Arc::clone(&shutdown);
+        let config = config.clone();
+        if let Ok(handle) = thread::Builder::new()
+            .name("ldafp-serve-conn".to_string())
+            .spawn(move || {
+                handle_connection(stream, local, &engine, &pool, &metrics, &shutdown, &config);
+            })
+        {
+            connections.push(handle);
+        }
+    }
+    for c in connections {
+        let _ = c.join();
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    local: SocketAddr,
+    engine: &InferenceEngine,
+    pool: &WorkerPool,
+    metrics: &Metrics,
+    shutdown: &AtomicBool,
+    config: &ServerConfig,
+) {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let frame = match wire::read_frame(&mut stream, config.max_frame) {
+            Ok(Some(v)) => v,
+            Ok(None) => break, // peer closed cleanly between frames
+            Err(ServeError::Io { source, .. })
+                if matches!(
+                    source.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue; // idle tick: re-check the shutdown flag
+            }
+            Err(e) => {
+                // Oversized or desynced frame: report, then close — the
+                // stream position is no longer trustworthy.
+                metrics.record_error();
+                let _ = wire::write_frame(&mut stream, &wire::error_response(&e));
+                break;
+            }
+        };
+        let response = match Request::from_json(&frame) {
+            Err(e) => {
+                metrics.record_error();
+                wire::error_response(&e)
+            }
+            Ok(Request::Predict { rows }) => {
+                let started = Instant::now();
+                match engine.predict_batch_on(pool, rows) {
+                    Ok(out) => {
+                        metrics.record_request(
+                            out.stats.rows as u64,
+                            out.stats.accumulator_wraps,
+                            out.stats.saturated_inputs,
+                            started.elapsed(),
+                        );
+                        predict_response(&out)
+                    }
+                    Err(e) => {
+                        metrics.record_error();
+                        wire::error_response(&e)
+                    }
+                }
+            }
+            Ok(Request::Health) => health_response(engine),
+            Ok(Request::Stats) => stats_response(metrics),
+            Ok(Request::Shutdown) => {
+                shutdown.store(true, Ordering::SeqCst);
+                let ack = Value::object([
+                    ("ok", Value::from(true)),
+                    ("shutting_down", Value::from(true)),
+                ]);
+                let _ = wire::write_frame(&mut stream, &ack);
+                let _ = stream.shutdown(Shutdown::Both);
+                wake_acceptor(local);
+                return;
+            }
+        };
+        if wire::write_frame(&mut stream, &response).is_err() {
+            break;
+        }
+    }
+}
+
+fn predict_response(out: &crate::engine::BatchOutput) -> Value {
+    Value::object([
+        ("ok", Value::from(true)),
+        (
+            "predictions",
+            Value::Array(
+                out.predictions
+                    .iter()
+                    .map(|p| {
+                        Value::object([
+                            ("class", Value::from(p.class_index)),
+                            ("label", Value::from(p.label.as_str())),
+                            ("score", Value::from(p.score)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("rows", Value::from(out.stats.rows)),
+        ("accumulator_wraps", Value::from(out.stats.accumulator_wraps)),
+        ("saturated_inputs", Value::from(out.stats.saturated_inputs)),
+    ])
+}
+
+fn health_response(engine: &InferenceEngine) -> Value {
+    let artifact = engine.artifact();
+    let format = artifact.model.format();
+    Value::object([
+        ("ok", Value::from(true)),
+        ("status", Value::from("healthy")),
+        (
+            "model",
+            Value::object([
+                (
+                    "kind",
+                    Value::from(match artifact.model {
+                        crate::artifact::ServedModel::Binary(_) => "binary",
+                        crate::artifact::ServedModel::OneVsRest(_) => "one-vs-rest",
+                    }),
+                ),
+                ("qformat", Value::from(format.to_string())),
+                ("features", Value::from(engine.num_features())),
+                ("classes", Value::from(engine.num_classes())),
+            ]),
+        ),
+    ])
+}
+
+fn stats_response(metrics: &Metrics) -> Value {
+    let s = metrics.snapshot();
+    Value::object([
+        ("ok", Value::from(true)),
+        (
+            "stats",
+            Value::object([
+                ("requests", Value::from(s.requests)),
+                ("rows", Value::from(s.rows)),
+                ("errors", Value::from(s.errors)),
+                ("accumulator_wraps", Value::from(s.accumulator_wraps)),
+                ("saturated_inputs", Value::from(s.saturated_inputs)),
+                ("p50_us", Value::from(s.p50_us)),
+                ("p99_us", Value::from(s.p99_us)),
+            ]),
+        ),
+    ])
+}
+
+/// Pokes the listener so a blocked `accept()` observes the shutdown flag.
+fn wake_acceptor(addr: SocketAddr) {
+    if let Ok(mut s) = TcpStream::connect_timeout(&addr, Duration::from_millis(200)) {
+        let _ = s.flush();
+        let _ = s.shutdown(Shutdown::Both);
+    }
+}

@@ -1,0 +1,282 @@
+//! Length-prefixed JSON framing and the request/response vocabulary.
+//!
+//! Every message on the wire is one frame:
+//!
+//! ```text
+//! ┌────────────────────┬──────────────────────────────┐
+//! │ length: u32 BE     │ body: UTF-8 JSON, `length` B │
+//! └────────────────────┴──────────────────────────────┘
+//! ```
+//!
+//! Requests are `{"op": "predict"|"health"|"stats"|"shutdown", ...}`;
+//! responses carry `"ok": true` plus op-specific fields, or
+//! `"ok": false, "error": "..."`. The length prefix bounds reads (a frame
+//! larger than the configured maximum is rejected *before* its body is
+//! read), and a short read inside a frame is a protocol error, not a
+//! silent truncation.
+
+use crate::error::{Result, ServeError};
+use crate::json::{self, Value};
+use std::io::{Read, Write};
+
+/// Default bound on a single frame body (16 MiB).
+pub const DEFAULT_MAX_FRAME: usize = 16 << 20;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Classify a batch of rows.
+    Predict {
+        /// Feature rows, batch-ordered.
+        rows: Vec<Vec<f64>>,
+    },
+    /// Liveness + model identity probe.
+    Health,
+    /// Rolling metrics snapshot.
+    Stats,
+    /// Ask the server to stop accepting connections and drain.
+    Shutdown,
+}
+
+impl Request {
+    /// Serializes the request to its wire JSON.
+    pub fn to_json(&self) -> Value {
+        match self {
+            Request::Predict { rows } => Value::object([
+                ("op", Value::from("predict")),
+                (
+                    "rows",
+                    Value::Array(
+                        rows.iter()
+                            .map(|r| Value::from(r.clone()))
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Request::Health => Value::object([("op", Value::from("health"))]),
+            Request::Stats => Value::object([("op", Value::from("stats"))]),
+            Request::Shutdown => Value::object([("op", Value::from("shutdown"))]),
+        }
+    }
+
+    /// Parses a request from its wire JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Schema`] for unknown ops or malformed rows.
+    pub fn from_json(v: &Value) -> Result<Self> {
+        let op = v.get("op").and_then(Value::as_str).ok_or_else(|| {
+            ServeError::Schema {
+                context: "op".to_string(),
+                message: "expected a string naming the operation".to_string(),
+            }
+        })?;
+        match op {
+            "predict" => {
+                let rows = v
+                    .get("rows")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| ServeError::Schema {
+                        context: "rows".to_string(),
+                        message: "predict requires an array of rows".to_string(),
+                    })?
+                    .iter()
+                    .enumerate()
+                    .map(|(i, row)| {
+                        row.as_array()
+                            .ok_or_else(|| ServeError::Schema {
+                                context: format!("rows[{i}]"),
+                                message: "expected an array of numbers".to_string(),
+                            })?
+                            .iter()
+                            .enumerate()
+                            .map(|(j, x)| {
+                                x.as_f64().ok_or_else(|| ServeError::Schema {
+                                    context: format!("rows[{i}][{j}]"),
+                                    message: "expected a number".to_string(),
+                                })
+                            })
+                            .collect()
+                    })
+                    .collect::<Result<Vec<Vec<f64>>>>()?;
+                Ok(Request::Predict { rows })
+            }
+            "health" => Ok(Request::Health),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(ServeError::Schema {
+                context: "op".to_string(),
+                message: format!("unknown operation '{other}'"),
+            }),
+        }
+    }
+}
+
+/// Builds the error response for a failed request.
+pub fn error_response(e: &ServeError) -> Value {
+    Value::object([
+        ("ok", Value::from(false)),
+        ("error", Value::from(e.to_string())),
+    ])
+}
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// Propagates I/O failures (as raw `io::Error` for the caller to wrap with
+/// its target address).
+pub fn write_frame(w: &mut impl Write, v: &Value) -> std::io::Result<()> {
+    let body = v.to_compact_string();
+    let len = u32::try_from(body.len()).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame exceeds u32 length")
+    })?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one frame, returning `None` on clean EOF *between* frames.
+///
+/// # Errors
+///
+/// * [`ServeError::FrameTooLarge`] when the prefix exceeds `max` (the body
+///   is not read);
+/// * [`ServeError::Protocol`] when the stream ends inside a frame;
+/// * [`ServeError::Json`] when the body is not valid JSON;
+/// * [`ServeError::Io`] for transport failures (timeouts included).
+pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Option<Value>> {
+    let mut prefix = [0u8; 4];
+    match read_exact_or_eof(r, &mut prefix)? {
+        ReadOutcome::CleanEof => return Ok(None),
+        ReadOutcome::Short(n) => {
+            return Err(ServeError::Protocol(format!(
+                "stream ended {n} bytes into a frame length prefix"
+            )))
+        }
+        ReadOutcome::Full => {}
+    }
+    let length = u32::from_be_bytes(prefix) as usize;
+    if length > max {
+        return Err(ServeError::FrameTooLarge { length, max });
+    }
+    let mut body = vec![0u8; length];
+    match read_exact_or_eof(r, &mut body)? {
+        ReadOutcome::Full => {}
+        ReadOutcome::CleanEof | ReadOutcome::Short(_) => {
+            return Err(ServeError::Protocol(format!(
+                "stream ended inside a {length}-byte frame body"
+            )))
+        }
+    }
+    let text = std::str::from_utf8(&body)
+        .map_err(|e| ServeError::Protocol(format!("frame body is not UTF-8: {e}")))?;
+    Ok(Some(json::parse(text)?))
+}
+
+enum ReadOutcome {
+    Full,
+    CleanEof,
+    Short(usize),
+}
+
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<ReadOutcome> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    ReadOutcome::CleanEof
+                } else {
+                    ReadOutcome::Short(filled)
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                return Err(ServeError::Io {
+                    target: "stream".to_string(),
+                    source: e,
+                })
+            }
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let req = Request::Predict {
+            rows: vec![vec![0.5, -0.25], vec![1.0, 0.0]],
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req.to_json()).unwrap();
+        let back = read_frame(&mut buf.as_slice(), DEFAULT_MAX_FRAME)
+            .unwrap()
+            .unwrap();
+        assert_eq!(Request::from_json(&back).unwrap(), req);
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        let empty: &[u8] = &[];
+        assert!(read_frame(&mut &*empty, 1024).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_prefix_rejected_without_reading_body() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(1_000_000u32).to_be_bytes());
+        // No body at all: the bound check must fire first.
+        match read_frame(&mut buf.as_slice(), 1024) {
+            Err(ServeError::FrameTooLarge { length, max }) => {
+                assert_eq!((length, max), (1_000_000, 1024));
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_body_is_protocol_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Value::from("hello")).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(
+            read_frame(&mut buf.as_slice(), 1024),
+            Err(ServeError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_prefix_is_protocol_error() {
+        let buf = [0u8, 0u8];
+        assert!(matches!(
+            read_frame(&mut &buf[..], 1024),
+            Err(ServeError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_op_rejected() {
+        let v = Value::object([("op", Value::from("teleport"))]);
+        assert!(matches!(
+            Request::from_json(&v),
+            Err(ServeError::Schema { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_rows_rejected_with_position() {
+        let v = json::parse("{\"op\": \"predict\", \"rows\": [[1.0, \"x\"]]}").unwrap();
+        match Request::from_json(&v) {
+            Err(ServeError::Schema { context, .. }) => {
+                assert_eq!(context, "rows[0][1]");
+            }
+            other => panic!("expected Schema, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Loopback integration: a real server on a real socket, a real client,
+//! and the bit-identity guarantee checked end to end — every decision that
+//! comes back over TCP must equal the in-process classifier's decision.
+
+use ldafp_core::multiclass::OneVsRestClassifier;
+use ldafp_core::FixedPointClassifier;
+use ldafp_fixedpoint::QFormat;
+use ldafp_serve::{
+    serve, Client, InferenceEngine, ModelArtifact, ServeError, ServerConfig,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
+
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(5);
+
+fn binary_classifier() -> FixedPointClassifier {
+    let format = QFormat::new(3, 8).unwrap();
+    FixedPointClassifier::from_float(
+        &[0.875, -1.25, 0.375, 2.5, -0.0625],
+        0.1875,
+        format,
+    )
+    .unwrap()
+}
+
+fn random_rows(n: usize, m: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..m).map(|_| rng.gen_range(-3.0..3.0)).collect())
+        .collect()
+}
+
+fn quick_config() -> ServerConfig {
+    ServerConfig {
+        inference_threads: 2,
+        read_timeout: Duration::from_millis(50),
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn binary_round_trip_is_bit_identical_over_tcp() {
+    let clf = binary_classifier();
+
+    // Persist through the artifact layer (save → load), not just in memory:
+    // the wire test should cover the full deployment path.
+    let dir = std::env::temp_dir().join(format!("ldafp-loopback-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("binary.json");
+    ModelArtifact::binary(clf.clone()).save(&path).unwrap();
+    let engine = InferenceEngine::new(ModelArtifact::load(&path).unwrap()).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut handle = serve(engine, "127.0.0.1:0", quick_config()).unwrap();
+    let mut client = Client::connect(handle.addr(), CLIENT_TIMEOUT).unwrap();
+
+    let health = client.health().unwrap();
+    let model = health.get("model").expect("health carries a model block");
+    assert_eq!(
+        model.get("kind").and_then(|v| v.as_str()),
+        Some("binary")
+    );
+    assert_eq!(model.get("features").and_then(|v| v.as_i64()), Some(5));
+
+    let rows = random_rows(120, 5, 42);
+    let reply = client.predict(&rows).unwrap();
+    assert_eq!(reply.predictions.len(), rows.len());
+    for (row, p) in rows.iter().zip(&reply.predictions) {
+        let expected = usize::from(!clf.classify(row));
+        assert_eq!(p.class_index, expected, "row {row:?}");
+        assert_eq!(p.label, if expected == 0 { "A" } else { "B" });
+    }
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.requests, 1);
+    assert_eq!(stats.rows, 120);
+    assert_eq!(stats.errors, 0);
+
+    client.shutdown_server().unwrap();
+    handle.join();
+    assert!(handle.is_shutting_down());
+}
+
+#[test]
+fn multiclass_round_trip_is_bit_identical_over_tcp() {
+    let format = QFormat::new(2, 7).unwrap();
+    let heads = vec![
+        FixedPointClassifier::from_float(&[1.0, -0.5, 0.25], 0.0, format).unwrap(),
+        FixedPointClassifier::from_float(&[-0.75, 1.25, 0.5], 0.125, format).unwrap(),
+        FixedPointClassifier::from_float(&[0.25, 0.25, -1.5], -0.25, format).unwrap(),
+    ];
+    let clf = OneVsRestClassifier::from_parts(heads, vec![0.8, 0.6, 0.9]).unwrap();
+
+    let mut artifact = ModelArtifact::one_vs_rest(clf.clone());
+    artifact.class_labels = vec!["ant".into(), "bee".into(), "wasp".into()];
+    let text = artifact.to_json_string();
+    let engine =
+        InferenceEngine::new(ModelArtifact::from_json_str(&text).unwrap()).unwrap();
+
+    let mut handle = serve(engine, "127.0.0.1:0", quick_config()).unwrap();
+    let mut client = Client::connect(handle.addr(), CLIENT_TIMEOUT).unwrap();
+
+    let rows = random_rows(90, 3, 7);
+    let reply = client.predict(&rows).unwrap();
+    let labels = ["ant", "bee", "wasp"];
+    for (row, p) in rows.iter().zip(&reply.predictions) {
+        let expected = clf.classify(row);
+        assert_eq!(p.class_index, expected, "row {row:?}");
+        assert_eq!(p.label, labels[expected]);
+    }
+
+    client.shutdown_server().unwrap();
+    handle.join();
+}
+
+#[test]
+fn feature_mismatch_is_reported_over_the_wire() {
+    let engine = InferenceEngine::new(ModelArtifact::binary(binary_classifier())).unwrap();
+    let mut handle = serve(engine, "127.0.0.1:0", quick_config()).unwrap();
+    let mut client = Client::connect(handle.addr(), CLIENT_TIMEOUT).unwrap();
+
+    let err = client.predict(&[vec![1.0, 2.0]]).unwrap_err();
+    match err {
+        ServeError::Protocol(msg) => {
+            assert!(msg.contains("2 features"), "{msg}");
+            assert!(msg.contains("expects 5"), "{msg}");
+        }
+        other => panic!("expected a server-reported error, got {other:?}"),
+    }
+    // The connection survives a rejected request.
+    let ok = client.predict(&[vec![0.0; 5]]).unwrap();
+    assert_eq!(ok.predictions.len(), 1);
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.errors, 1);
+    assert_eq!(stats.requests, 1);
+
+    client.shutdown_server().unwrap();
+    handle.join();
+}
+
+#[test]
+fn oversized_frames_are_rejected_and_bounded() {
+    let engine = InferenceEngine::new(ModelArtifact::binary(binary_classifier())).unwrap();
+    let config = ServerConfig {
+        max_frame: 512,
+        ..quick_config()
+    };
+    let mut handle = serve(engine, "127.0.0.1:0", config).unwrap();
+    let mut client = Client::connect(handle.addr(), CLIENT_TIMEOUT).unwrap();
+
+    // ~100 rows × 5 floats blows well past 512 bytes.
+    let err = client.predict(&random_rows(100, 5, 1)).unwrap_err();
+    match err {
+        ServeError::Protocol(msg) => assert!(msg.contains("512"), "{msg}"),
+        other => panic!("expected the server's frame-bound error, got {other:?}"),
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn handle_shutdown_is_prompt_and_idempotent() {
+    let engine = InferenceEngine::new(ModelArtifact::binary(binary_classifier())).unwrap();
+    let mut handle = serve(engine, "127.0.0.1:0", quick_config()).unwrap();
+    let addr = handle.addr();
+    let started = std::time::Instant::now();
+    handle.shutdown();
+    handle.shutdown(); // second call is a no-op
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "shutdown took {:?}",
+        started.elapsed()
+    );
+    // The listener is gone: a fresh connection gets refused (or at best
+    // accepted by the OS backlog and immediately closed — either way, no
+    // server replies).
+    if let Ok(mut client) = Client::connect(addr, Duration::from_millis(500)) {
+        assert!(client.health().is_err());
+    }
+}
+
+#[test]
+fn concurrent_clients_each_get_their_own_answers() {
+    let clf = binary_classifier();
+    let engine = InferenceEngine::new(ModelArtifact::binary(clf.clone())).unwrap();
+    let mut handle = serve(engine, "127.0.0.1:0", quick_config()).unwrap();
+    let addr = handle.addr();
+
+    let workers: Vec<_> = (0..4)
+        .map(|seed| {
+            let clf = clf.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr, CLIENT_TIMEOUT).unwrap();
+                let rows = random_rows(40, 5, 1000 + seed);
+                let reply = client.predict(&rows).unwrap();
+                for (row, p) in rows.iter().zip(&reply.predictions) {
+                    assert_eq!(p.class_index, usize::from(!clf.classify(row)));
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+
+    let mut client = Client::connect(addr, CLIENT_TIMEOUT).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.requests, 4);
+    assert_eq!(stats.rows, 160);
+
+    client.shutdown_server().unwrap();
+    handle.join();
+}

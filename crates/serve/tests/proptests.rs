@@ -1,0 +1,120 @@
+//! Property tests for the artifact layer's core guarantee: save → load →
+//! predict is bit-identical to the in-memory model, for random formats,
+//! random raw weights, both rounding-sensitive format corners, and both
+//! model kinds.
+
+use ldafp_core::multiclass::OneVsRestClassifier;
+use ldafp_core::FixedPointClassifier;
+use ldafp_fixedpoint::{QFormat, RoundingMode};
+use ldafp_serve::{InferenceEngine, ModelArtifact, ServedModel};
+use proptest::prelude::*;
+
+fn format_strategy() -> impl Strategy<Value = QFormat> {
+    (1u32..=5, 1u32..=8).prop_map(|(k, f)| QFormat::new(k, f).expect("bounded params"))
+}
+
+fn mode_strategy() -> impl Strategy<Value = RoundingMode> {
+    prop::sample::select(vec![
+        RoundingMode::NearestEven,
+        RoundingMode::NearestAway,
+        RoundingMode::Floor,
+        RoundingMode::Ceil,
+        RoundingMode::TowardZero,
+    ])
+}
+
+/// Random raw words folded into the format's representable range.
+fn raws_in_format(format: QFormat, seeds: &[i64]) -> Vec<i64> {
+    seeds
+        .iter()
+        .map(|s| format.wrap_raw(*s as i128))
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn binary_artifact_roundtrip_predicts_bit_identically(
+        format in format_strategy(),
+        mode in mode_strategy(),
+        weight_seeds in prop::collection::vec(any::<i64>(), 1..12),
+        threshold_seed in any::<i64>(),
+        rows in prop::collection::vec(
+            prop::collection::vec(-6.0f64..6.0, 12), 1..8),
+    ) {
+        let raws = raws_in_format(format, &weight_seeds);
+        let threshold = format.wrap_raw(threshold_seed as i128);
+        let clf = FixedPointClassifier::from_raw_parts(format, &raws, threshold, mode)
+            .expect("raws are in range by construction");
+
+        let text = ModelArtifact::binary(clf.clone()).to_json_string();
+        let back = ModelArtifact::from_json_str(&text).expect("own artifact reloads");
+
+        // The reconstructed classifier is raw-for-raw identical...
+        let reloaded = match &back.model {
+            ServedModel::Binary(c) => c.clone(),
+            other => panic!("kind changed: {other:?}"),
+        };
+        prop_assert_eq!(&reloaded, &clf);
+
+        // ...and the serving engine decides exactly like the original.
+        let engine = InferenceEngine::new(back).unwrap();
+        for row in &rows {
+            let row = &row[..clf.num_features()];
+            let (p, _) = engine.predict_row(row).unwrap();
+            prop_assert_eq!(p.class_index, usize::from(!clf.classify(row)));
+        }
+    }
+
+    #[test]
+    fn multiclass_artifact_roundtrip_predicts_bit_identically(
+        format in format_strategy(),
+        mode in mode_strategy(),
+        head_seeds in prop::collection::vec(
+            prop::collection::vec(any::<i64>(), 4), 2..5),
+        scale_seeds in prop::collection::vec(0.05f64..5.0, 5),
+        rows in prop::collection::vec(
+            prop::collection::vec(-4.0f64..4.0, 4), 1..8),
+    ) {
+        let heads: Vec<FixedPointClassifier> = head_seeds
+            .iter()
+            .map(|seeds| {
+                let raws = raws_in_format(format, &seeds[..3]);
+                let threshold = format.wrap_raw(seeds[3] as i128);
+                FixedPointClassifier::from_raw_parts(format, &raws, threshold, mode)
+                    .expect("raws in range")
+            })
+            .collect();
+        let scales = scale_seeds[..heads.len()].to_vec();
+        let clf = OneVsRestClassifier::from_parts(heads, scales).unwrap();
+
+        let text = ModelArtifact::one_vs_rest(clf.clone()).to_json_string();
+        let back = ModelArtifact::from_json_str(&text).expect("own artifact reloads");
+        let reloaded = match &back.model {
+            ServedModel::OneVsRest(c) => c.clone(),
+            other => panic!("kind changed: {other:?}"),
+        };
+        prop_assert_eq!(&reloaded, &clf);
+
+        let engine = InferenceEngine::new(back).unwrap();
+        for row in &rows {
+            let row = &row[..3];
+            let (p, _) = engine.predict_row(row).unwrap();
+            prop_assert_eq!(p.class_index, clf.classify(row));
+        }
+    }
+
+    #[test]
+    fn artifact_text_is_stable_under_reserialization(
+        format in format_strategy(),
+        weight_seeds in prop::collection::vec(any::<i64>(), 1..8),
+    ) {
+        // to_json_string(from_json_str(text)) == text: the canonical form is
+        // a fixed point, so checksums stay valid across rewrite cycles.
+        let raws = raws_in_format(format, &weight_seeds);
+        let clf = FixedPointClassifier::from_raw_parts(
+            format, &raws, 0, RoundingMode::NearestEven).unwrap();
+        let text = ModelArtifact::binary(clf).to_json_string();
+        let text2 = ModelArtifact::from_json_str(&text).unwrap().to_json_string();
+        prop_assert_eq!(text, text2);
+    }
+}

@@ -8,4 +8,13 @@ cargo build --release
 cargo test -q
 cargo test -q -p ldafp-bnb --features fault-injection
 cargo test -q -p ldafp-core --features fault-injection
+
+# Serving layer: unit + loopback-socket integration tests, plus the CLI
+# train→save→serve→TCP round-trip, then lint the new crate explicitly.
+cargo build --release -p ldafp-serve
+cargo test -q -p ldafp-serve
+cargo test -q -p ldafp-serve --test loopback
+cargo test -q -p ldafp-cli --test serve_roundtrip
+cargo clippy -p ldafp-serve --all-targets -- -D warnings
+
 cargo clippy --all-targets -- -D warnings

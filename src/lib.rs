@@ -12,6 +12,8 @@
 //! * [`datasets`] — evaluation workload generators.
 //! * [`hwmodel`] — power/area/energy models and gate-level datapath
 //!   simulation.
+//! * [`serve`] — model artifacts, integer-only batched inference, and the
+//!   TCP serving runtime.
 
 #![forbid(unsafe_code)]
 
@@ -21,5 +23,6 @@ pub use ldafp_datasets as datasets;
 pub use ldafp_fixedpoint as fixedpoint;
 pub use ldafp_hwmodel as hwmodel;
 pub use ldafp_linalg as linalg;
+pub use ldafp_serve as serve;
 pub use ldafp_solver as solver;
 pub use ldafp_stats as stats;

@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: the full pipeline from workload
 //! generation through training to bit-exact inference and hardware cost.
 
-use lda_fp::core::{eval, FixedPointClassifier, LdaFpConfig, LdaFpTrainer, LdaModel};
+use lda_fp::core::{eval, LdaFpConfig, LdaFpTrainer, LdaModel};
 use lda_fp::datasets::synthetic::{generate, SyntheticConfig};
 use lda_fp::datasets::{bci, demo2d, BinaryDataset};
 use lda_fp::fixedpoint::{QFormat, RoundingMode};
@@ -90,8 +90,14 @@ fn classifier_serde_roundtrip_preserves_decisions() {
     let data = demo2d::well_separated(120, &mut rng);
     let lda = LdaModel::train(&data).unwrap();
     let clf = lda.quantized(QFormat::new(2, 5).unwrap());
-    let json = serde_json::to_string(&clf).expect("serializes");
-    let back: FixedPointClassifier = serde_json::from_str(&json).expect("deserializes");
+    // Round-trip through the deployment serialization path: the serving
+    // artifact stores raw two's-complement integers, so reconstruction is
+    // exact by construction, and the envelope checksum must verify.
+    let json = lda_fp::serve::ModelArtifact::binary(clf.clone()).to_json_string();
+    let back = lda_fp::serve::ModelArtifact::from_json_str(&json).expect("deserializes");
+    let lda_fp::serve::ServedModel::Binary(back) = back.model else {
+        panic!("binary artifact came back as a different model kind");
+    };
     assert_eq!(back, clf);
     for (x, _) in data.iter_labeled() {
         assert_eq!(back.classify(x), clf.classify(x));

@@ -1,0 +1,79 @@
+//! Warm-start pruning benchmark: cold vs warm design-space sweeps,
+//! written to `BENCH_explore.json`. Exits nonzero unless the warm sweep
+//! is strictly faster (fewer B&B nodes or lower wall time) at equal
+//! certified incumbents — the exploration engine's headline guarantee.
+//!
+//! ```text
+//! cargo run -p ldafp-bench --release --bin explore_bench [-- --quick]
+//! ```
+
+use ldafp_bench::experiments::{run_explore_bench, ExploreBenchConfig};
+use ldafp_bench::{quick_flag, table};
+
+fn main() {
+    let mut config = ExploreBenchConfig::default();
+    if quick_flag() {
+        config.max_bits = 6;
+        config.max_nodes = 4_000;
+        config.repeats = 1;
+    }
+    eprintln!(
+        "explore warm-start — eq.30-32 workload (leak {}), {} trials/class, \
+         bits {}..={}, max_k {}, {} node budget, {} repeat(s)/mode",
+        config.leak,
+        config.n_per_class,
+        config.min_bits,
+        config.max_bits,
+        config.max_k,
+        config.max_nodes,
+        config.repeats
+    );
+    let report = run_explore_bench(&config);
+
+    let cells = vec![
+        vec![
+            "cold".to_string(),
+            format!("{}", report.cold_nodes),
+            format!("{:.1}", report.cold_ms),
+            "-".to_string(),
+        ],
+        vec![
+            "warm".to_string(),
+            format!("{}", report.warm_nodes),
+            format!("{:.1}", report.warm_ms),
+            format!(
+                "{:.1}% fewer nodes, {:.2}x wall",
+                report.node_reduction() * 100.0,
+                report.time_speedup()
+            ),
+        ],
+    ];
+    println!(
+        "{}",
+        table::render(&["sweep", "B&B nodes", "wall ms", "vs cold"], &cells)
+    );
+    println!(
+        "{} of {} points trained; {} warm-seeded; certified incumbents {} (max |delta| {:.3e})",
+        report.trained,
+        report.points,
+        report.warm_seeded_points,
+        if report.incumbents_equal { "agree" } else { "DISAGREE" },
+        report.max_cost_delta,
+    );
+
+    let out = "BENCH_explore.json";
+    std::fs::write(out, report.to_json_string()).expect("write BENCH_explore.json");
+    println!("wrote {out}");
+
+    if !report.incumbents_equal {
+        eprintln!("FAIL: warm-started incumbents diverged from cold incumbents");
+        std::process::exit(1);
+    }
+    if !report.warm_strictly_faster() {
+        eprintln!(
+            "FAIL: warm sweep not strictly faster (nodes {} vs {}, wall {:.1} ms vs {:.1} ms)",
+            report.warm_nodes, report.cold_nodes, report.warm_ms, report.cold_ms
+        );
+        std::process::exit(1);
+    }
+}

@@ -3,21 +3,56 @@
 //! trajectory to compare against.
 //!
 //! ```text
-//! cargo run -p ldafp-bench --release --bin serve_bench [-- --quick]
+//! cargo run -p ldafp-bench --release --bin serve_bench [-- --quick] [-- --threads N]
 //! ```
+//!
+//! The pool defaults to one worker per core
+//! ([`std::thread::available_parallelism`]); `--threads N` overrides it.
+//! The value actually used is recorded in `BENCH_serve.json`. Exits
+//! nonzero when batched prediction is slower than the row-at-a-time loop
+//! (`batch_speedup < 1.0`) — batching exists to amortize per-row costs,
+//! so a slowdown is a regression, not a data point.
 
 use ldafp_bench::experiments::{run_serve_throughput, ServeBenchConfig};
 use ldafp_bench::{quick_flag, table};
+
+/// Parses `--threads N` from argv; `None` means "size from the machine".
+fn threads_flag() -> Option<usize> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            let value = args.next().unwrap_or_default();
+            match value.parse() {
+                Ok(n) if n > 0 => return Some(n),
+                _ => {
+                    eprintln!("serve_bench: --threads expects a positive integer, got {value:?}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
 
 fn main() {
     let mut config = ServeBenchConfig::default();
     if quick_flag() {
         config.rows = 2_000;
-        config.repeats = 2;
+        config.repeats = 4;
+    }
+    if let Some(threads) = threads_flag() {
+        config.threads = threads;
     }
     eprintln!(
-        "serve throughput — {} rows × {} features, {} repeats/mode",
-        config.rows, config.num_features, config.repeats
+        "serve throughput — {} rows × {} features, {} repeats/mode, {} thread(s)",
+        config.rows,
+        config.num_features,
+        config.repeats,
+        if config.threads == 0 {
+            format!("auto ({} cores)", ldafp_serve::pool::available_parallelism())
+        } else {
+            config.threads.to_string()
+        }
     );
     let report = run_serve_throughput(&config);
 
@@ -55,4 +90,13 @@ fn main() {
     let out = "BENCH_serve.json";
     std::fs::write(out, report.to_json_string()).expect("write BENCH_serve.json");
     println!("wrote {out}");
+
+    if report.batch_speedup() < 1.0 {
+        eprintln!(
+            "FAIL: batched prediction is slower than the single-row loop \
+             (batch_speedup {:.3} < 1.0)",
+            report.batch_speedup()
+        );
+        std::process::exit(1);
+    }
 }

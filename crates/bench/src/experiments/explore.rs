@@ -1,0 +1,302 @@
+//! Warm-start pruning benchmark: the same design-space sweep run cold
+//! (every point seeded only by its own heuristics) and warm (points
+//! seeded by solved neighbors), on the paper's eq. 30–32 noise-
+//! cancellation workload. Reports total branch-and-bound nodes and wall
+//! time for each sweep, plus an incumbent-equality check so the speedup
+//! is known to come from pruning, not from solving an easier problem.
+//!
+//! ## Methodology — when incumbent seeding can matter at all
+//!
+//! Two configuration choices isolate the warm-start channel, and both
+//! are deliberate, not defaults:
+//!
+//! * **Depth-first search order.** Under best-first ordering the node
+//!   count is *bound-limited*: the search expands exactly the boxes whose
+//!   relaxation bound lies below the optimum, a set the incumbent has
+//!   almost no influence on, so cold and warm trees are identical by
+//!   construction. Under depth-first ordering — the low-memory order an
+//!   on-chip or embedded flow would use — subtree pruning is driven by
+//!   the incumbent, and arriving with a neighbor's optimum in hand
+//!   genuinely shrinks the tree.
+//! * **The dense scaled-rounding sweep is disabled** (for *both*
+//!   sweeps, so the comparison stays apples-to-apples). That sweep is
+//!   itself an incumbent-seeding heuristic; on low-dimensional workloads
+//!   it finds the same seeds the neighbors would supply, masking the
+//!   channel under test. Disabling it measures what neighbor transfer
+//!   contributes when per-point heuristics are limited to the cheap
+//!   rounded-LDA start plus polish.
+//!
+//! The claim the report checks is conservative: the warm sweep must
+//! visit **no more** nodes on every point and **strictly fewer** in
+//! total, while every pair of certified incumbents agrees within the
+//! certification gap (warm-starting is incumbent-sound, so certified
+//! optima must not move).
+//!
+//! demo2d is the wrong workload here: with two features every heuristic
+//! already hits the discrete optimum before the search starts. The
+//! eq. 30–32 construction with a widened leak keeps the cancellation
+//! structure that defeats plain rounding (paper §5.1) while staying
+//! numerically benign for the SOCP solver.
+
+use ldafp_core::SearchOrder;
+use ldafp_datasets::synthetic::{self, SyntheticConfig};
+use ldafp_explore::{holdout_split, ExploreConfig, ExploreGrid, ExploreSummary, Explorer};
+use ldafp_fixedpoint::RoundingMode;
+use ldafp_serve::json::Value;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+/// Workload shape for [`run_explore_bench`].
+#[derive(Debug, Clone)]
+pub struct ExploreBenchConfig {
+    /// Trials per class of the eq. 30–32 workload.
+    pub n_per_class: usize,
+    /// Leakage of `ε₂` into `x₂`. The paper's 0.001 makes the
+    /// cancellation weights so extreme the relaxations turn numerically
+    /// hostile; 0.05 keeps the same qualitative structure with a
+    /// well-behaved solver.
+    pub leak: f64,
+    /// Smallest word length in the grid.
+    pub min_bits: u32,
+    /// Largest word length in the grid.
+    pub max_bits: u32,
+    /// Largest integer-bit split at each word length.
+    pub max_k: u32,
+    /// Per-point branch-and-bound node budget. Budget-capped points cost
+    /// the same nodes cold or warm, diluting the measured reduction (but
+    /// warm still reaches better anytime incumbents on them).
+    pub max_nodes: usize,
+    /// Relative certification gap for the per-point searches.
+    pub relative_gap: f64,
+    /// Timing repeats; the best (minimum) wall time per mode is reported.
+    pub repeats: usize,
+}
+
+impl Default for ExploreBenchConfig {
+    fn default() -> Self {
+        ExploreBenchConfig {
+            n_per_class: 60,
+            leak: 0.05,
+            min_bits: 4,
+            max_bits: 7,
+            max_k: 2,
+            max_nodes: 10_000,
+            relative_gap: 1e-3,
+            repeats: 2,
+        }
+    }
+}
+
+/// Cold-vs-warm sweep measurements.
+#[derive(Debug, Clone)]
+pub struct ExploreBenchReport {
+    /// Design points in the grid.
+    pub points: usize,
+    /// Points that trained successfully in both sweeps.
+    pub trained: usize,
+    /// Total B&B nodes across the cold sweep.
+    pub cold_nodes: usize,
+    /// Total B&B nodes across the warm sweep.
+    pub warm_nodes: usize,
+    /// Best cold sweep wall time, milliseconds.
+    pub cold_ms: f64,
+    /// Best warm sweep wall time, milliseconds.
+    pub warm_ms: f64,
+    /// Points the warm sweep actually seeded from a neighbor.
+    pub warm_seeded_points: usize,
+    /// Whether the warm sweep visited no more nodes than the cold sweep
+    /// on *every* point (not just in aggregate).
+    pub per_point_no_worse: bool,
+    /// Whether every pair of certified cold/warm incumbents agreed within
+    /// the certification gap.
+    pub incumbents_equal: bool,
+    /// Largest certified cold-vs-warm Fisher-cost difference observed.
+    pub max_cost_delta: f64,
+}
+
+impl ExploreBenchReport {
+    /// Node-count reduction from warm-starting (`1 −
+    /// warm_nodes/cold_nodes`; positive is better).
+    #[must_use]
+    pub fn node_reduction(&self) -> f64 {
+        if self.cold_nodes == 0 {
+            0.0
+        } else {
+            1.0 - self.warm_nodes as f64 / self.cold_nodes as f64
+        }
+    }
+
+    /// Wall-time speedup of the warm sweep over the cold sweep.
+    #[must_use]
+    pub fn time_speedup(&self) -> f64 {
+        if self.warm_ms == 0.0 {
+            1.0
+        } else {
+            self.cold_ms / self.warm_ms
+        }
+    }
+
+    /// The headline claim the acceptance criteria assert: warm-started
+    /// sweeps are strictly faster — fewer B&B nodes or lower wall time —
+    /// at equal incumbents, and no individual point pays for it.
+    #[must_use]
+    pub fn warm_strictly_faster(&self) -> bool {
+        self.incumbents_equal
+            && self.per_point_no_worse
+            && (self.warm_nodes < self.cold_nodes || self.warm_ms < self.cold_ms)
+    }
+
+    /// The `BENCH_explore.json` document.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        Value::object([
+            ("bench", Value::from("explore-warm-start")),
+            ("points", Value::from(self.points)),
+            ("trained", Value::from(self.trained)),
+            ("cold_nodes", Value::from(self.cold_nodes)),
+            ("warm_nodes", Value::from(self.warm_nodes)),
+            ("cold_ms", Value::from(self.cold_ms)),
+            ("warm_ms", Value::from(self.warm_ms)),
+            ("warm_seeded_points", Value::from(self.warm_seeded_points)),
+            ("per_point_no_worse", Value::from(self.per_point_no_worse)),
+            ("node_reduction", Value::from(self.node_reduction())),
+            ("time_speedup", Value::from(self.time_speedup())),
+            ("incumbents_equal", Value::from(self.incumbents_equal)),
+            ("max_cost_delta", Value::from(self.max_cost_delta)),
+            (
+                "warm_strictly_faster",
+                Value::from(self.warm_strictly_faster()),
+            ),
+        ])
+        .to_pretty_string()
+    }
+}
+
+fn sweep(
+    explorer: &Explorer,
+    train: &ldafp_datasets::BinaryDataset,
+    validation: &ldafp_datasets::BinaryDataset,
+    grid: &ExploreGrid,
+    repeats: usize,
+) -> (ExploreSummary, f64) {
+    let mut best_ms = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..repeats.max(1) {
+        let t = Instant::now();
+        let summary = explorer.run(train, validation, grid).expect("grid is valid");
+        best_ms = best_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        last = Some(summary);
+    }
+    (last.expect("at least one repeat"), best_ms)
+}
+
+/// Runs the cold and warm sweeps and compares them.
+///
+/// Both sweeps run serially (one worker) so node counts and wall times
+/// are deterministic and directly comparable; the parallel engine is
+/// exercised by the crate's own tests.
+#[must_use]
+pub fn run_explore_bench(config: &ExploreBenchConfig) -> ExploreBenchReport {
+    let mut rng = ChaCha8Rng::seed_from_u64(2014);
+    let data = synthetic::generate(
+        &SyntheticConfig {
+            n_per_class: config.n_per_class,
+            leak: config.leak,
+            ..SyntheticConfig::default()
+        },
+        &mut rng,
+    );
+    let (train, validation) = holdout_split(&data, 0.25).expect("workload splits cleanly");
+    let grid = ExploreGrid {
+        min_bits: config.min_bits,
+        max_bits: config.max_bits,
+        max_k: config.max_k,
+        rhos: vec![0.99],
+        roundings: vec![RoundingMode::NearestEven],
+    };
+
+    let explorer = |warm_start| {
+        let mut cfg = ExploreConfig {
+            threads: 1,
+            warm_start,
+            cache_dir: None,
+            ..ExploreConfig::default()
+        };
+        cfg.trainer.bnb.max_nodes = config.max_nodes;
+        cfg.trainer.bnb.relative_gap = config.relative_gap;
+        // See the module docs: depth-first makes pruning incumbent-driven,
+        // and the dense sweep is ablated so neighbor transfer is the only
+        // difference between the two sweeps.
+        cfg.trainer.bnb.search_order = SearchOrder::DepthFirst;
+        cfg.trainer.scaled_rounding = false;
+        Explorer::new(cfg)
+    };
+    let (cold, cold_ms) = sweep(&explorer(false), &train, &validation, &grid, config.repeats);
+    let (warm, warm_ms) = sweep(&explorer(true), &train, &validation, &grid, config.repeats);
+
+    let mut incumbents_equal = true;
+    let mut per_point_no_worse = true;
+    let mut max_cost_delta: f64 = 0.0;
+    let mut trained = 0usize;
+    let trainer_cfg = explorer(false).config().trainer.clone();
+    for (c, w) in cold.outcomes.iter().zip(&warm.outcomes) {
+        if w.nodes_assessed > c.nodes_assessed {
+            per_point_no_worse = false;
+        }
+        if let (Some(cm), Some(wm)) = (&c.metrics, &w.metrics) {
+            trained += 1;
+            if cm.outcome == "certified" && wm.outcome == "certified" {
+                let delta = (cm.fisher_cost - wm.fisher_cost).abs();
+                max_cost_delta = max_cost_delta.max(delta);
+                let tol = 1e-9
+                    + 2.0
+                        * (trainer_cfg.bnb.absolute_gap
+                            + trainer_cfg.bnb.relative_gap
+                                * cm.fisher_cost.abs().max(wm.fisher_cost.abs()));
+                if delta > tol {
+                    incumbents_equal = false;
+                }
+            }
+        }
+    }
+
+    ExploreBenchReport {
+        points: cold.outcomes.len(),
+        trained,
+        cold_nodes: cold.total_nodes,
+        warm_nodes: warm.total_nodes,
+        cold_ms,
+        warm_ms,
+        warm_seeded_points: warm.warm_seeded_points,
+        per_point_no_worse,
+        incumbents_equal,
+        max_cost_delta,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_serializes_on_a_tiny_grid() {
+        let report = run_explore_bench(&ExploreBenchConfig {
+            n_per_class: 24,
+            leak: 0.05,
+            min_bits: 3,
+            max_bits: 5,
+            max_k: 2,
+            max_nodes: 600,
+            relative_gap: 5e-2,
+            repeats: 1,
+        });
+        assert!(report.points > 0);
+        assert!(report.trained > 0);
+        assert!(report.incumbents_equal, "warm-start must not move certified incumbents");
+        let json = report.to_json_string();
+        for needle in ["\"cold_nodes\"", "\"warm_strictly_faster\"", "\"node_reduction\""] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+}

@@ -3,6 +3,7 @@
 
 mod ablation;
 mod bci;
+mod explore;
 mod fig2;
 mod power;
 mod serve;
@@ -11,6 +12,7 @@ mod tradeoff;
 
 pub use ablation::{run_ablation, AblationConfig, AblationRow};
 pub use bci::{run_table2, Table2Config, Table2Row};
+pub use explore::{run_explore_bench, ExploreBenchConfig, ExploreBenchReport};
 pub use fig2::{run_fig2, BoundaryRobustness, Fig2Config, Fig2Report};
 pub use power::{run_power, PowerConfig, PowerRow};
 pub use serve::{

@@ -31,7 +31,7 @@ impl Default for ServeBenchConfig {
             num_features: 42,
             rows: 20_000,
             threads: 0,
-            repeats: 5,
+            repeats: 9,
         }
     }
 }
@@ -107,6 +107,15 @@ pub fn serve_fixture(num_features: usize, rows: usize) -> (InferenceEngine, Vec<
 }
 
 /// Runs the three prediction modes and reports rows/s for each.
+///
+/// Repeats are *interleaved* — each round times every mode once, and the
+/// best (minimum) time per mode across rounds is reported. Timing the
+/// modes in separate blocks lets clock-frequency drift and background
+/// load on small hosts land entirely on one mode and flip close
+/// comparisons like `batch_speedup`; interleaving spreads any drift
+/// across all modes evenly. One untimed warmup round precedes the
+/// measurements so page faults and allocator growth are not billed to
+/// whichever mode happens to run first.
 #[must_use]
 pub fn run_serve_throughput(config: &ServeBenchConfig) -> ServeThroughputReport {
     let (engine, rows) = serve_fixture(config.num_features, config.rows);
@@ -116,29 +125,39 @@ pub fn run_serve_throughput(config: &ServeBenchConfig) -> ServeThroughputReport 
         WorkerPool::new(config.threads)
     };
 
-    let best = |f: &mut dyn FnMut()| -> f64 {
-        let mut best_s = f64::INFINITY;
-        for _ in 0..config.repeats.max(1) {
-            let t = Instant::now();
-            f();
-            best_s = best_s.min(t.elapsed().as_secs_f64());
-        }
-        config.rows as f64 / best_s
-    };
-
-    let single_row_rows_per_s = best(&mut || {
+    let single = || {
         for row in &rows {
             let _ = engine.predict_row(row).expect("fixture rows are valid");
         }
-    });
-    let batched_rows_per_s = best(&mut || {
+    };
+    let batched = || {
         let _ = engine.predict_batch(&rows).expect("fixture rows are valid");
-    });
-    let parallel_rows_per_s = best(&mut || {
+    };
+    let parallel = || {
         let _ = engine
             .predict_batch_on(&pool, rows.clone())
             .expect("fixture rows are valid");
-    });
+    };
+
+    let timed = |f: &dyn Fn()| -> f64 {
+        let t = Instant::now();
+        f();
+        t.elapsed().as_secs_f64()
+    };
+
+    single();
+    batched();
+    parallel();
+
+    let mut best = [f64::INFINITY; 3];
+    for _ in 0..config.repeats.max(1) {
+        best[0] = best[0].min(timed(&single));
+        best[1] = best[1].min(timed(&batched));
+        best[2] = best[2].min(timed(&parallel));
+    }
+    let rows_per_s = |s: f64| config.rows as f64 / s;
+    let (single_row_rows_per_s, batched_rows_per_s, parallel_rows_per_s) =
+        (rows_per_s(best[0]), rows_per_s(best[1]), rows_per_s(best[2]));
 
     ServeThroughputReport {
         rows: config.rows,

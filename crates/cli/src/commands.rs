@@ -329,7 +329,8 @@ pub fn demo(args: &ParsedArgs) -> Result<String> {
 ///
 /// Propagates CSV, argument and training failures.
 pub fn wordlength(args: &ParsedArgs, csv_text: &str) -> Result<String> {
-    use ldafp_core::wordlength::{minimal_word_length, sweep, WordLengthSearch};
+    use ldafp_core::wordlength::{minimal_word_length, SweepPoint, WordLengthSearch};
+    use ldafp_explore::{ExploreConfig, ExploreGrid, Explorer};
 
     let data = csv::parse(csv_text)?;
     let target: f64 = args.get_parsed("target", 0.2)?;
@@ -350,10 +351,51 @@ pub fn wordlength(args: &ParsedArgs, csv_text: &str) -> Result<String> {
         LdaFpConfig::default()
     };
     apply_recovery_args(args, &mut cfg)?;
-    let trainer = LdaFpTrainer::new(cfg);
+    let trainer = LdaFpTrainer::new(cfg.clone());
 
     let pm = MacPowerModel::default();
-    let points = sweep(&trainer, &data, &data, &search);
+    // The sweep itself runs on the explore engine (warm-started, one
+    // worker per core); `core::wordlength::sweep` remains only as the
+    // deprecated serial fallback.
+    let grid = ExploreGrid {
+        min_bits: search.min_bits.max(2),
+        max_bits: search.max_bits,
+        max_k: search.max_k,
+        rhos: vec![cfg.rho],
+        roundings: vec![cfg.rounding],
+    };
+    let summary = Explorer::new(ExploreConfig {
+        threads: args.get_parsed("threads", 0usize)?,
+        warm_start: true,
+        cache_dir: None,
+        trainer: cfg,
+    })
+    .run(&data, &data, &grid)
+    .map_err(|e| CliError(e.to_string()))?;
+    // One row per word length, like the historical serial sweep: the best
+    // (K, F) split by validation error, `-` when nothing trained.
+    let points: Vec<SweepPoint> = (search.min_bits..=search.max_bits)
+        .map(|bits| {
+            summary
+                .outcomes
+                .iter()
+                .filter(|o| o.point.word_length() == bits)
+                .filter_map(|o| o.metrics.as_ref())
+                .min_by(|a, b| a.validation_error.total_cmp(&b.validation_error))
+                .map_or(
+                    SweepPoint {
+                        word_length: bits,
+                        format: "-".to_string(),
+                        validation_error: 0.5,
+                    },
+                    |m| SweepPoint {
+                        word_length: bits,
+                        format: m.format.clone(),
+                        validation_error: m.validation_error,
+                    },
+                )
+        })
+        .collect();
     let mut out = String::from("bits | format | training error | relative power
 ");
     let ref_power = pm.power(search.max_bits, data.num_features());
@@ -389,6 +431,122 @@ no word length in {}..={} reaches {:.2}% error
     Ok(out)
 }
 
+/// `ldafp explore [--data <csv>] [--holdout f] [--min-bits n] [--max-bits n]
+/// [--k n] [--rho p[,p...]] [--rounding mode[,mode...]] [--threads n]
+/// [--budget-secs n] [--cache-dir dir] [--no-cache is implied without
+/// --cache-dir] [--cold] [--json report.json] [--quick]` — sweeps the
+/// design space, reports every point plus the (error, power) Pareto
+/// frontier as Markdown, and optionally writes the JSON report.
+///
+/// Without `--data` the sweep runs on the deterministic demo2d
+/// rounding-sensitive workload, so `ldafp explore` works out of the box.
+///
+/// Returns the report and an exit code from the training-outcome
+/// contract, keyed by the most accurate frontier point: `0` certified,
+/// `2` budget-exhausted/degraded, `3` fallback or an empty frontier.
+///
+/// # Errors
+///
+/// Propagates CSV, argument, grid and cache-directory failures.
+pub fn explore(args: &ParsedArgs, csv_text: Option<&str>) -> Result<(String, u8)> {
+    use ldafp_explore::grid::rounding_from_name;
+    use ldafp_explore::{
+        holdout_split, json_report, markdown_report, ExploreConfig, ExploreGrid, Explorer,
+    };
+    use rand::SeedableRng;
+
+    let data = match csv_text {
+        Some(text) => csv::parse(text)?,
+        None => {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2014);
+            ldafp_datasets::demo2d::rounding_sensitive(
+                &ldafp_datasets::demo2d::Demo2dConfig {
+                    n_per_class: 80,
+                    ..ldafp_datasets::demo2d::Demo2dConfig::default()
+                },
+                &mut rng,
+            )
+        }
+    };
+    let holdout: f64 = args.get_parsed("holdout", 0.25)?;
+    let (train, validation) =
+        holdout_split(&data, holdout).map_err(|e| CliError(e.to_string()))?;
+
+    let rhos: Vec<f64> = match args.get("rho") {
+        None => vec![0.99],
+        Some(spec) => spec
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|_| CliError(format!("--rho expects numbers, got {s:?}")))
+            })
+            .collect::<Result<_>>()?,
+    };
+    let roundings = match args.get("rounding") {
+        None => vec![ldafp_fixedpoint::RoundingMode::NearestEven],
+        Some(spec) => spec
+            .split(',')
+            .map(|s| {
+                rounding_from_name(s.trim()).ok_or_else(|| {
+                    CliError(format!(
+                        "--rounding expects nearest-even|nearest-away|floor|ceil|toward-zero, got {s:?}"
+                    ))
+                })
+            })
+            .collect::<Result<_>>()?,
+    };
+    let grid = ExploreGrid {
+        min_bits: args.get_parsed("min-bits", 3u32)?,
+        max_bits: args.get_parsed("max-bits", 8u32)?,
+        max_k: args.get_parsed("k", 2u32)?,
+        rhos,
+        roundings,
+    };
+
+    let mut trainer = if args.has_flag("quick") {
+        LdaFpConfig::fast()
+    } else {
+        LdaFpConfig::default()
+    };
+    if let Some(budget) = args.get("budget-secs") {
+        let secs: u64 = budget
+            .parse()
+            .map_err(|_| CliError(format!("--budget-secs expects an integer, got {budget:?}")))?;
+        trainer.bnb.time_budget = Some(Duration::from_secs(secs));
+    }
+    apply_recovery_args(args, &mut trainer)?;
+
+    let cache_dir = if args.has_flag("no-cache") {
+        None
+    } else {
+        args.get("cache-dir").map(std::path::PathBuf::from)
+    };
+    let summary = Explorer::new(ExploreConfig {
+        threads: args.get_parsed("threads", 0usize)?,
+        warm_start: !args.has_flag("cold"),
+        cache_dir,
+        trainer,
+    })
+    .run(&train, &validation, &grid)
+    .map_err(|e| CliError(e.to_string()))?;
+
+    if let Some(path) = args.get("json") {
+        std::fs::write(path, json_report(&summary).to_pretty_string())?;
+    }
+
+    // Exit-code contract, keyed by the frontier's most accurate point.
+    let code = match summary.pareto.first().map(|&i| &summary.outcomes[i]) {
+        None => 3,
+        Some(o) => match o.metrics.as_ref().map(|m| m.outcome.as_str()) {
+            Some("certified") => 0,
+            Some("fallback-rounded") | None => 3,
+            Some(_) => 2,
+        },
+    };
+    Ok((markdown_report(&summary), code))
+}
+
 fn float_error(lda: &LdaModel, data: &BinaryDataset) -> f64 {
     let mut errors = 0usize;
     let mut total = 0usize;
@@ -422,9 +580,9 @@ mod tests {
             &[
                 "data", "bits", "k", "rho", "budget-secs", "max-solver-retries", "module",
                 "model", "out", "target", "min-bits", "max-bits", "save-model", "input",
-                "addr", "threads",
+                "addr", "threads", "holdout", "rounding", "cache-dir", "json",
             ],
-            &["baseline", "quick", "testbench"],
+            &["baseline", "quick", "testbench", "cold", "no-cache"],
         )
         .unwrap()
     }
@@ -633,5 +791,67 @@ mod tests {
     fn demo_runs() {
         let out = demo(&parsed(&["--bits", "5"])).unwrap();
         assert!(out.contains("LDA-FP test error"), "{out}");
+    }
+
+    #[test]
+    fn explore_sweeps_csv_data_and_reports_a_frontier() {
+        let (report, code) = explore(
+            &parsed(&["--min-bits", "3", "--max-bits", "5", "--quick", "--threads", "1"]),
+            Some(&easy_csv()),
+        )
+        .unwrap();
+        assert!(report.contains("Pareto frontier"), "{report}");
+        assert!(report.contains("Q"), "{report}");
+        assert!(code == 0 || code == 2, "unexpected exit code {code}");
+    }
+
+    #[test]
+    fn explore_defaults_to_demo2d_and_writes_json_and_cache() {
+        let dir = std::env::temp_dir().join(format!("ldafp-cli-explore-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cache = dir.join("cache");
+        let json_path = dir.join("report.json");
+        let args = [
+            "--min-bits",
+            "3",
+            "--max-bits",
+            "4",
+            "--quick",
+            "--threads",
+            "1",
+            "--cache-dir",
+            cache.to_str().unwrap(),
+            "--json",
+            json_path.to_str().unwrap(),
+        ];
+        let (report, _) = explore(&parsed(&args), None).unwrap();
+        assert!(report.contains("design-space exploration"), "{report}");
+        assert!(cache.is_dir(), "cache directory must be created");
+        let json_text = std::fs::read_to_string(&json_path).unwrap();
+        let parsed_json = ldafp_serve::json::parse(&json_text).unwrap();
+        assert_eq!(
+            parsed_json.get("report").and_then(|v| v.as_str()),
+            Some("ldafp-explore")
+        );
+
+        // Second run over the same grid hits the cache for every point.
+        let (report2, _) = explore(&parsed(&args), None).unwrap();
+        let points = parsed_json
+            .get("points")
+            .and_then(ldafp_serve::json::Value::as_i64)
+            .unwrap();
+        assert!(
+            report2.contains(&format!("{points} cache hit(s)")),
+            "{report2}"
+        );
+    }
+
+    #[test]
+    fn explore_rejects_bad_rounding_and_holdout() {
+        let err = explore(&parsed(&["--rounding", "sideways"]), Some(&easy_csv())).unwrap_err();
+        assert!(err.0.contains("--rounding"), "{}", err.0);
+        let err = explore(&parsed(&["--holdout", "2.0"]), Some(&easy_csv())).unwrap_err();
+        assert!(err.0.contains("holdout"), "{}", err.0);
     }
 }

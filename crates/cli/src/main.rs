@@ -11,6 +11,10 @@
 //! ldafp info       --model model.json
 //! ldafp export-rtl --model model.json [--module name] [--testbench] [--out clf.v]
 //! ldafp wordlength --data train.csv --target 0.2 [--min-bits 3] [--max-bits 16]
+//! ldafp explore    [--data train.csv] [--holdout 0.25] [--min-bits 3] [--max-bits 8]
+//!                  [--k 2] [--rho 0.9,0.99] [--rounding nearest-even,floor]
+//!                  [--threads 4] [--budget-secs 30] [--cache-dir .ldafp-cache]
+//!                  [--no-cache] [--cold] [--json report.json] [--quick]
 //! ldafp demo       [--bits 6]
 //! ```
 //!
@@ -39,6 +43,9 @@ commands:
   info        --model <model.json>
   export-rtl  --model <model.json> [--module name] [--testbench] [--out clf.v]
   wordlength  --data <csv> --target <error> [--min-bits n] [--max-bits n]
+  explore     [--data <csv>] [--holdout f] [--min-bits n] [--max-bits n] [--k n]
+              [--rho p,...] [--rounding mode,...] [--threads n] [--budget-secs n]
+              [--cache-dir dir] [--no-cache] [--cold] [--json report.json] [--quick]
   demo        [--bits n]
 
 run `ldafp help` or see the crate docs for details";
@@ -63,9 +70,9 @@ fn run() -> ldafp_cli::Result<(String, u8)> {
         &[
             "data", "bits", "k", "rho", "budget-secs", "max-solver-retries", "module",
             "model", "out", "target", "min-bits", "max-bits", "save-model", "input",
-            "addr", "threads",
+            "addr", "threads", "holdout", "rounding", "cache-dir", "json",
         ],
-        &["baseline", "quick", "testbench"],
+        &["baseline", "quick", "testbench", "cold", "no-cache"],
     )?;
     let command = args
         .positional()
@@ -133,6 +140,15 @@ fn run() -> ldafp_cli::Result<(String, u8)> {
             })?;
             let csv_text = std::fs::read_to_string(data_path)?;
             commands::wordlength(&args, &csv_text)?
+        }
+        "explore" => {
+            let csv_text = match args.get("data") {
+                Some(path) => Some(std::fs::read_to_string(path)?),
+                None => None,
+            };
+            let (report, explore_code) = commands::explore(&args, csv_text.as_deref())?;
+            code = explore_code;
+            report
         }
         "export-rtl" => {
             commands::export_rtl(&args, &read_required_for(&args, "export-rtl", "model")?)?

@@ -234,6 +234,8 @@ pub struct LdaFpModel {
     classifier: FixedPointClassifier,
     weights: Vec<f64>,
     fisher_cost: f64,
+    search_weights: Vec<f64>,
+    search_fisher_cost: f64,
     outcome: TrainingOutcome,
     stats: BnbStats,
     elapsed: Duration,
@@ -253,6 +255,24 @@ impl LdaFpModel {
     /// Fisher cost `J(w)` of the selected weights (formulation 21).
     pub fn fisher_cost(&self) -> f64 {
         self.fisher_cost
+    }
+
+    /// The grid point the *search* settled on, before any empirical
+    /// deployment rescale — the weights a certificate actually covers.
+    ///
+    /// This is the right vector to warm-start a neighboring design point
+    /// with: [`Self::weights`] may carry an empirically re-selected scale
+    /// that is good for deployment but lies off the Fisher optimum, and
+    /// re-rounding it onto a neighbor's grid yields a poor incumbent.
+    pub fn search_weights(&self) -> &[f64] {
+        &self.search_weights
+    }
+
+    /// Fisher cost of [`Self::search_weights`] — the search optimum of
+    /// formulation (21), which equals [`Self::fisher_cost`] unless an
+    /// empirical rescale moved the deployed point.
+    pub fn search_fisher_cost(&self) -> f64 {
+        self.search_fisher_cost
     }
 
     /// Whether branch-and-bound proved global optimality (within the
@@ -324,12 +344,53 @@ impl LdaFpTrainer {
     ///   Fisher cost satisfies the overflow constraints.
     /// * Solver/statistics failures are propagated.
     pub fn train(&self, data: &BinaryDataset, format: QFormat) -> Result<LdaFpModel> {
+        self.train_seeded(data, format, &[])
+    }
+
+    /// [`Self::train`] warm-started with externally supplied candidate
+    /// weight vectors — typically the optima of neighboring design points in
+    /// a word-length sweep (see `ldafp-explore`).
+    ///
+    /// Each seed is re-rounded onto *this* format's grid, orientation-
+    /// canonicalized and checked for feasibility and finite Fisher cost
+    /// before adoption, exactly like any other incumbent candidate. Seeds
+    /// are considered *in addition to* the full cold-start heuristic
+    /// battery (rounded LDA, scaled-rounding sweep, polish), so the warm
+    /// incumbent entering branch-and-bound is never worse than the cold
+    /// one — and the best-first search, whose node order is
+    /// incumbent-independent, can only certify earlier and prune more.
+    ///
+    /// **Soundness:** seeds only ever strengthen the *incumbent* side of the
+    /// search — bounds, pruning rules and termination tests are untouched,
+    /// and an incumbent is only adopted after its exact discrete cost is
+    /// verified. A certificate from a warm-started run therefore proves the
+    /// same global optimality (within the configured gaps) as a cold run's.
+    ///
+    /// Seeds with the wrong dimensionality or non-finite entries are
+    /// silently ignored.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Self::train`].
+    pub fn train_seeded(
+        &self,
+        data: &BinaryDataset,
+        format: QFormat,
+        seeds: &[Vec<f64>],
+    ) -> Result<LdaFpModel> {
         let start = Instant::now();
         let tp = TrainingProblem::from_dataset(data, format, self.config.rho, self.config.rounding)?;
         let lda = LdaModel::from_moments(tp.moments())?;
 
         // ---- Incumbent seeding (DESIGN.md §5 heuristics) ----------------
         let mut best: Option<(Vec<f64>, f64)> = None;
+        for seed in seeds {
+            if seed.len() != tp.num_features() || seed.iter().any(|v| !v.is_finite()) {
+                continue;
+            }
+            let w = format.round_slice_to_grid(seed, self.config.rounding);
+            self.consider(&tp, &w, &mut best);
+        }
         self.consider(&tp, &format.round_slice_to_grid(lda.weights(), self.config.rounding), &mut best);
         if self.config.scaled_rounding {
             self.scaled_rounding_sweep(&tp, lda.weights(), &mut best);
@@ -397,6 +458,7 @@ impl LdaFpTrainer {
         }
 
         let (weights, fisher_cost) = best.ok_or(CoreError::NoFeasibleClassifier)?;
+        let search_weights = weights.clone();
         let search_optimum_cost = fisher_cost;
         let (weights, fisher_cost) = if self.config.empirical_scale_selection {
             self.select_scale_by_training_error(&tp, data, weights, fisher_cost)?
@@ -432,6 +494,8 @@ impl LdaFpTrainer {
             classifier,
             weights,
             fisher_cost,
+            search_weights,
+            search_fisher_cost: search_optimum_cost,
             outcome: training_outcome,
             stats: outcome.stats,
             elapsed: start.elapsed(),

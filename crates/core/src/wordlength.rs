@@ -98,6 +98,19 @@ pub fn minimal_word_length(
 
 /// Sweeps every word length in the range, reporting the validation error of
 /// each — the data behind accuracy-vs-power tradeoff curves.
+///
+/// This is the serial fallback implementation, kept for no-thread targets
+/// and as the semantic reference. The `ldafp-explore` crate owns the real
+/// sweep engine: it covers the same grid in parallel with warm-started
+/// branch-and-bound, caches results on disk, and scores points with the
+/// hardware power model. Prefer `ldafp_explore::Explorer` (or the
+/// `ldafp explore` CLI subcommand) for anything beyond a quick in-process
+/// scan.
+#[deprecated(
+    since = "0.2.0",
+    note = "use ldafp_explore::Explorer (the `ldafp explore` subcommand); \
+            this serial scan is kept only as a no-thread fallback"
+)]
 pub fn sweep(
     trainer: &LdaFpTrainer,
     train: &BinaryDataset,
@@ -196,6 +209,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn sweep_covers_range_and_is_eventually_good() {
         let train = easy_data(30, 0.4, 5);
         let val = easy_data(30, 0.4, 6);

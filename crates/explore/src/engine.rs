@@ -1,0 +1,728 @@
+//! The exploration engine: a work-stealing worker pool over the design
+//! grid, with warm-started solves and cache integration.
+//!
+//! ## Scheduling
+//!
+//! Design points are dealt round-robin into one deque per worker; each
+//! worker drains its own deque from the front and, when empty, steals
+//! from the *back* of another worker's deque. Stealing from the back
+//! keeps the thief off the victim's hot end and tends to hand over the
+//! larger-word-length (more expensive) points that were dealt last —
+//! classic work-stealing load balancing with nothing but `std`.
+//!
+//! With one worker (or one point) the engine runs inline on the calling
+//! thread — the serial fallback for no-thread targets.
+//!
+//! ## Warm-starting
+//!
+//! Finished points publish their optimum weights to a shared solution
+//! board. Before training, each point collects the published optima of
+//! its grid neighbors (same ρ/rounding, Chebyshev distance 1 in `(K, F)`)
+//! and passes them to
+//! [`LdaFpTrainer::train_seeded`](ldafp_core::LdaFpTrainer::train_seeded),
+//! which re-rounds them onto the point's grid and adopts any feasible one
+//! as the starting incumbent. Because points are dispatched smallest word
+//! length first, most points find at least one solved neighbor. The
+//! soundness argument lives on `train_seeded`: seeds strengthen only the
+//! incumbent side of branch-and-bound, so certificates are unaffected.
+
+use crate::cache::{config_digest, dataset_digest, problem_key, ResultCache};
+use crate::error::ExploreError;
+use crate::grid::{are_neighbors, rounding_from_name, rounding_name, DesignPoint, ExploreGrid};
+use crate::pareto::pareto_frontier;
+use crate::Result;
+use ldafp_core::{eval, LdaFpConfig, LdaFpTrainer};
+use ldafp_datasets::BinaryDataset;
+use ldafp_hwmodel::power::MacPowerModel;
+use ldafp_serve::json::Value;
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Worker threads (`0` = one per core via
+    /// [`std::thread::available_parallelism`]).
+    pub threads: usize,
+    /// Seed each point's search from solved neighbors.
+    pub warm_start: bool,
+    /// Persistent result cache directory (`None` = no caching).
+    pub cache_dir: Option<PathBuf>,
+    /// Trainer configuration; its `rho` and `rounding` are overridden per
+    /// design point.
+    pub trainer: LdaFpConfig,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            threads: 0,
+            warm_start: true,
+            cache_dir: None,
+            trainer: LdaFpConfig::fast(),
+        }
+    }
+}
+
+/// Scores for one successfully trained design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainedPointMetrics {
+    /// The trained format, e.g. `"Q2.4"`.
+    pub format: String,
+    /// Continuous-relaxation weights behind the deployed classifier.
+    pub weights: Vec<f64>,
+    /// The search incumbent before any empirical deployment rescale —
+    /// the vector published to the warm-start solution board. Re-rounding
+    /// the *deployed* weights onto a neighbor's grid seeds it with an
+    /// off-optimum scaling; the search optimum transfers cleanly.
+    pub search_weights: Vec<f64>,
+    /// Held-out classification error.
+    pub validation_error: f64,
+    /// Training-set classification error.
+    pub training_error: f64,
+    /// Discrete Fisher cost of the incumbent (lower is better).
+    pub fisher_cost: f64,
+    /// Training outcome label (`certified`, `budget-exhausted`,
+    /// `degraded`, `fallback-rounded`).
+    pub outcome: String,
+    /// Datapath power at this word length, watts (MacPowerModel).
+    pub power: f64,
+    /// Energy per classification, joules.
+    pub energy: f64,
+    /// Datapath area, square micrometres.
+    pub area: f64,
+}
+
+/// The record for one explored design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignOutcome {
+    /// The point explored.
+    pub point: DesignPoint,
+    /// Scores, when training produced a model.
+    pub metrics: Option<TrainedPointMetrics>,
+    /// Training failure text, when it did not.
+    pub failure: Option<String>,
+    /// Branch-and-bound nodes assessed (0 for cache hits and failures).
+    pub nodes_assessed: usize,
+    /// Wall time spent on this point, milliseconds.
+    pub elapsed_ms: f64,
+    /// Whether a neighbor seed was offered to the trainer.
+    pub warm_seeded: bool,
+    /// Whether the outcome was served from the persistent cache.
+    pub from_cache: bool,
+}
+
+impl DesignOutcome {
+    /// Cache/report JSON for this outcome.
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        let metrics = match &self.metrics {
+            None => Value::Null,
+            Some(m) => Value::object([
+                ("format", Value::from(m.format.as_str())),
+                (
+                    "weights",
+                    Value::Array(m.weights.iter().map(|&w| Value::from(w)).collect()),
+                ),
+                (
+                    "search_weights",
+                    Value::Array(m.search_weights.iter().map(|&w| Value::from(w)).collect()),
+                ),
+                ("validation_error", Value::from(m.validation_error)),
+                ("training_error", Value::from(m.training_error)),
+                ("fisher_cost", Value::from(m.fisher_cost)),
+                ("outcome", Value::from(m.outcome.as_str())),
+                ("power_w", Value::from(m.power)),
+                ("energy_j", Value::from(m.energy)),
+                ("area_um2", Value::from(m.area)),
+            ]),
+        };
+        Value::object([
+            ("k", Value::from(self.point.k)),
+            ("f", Value::from(self.point.f)),
+            ("rho", Value::from(self.point.rho)),
+            (
+                "rounding",
+                Value::from(rounding_name(self.point.rounding)),
+            ),
+            ("metrics", metrics),
+            (
+                "failure",
+                self.failure
+                    .as_deref()
+                    .map_or(Value::Null, Value::from),
+            ),
+            ("nodes_assessed", Value::from(self.nodes_assessed)),
+            ("elapsed_ms", Value::from(self.elapsed_ms)),
+            ("warm_seeded", Value::from(self.warm_seeded)),
+            ("from_cache", Value::from(self.from_cache)),
+        ])
+    }
+
+    /// Rebuilds an outcome from cache JSON; `None` when any field is
+    /// missing or ill-typed (the caller treats that as a cache miss).
+    #[must_use]
+    pub fn from_value(v: &Value) -> Option<DesignOutcome> {
+        let point = DesignPoint {
+            k: u32::try_from(v.get("k")?.as_i64()?).ok()?,
+            f: u32::try_from(v.get("f")?.as_i64()?).ok()?,
+            rho: v.get("rho")?.as_f64()?,
+            rounding: rounding_from_name(v.get("rounding")?.as_str()?)?,
+        };
+        let metrics = match v.get("metrics")? {
+            Value::Null => None,
+            m => Some(TrainedPointMetrics {
+                format: m.get("format")?.as_str()?.to_string(),
+                weights: m
+                    .get("weights")?
+                    .as_array()?
+                    .iter()
+                    .map(Value::as_f64)
+                    .collect::<Option<Vec<f64>>>()?,
+                search_weights: m
+                    .get("search_weights")?
+                    .as_array()?
+                    .iter()
+                    .map(Value::as_f64)
+                    .collect::<Option<Vec<f64>>>()?,
+                validation_error: m.get("validation_error")?.as_f64()?,
+                training_error: m.get("training_error")?.as_f64()?,
+                fisher_cost: m.get("fisher_cost")?.as_f64()?,
+                outcome: m.get("outcome")?.as_str()?.to_string(),
+                power: m.get("power_w")?.as_f64()?,
+                energy: m.get("energy_j")?.as_f64()?,
+                area: m.get("area_um2")?.as_f64()?,
+            }),
+        };
+        let failure = match v.get("failure")? {
+            Value::Null => None,
+            f => Some(f.as_str()?.to_string()),
+        };
+        Some(DesignOutcome {
+            point,
+            metrics,
+            failure,
+            nodes_assessed: usize::try_from(v.get("nodes_assessed")?.as_i64()?).ok()?,
+            elapsed_ms: v.get("elapsed_ms")?.as_f64()?,
+            warm_seeded: v.get("warm_seeded")?.as_bool()?,
+            from_cache: v.get("from_cache")?.as_bool()?,
+        })
+    }
+}
+
+/// Everything one exploration run produced.
+#[derive(Debug, Clone)]
+pub struct ExploreSummary {
+    /// Per-point records, in grid order (word length ascending).
+    pub outcomes: Vec<DesignOutcome>,
+    /// Indices into `outcomes` forming the (validation error, power)
+    /// Pareto frontier, sorted by error ascending.
+    pub pareto: Vec<usize>,
+    /// Total branch-and-bound nodes across freshly solved points.
+    pub total_nodes: usize,
+    /// Total wall time of the sweep, milliseconds.
+    pub total_elapsed_ms: f64,
+    /// Points served from the persistent cache.
+    pub cache_hits: usize,
+    /// Points that were offered at least one warm seed.
+    pub warm_seeded_points: usize,
+    /// Worker threads the sweep actually used.
+    pub threads: usize,
+}
+
+impl ExploreSummary {
+    /// Outcomes that produced a model.
+    #[must_use]
+    pub fn trained(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.metrics.is_some()).count()
+    }
+
+    /// Outcomes that failed to train.
+    #[must_use]
+    pub fn failed(&self) -> usize {
+        self.outcomes.len() - self.trained()
+    }
+}
+
+/// Deterministic holdout split: every `1/fraction`-th row (rounded to a
+/// period of at least 2) of each class goes to validation, the rest to
+/// training. Interleaving keeps both halves covering the same data range
+/// regardless of row order, and determinism keeps cache keys stable.
+///
+/// # Errors
+///
+/// [`ExploreError::InvalidParameter`] unless `0 < fraction < 1` and both
+/// splits end up with at least one sample per class.
+pub fn holdout_split(
+    data: &BinaryDataset,
+    fraction: f64,
+) -> Result<(BinaryDataset, BinaryDataset)> {
+    if !(fraction > 0.0 && fraction < 1.0) {
+        return Err(ExploreError::InvalidParameter {
+            name: "holdout",
+            detail: format!("fraction must lie in (0, 1), got {fraction}"),
+        });
+    }
+    let period = (1.0 / fraction).round().max(2.0) as usize;
+    let split = |n: usize| -> (Vec<usize>, Vec<usize>) {
+        (0..n).partition(|i| i % period != period - 1)
+    };
+    let (na, nb) = data.class_sizes();
+    let (train_a, val_a) = split(na);
+    let (train_b, val_b) = split(nb);
+    if train_a.is_empty() || train_b.is_empty() || val_a.is_empty() || val_b.is_empty() {
+        return Err(ExploreError::InvalidParameter {
+            name: "holdout",
+            detail: format!(
+                "classes of sizes {na}/{nb} cannot support a 1-in-{period} holdout"
+            ),
+        });
+    }
+    Ok((data.select(&train_a, &train_b), data.select(&val_a, &val_b)))
+}
+
+/// The exploration engine.
+#[derive(Debug, Clone)]
+pub struct Explorer {
+    config: ExploreConfig,
+}
+
+/// Shared state visible to every worker during a sweep.
+struct SweepShared<'a> {
+    points: &'a [DesignPoint],
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    /// `(point index, optimum weights)` of finished, successfully trained
+    /// points — the warm-start solution board.
+    solved: Mutex<Vec<(usize, Vec<f64>)>>,
+    results: Mutex<Vec<Option<DesignOutcome>>>,
+}
+
+impl SweepShared<'_> {
+    /// Pop own queue front, else steal another queue's back.
+    fn next_point(&self, me: usize) -> Option<usize> {
+        if let Some(i) = self.queues[me].lock().unwrap_or_else(|e| e.into_inner()).pop_front() {
+            return Some(i);
+        }
+        for offset in 1..self.queues.len() {
+            let victim = (me + offset) % self.queues.len();
+            if let Some(i) = self.queues[victim]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_back()
+            {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Published optima of `point`'s grid neighbors (capped at 8 — the
+    /// `(K, F)` Chebyshev-1 neighborhood size — so seed verification stays
+    /// O(1) per point).
+    fn neighbor_seeds(&self, point: &DesignPoint) -> Vec<Vec<f64>> {
+        let solved = self.solved.lock().unwrap_or_else(|e| e.into_inner());
+        solved
+            .iter()
+            .filter(|(i, _)| are_neighbors(&self.points[*i], point))
+            .take(8)
+            .map(|(_, w)| w.clone())
+            .collect()
+    }
+
+    fn publish(&self, index: usize, outcome: DesignOutcome) {
+        if let Some(m) = &outcome.metrics {
+            self.solved
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push((index, m.search_weights.clone()));
+        }
+        self.results.lock().unwrap_or_else(|e| e.into_inner())[index] = Some(outcome);
+    }
+}
+
+impl Explorer {
+    /// Creates an engine with the given configuration.
+    #[must_use]
+    pub fn new(config: ExploreConfig) -> Self {
+        Explorer { config }
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &ExploreConfig {
+        &self.config
+    }
+
+    /// Sweeps `grid` over `(train, validation)` and returns every
+    /// outcome plus the Pareto frontier.
+    ///
+    /// Per-point training failures are *recorded*, not raised — a 3-bit
+    /// grid that erases all class separation is a data point on the
+    /// frontier's far end, not an error.
+    ///
+    /// # Errors
+    ///
+    /// Grid validation errors and cache-directory creation failures.
+    pub fn run(
+        &self,
+        train: &BinaryDataset,
+        validation: &BinaryDataset,
+        grid: &ExploreGrid,
+    ) -> Result<ExploreSummary> {
+        let points = grid.design_points()?;
+        let cache = match &self.config.cache_dir {
+            Some(dir) => Some(ResultCache::open(dir.clone())?),
+            None => None,
+        };
+        let threads = match self.config.threads {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            n => n,
+        }
+        .min(points.len())
+        .max(1);
+
+        let train_digest = dataset_digest(train);
+        let validation_digest = dataset_digest(validation);
+        let started = Instant::now();
+
+        let shared = SweepShared {
+            points: &points,
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            solved: Mutex::new(Vec::new()),
+            results: Mutex::new(vec![None; points.len()]),
+        };
+        // Deal round-robin so every worker starts on a small word length
+        // and the expensive tail points are spread evenly.
+        for (i, _) in points.iter().enumerate() {
+            shared.queues[i % threads]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(i);
+        }
+
+        let worker = |me: usize| {
+            while let Some(index) = shared.next_point(me) {
+                let outcome = self.solve_point(
+                    &points[index],
+                    train,
+                    validation,
+                    train_digest,
+                    validation_digest,
+                    cache.as_ref(),
+                    &shared,
+                );
+                shared.publish(index, outcome);
+            }
+        };
+
+        if threads == 1 {
+            // Serial fallback: run inline, no thread spawn at all.
+            worker(0);
+        } else {
+            std::thread::scope(|scope| {
+                for me in 0..threads {
+                    scope.spawn(move || worker(me));
+                }
+            });
+        }
+
+        let outcomes: Vec<DesignOutcome> = shared
+            .results
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+            .into_iter()
+            .map(|slot| slot.expect("every queued point publishes an outcome"))
+            .collect();
+        let pareto = pareto_frontier(&outcomes);
+        let total_nodes = outcomes.iter().map(|o| o.nodes_assessed).sum();
+        let cache_hits = outcomes.iter().filter(|o| o.from_cache).count();
+        let warm_seeded_points = outcomes.iter().filter(|o| o.warm_seeded).count();
+        Ok(ExploreSummary {
+            outcomes,
+            pareto,
+            total_nodes,
+            total_elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
+            cache_hits,
+            warm_seeded_points,
+            threads,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn solve_point(
+        &self,
+        point: &DesignPoint,
+        train: &BinaryDataset,
+        validation: &BinaryDataset,
+        train_digest: u64,
+        validation_digest: u64,
+        cache: Option<&ResultCache>,
+        shared: &SweepShared<'_>,
+    ) -> DesignOutcome {
+        let mut trainer_config = self.config.trainer.clone();
+        trainer_config.rho = point.rho;
+        trainer_config.rounding = point.rounding;
+        let key = problem_key(
+            train_digest,
+            validation_digest,
+            point,
+            config_digest(&trainer_config),
+        );
+        if let Some(cache) = cache {
+            if let Some(hit) = cache.load(&key).as_ref().and_then(DesignOutcome::from_value) {
+                if hit.point == *point {
+                    return DesignOutcome {
+                        from_cache: true,
+                        elapsed_ms: 0.0,
+                        nodes_assessed: 0,
+                        ..hit
+                    };
+                }
+            }
+        }
+
+        let started = Instant::now();
+        let seeds = if self.config.warm_start {
+            shared.neighbor_seeds(point)
+        } else {
+            Vec::new()
+        };
+        let warm_seeded = !seeds.is_empty();
+        let trainer = LdaFpTrainer::new(trainer_config);
+        let outcome = match point
+            .format()
+            .map_err(|e| e.to_string())
+            .and_then(|format| {
+                trainer
+                    .train_seeded(train, format, &seeds)
+                    .map_err(|e| e.to_string())
+            }) {
+            Ok(model) => {
+                let power_model = MacPowerModel::default();
+                let bits = point.word_length();
+                let features = train.num_features();
+                DesignOutcome {
+                    point: *point,
+                    metrics: Some(TrainedPointMetrics {
+                        format: model.classifier().format().to_string(),
+                        weights: model.weights().to_vec(),
+                        search_weights: model.search_weights().to_vec(),
+                        validation_error: eval::error_rate(model.classifier(), validation),
+                        training_error: eval::error_rate(model.classifier(), train),
+                        fisher_cost: model.fisher_cost(),
+                        outcome: model.outcome().label().to_string(),
+                        power: power_model.power(bits, features),
+                        energy: power_model.energy_per_classification(bits, features),
+                        area: power_model.area(bits, features),
+                    }),
+                    failure: None,
+                    nodes_assessed: model.stats().nodes_assessed,
+                    elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
+                    warm_seeded,
+                    from_cache: false,
+                }
+            }
+            Err(detail) => DesignOutcome {
+                point: *point,
+                metrics: None,
+                failure: Some(detail),
+                nodes_assessed: 0,
+                elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
+                warm_seeded,
+                from_cache: false,
+            },
+        };
+
+        if let Some(cache) = cache {
+            // A failed store costs a future re-solve, nothing else.
+            let _ = cache.store(&key, &outcome.to_value());
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldafp_fixedpoint::RoundingMode;
+    use ldafp_linalg::Matrix;
+
+    fn easy_data(n: usize, offset: f64, seed: u64) -> BinaryDataset {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            ((state >> 33) as f64 / f64::from(1u32 << 31)) - 1.0
+        };
+        let a = Matrix::from_fn(n, 2, |_, j| {
+            if j == 0 {
+                -offset + 0.1 * next()
+            } else {
+                0.2 * next()
+            }
+        });
+        let b = Matrix::from_fn(n, 2, |_, j| {
+            if j == 0 {
+                offset + 0.1 * next()
+            } else {
+                0.2 * next()
+            }
+        });
+        BinaryDataset::new(a, b).expect("non-empty classes")
+    }
+
+    fn small_grid() -> ExploreGrid {
+        ExploreGrid {
+            min_bits: 3,
+            max_bits: 5,
+            max_k: 2,
+            rhos: vec![0.99],
+            roundings: vec![RoundingMode::NearestEven],
+        }
+    }
+
+    #[test]
+    fn serial_sweep_covers_grid_and_finds_a_frontier() {
+        let train = easy_data(30, 0.4, 1);
+        let validation = easy_data(30, 0.4, 2);
+        let explorer = Explorer::new(ExploreConfig {
+            threads: 1,
+            ..ExploreConfig::default()
+        });
+        let summary = explorer.run(&train, &validation, &small_grid()).unwrap();
+        assert_eq!(summary.outcomes.len(), small_grid().len());
+        assert_eq!(summary.threads, 1);
+        assert!(summary.trained() > 0, "easy data must train somewhere");
+        assert!(!summary.pareto.is_empty());
+        // Frontier indices are valid and error-sorted.
+        let errs: Vec<f64> = summary
+            .pareto
+            .iter()
+            .map(|&i| summary.outcomes[i].metrics.as_ref().unwrap().validation_error)
+            .collect();
+        assert!(errs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn parallel_and_serial_sweeps_agree_on_metrics() {
+        let train = easy_data(25, 0.4, 3);
+        let validation = easy_data(25, 0.4, 4);
+        // Cold runs so worker interleaving cannot change seeding.
+        let run = |threads| {
+            Explorer::new(ExploreConfig {
+                threads,
+                warm_start: false,
+                ..ExploreConfig::default()
+            })
+            .run(&train, &validation, &small_grid())
+            .unwrap()
+        };
+        let serial = run(1);
+        let parallel = run(3);
+        assert_eq!(serial.outcomes.len(), parallel.outcomes.len());
+        for (s, p) in serial.outcomes.iter().zip(&parallel.outcomes) {
+            assert_eq!(s.point, p.point, "grid order must be deterministic");
+            assert_eq!(
+                s.metrics.as_ref().map(|m| m.validation_error),
+                p.metrics.as_ref().map(|m| m.validation_error)
+            );
+        }
+        assert_eq!(serial.pareto, parallel.pareto);
+    }
+
+    #[test]
+    fn cache_makes_second_sweep_incremental() {
+        let dir = std::env::temp_dir().join(format!(
+            "ldafp-explore-sweep-cache-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let train = easy_data(25, 0.4, 5);
+        let validation = easy_data(25, 0.4, 6);
+        let explorer = Explorer::new(ExploreConfig {
+            threads: 1,
+            cache_dir: Some(dir.clone()),
+            ..ExploreConfig::default()
+        });
+        let first = explorer.run(&train, &validation, &small_grid()).unwrap();
+        assert_eq!(first.cache_hits, 0);
+        let second = explorer.run(&train, &validation, &small_grid()).unwrap();
+        assert_eq!(second.cache_hits, second.outcomes.len());
+        for (a, b) in first.outcomes.iter().zip(&second.outcomes) {
+            assert_eq!(
+                a.metrics.as_ref().map(|m| m.validation_error),
+                b.metrics.as_ref().map(|m| m.validation_error)
+            );
+        }
+        // Different data → different keys → cold again.
+        let other = easy_data(25, 0.4, 7);
+        let third = explorer.run(&other, &validation, &small_grid()).unwrap();
+        assert_eq!(third.cache_hits, 0);
+    }
+
+    #[test]
+    fn outcome_value_round_trips() {
+        let outcome = DesignOutcome {
+            point: DesignPoint {
+                k: 2,
+                f: 3,
+                rho: 0.95,
+                rounding: RoundingMode::Floor,
+            },
+            metrics: Some(TrainedPointMetrics {
+                format: "Q2.3".to_string(),
+                weights: vec![0.5, -0.25],
+                search_weights: vec![0.5, -0.375],
+                validation_error: 0.125,
+                training_error: 0.0625,
+                fisher_cost: -1.5,
+                outcome: "certified".to_string(),
+                power: 1e-4,
+                energy: 1e-10,
+                area: 1234.5,
+            }),
+            failure: None,
+            nodes_assessed: 42,
+            elapsed_ms: 3.5,
+            warm_seeded: true,
+            from_cache: false,
+        };
+        assert_eq!(DesignOutcome::from_value(&outcome.to_value()), Some(outcome));
+
+        let failed = DesignOutcome {
+            point: DesignPoint {
+                k: 1,
+                f: 2,
+                rho: 0.99,
+                rounding: RoundingMode::NearestEven,
+            },
+            metrics: None,
+            failure: Some("no feasible grid point".to_string()),
+            nodes_assessed: 0,
+            elapsed_ms: 0.1,
+            warm_seeded: false,
+            from_cache: false,
+        };
+        assert_eq!(DesignOutcome::from_value(&failed.to_value()), Some(failed));
+        assert_eq!(DesignOutcome::from_value(&Value::Null), None);
+    }
+
+    #[test]
+    fn holdout_split_is_deterministic_and_covers_both_classes() {
+        let data = easy_data(20, 0.4, 8);
+        let (train, val) = holdout_split(&data, 0.25).unwrap();
+        let (train2, val2) = holdout_split(&data, 0.25).unwrap();
+        assert_eq!(dataset_digest(&train), dataset_digest(&train2));
+        assert_eq!(dataset_digest(&val), dataset_digest(&val2));
+        let (ta, tb) = train.class_sizes();
+        let (va, vb) = val.class_sizes();
+        assert_eq!(ta + va, 20);
+        assert_eq!(tb + vb, 20);
+        assert_eq!(va, 5, "1-in-4 of 20 rows");
+        assert!(holdout_split(&data, 0.0).is_err());
+        assert!(holdout_split(&data, 1.0).is_err());
+    }
+}

@@ -1,0 +1,274 @@
+//! The design space: `(K, F, ρ, rounding mode)` grids.
+
+use crate::error::ExploreError;
+use crate::Result;
+use ldafp_fixedpoint::{QFormat, RoundingMode};
+
+/// One candidate hardware/algorithm configuration.
+///
+/// `K` integer bits and `F` fraction bits fix the `QK.F` weight grid (and
+/// therefore the datapath word length `K + F`); `ρ` is the paper's
+/// confidence parameter in the chance-constrained Fisher objective; the
+/// rounding mode is the datapath's quantizer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignPoint {
+    /// Integer bits (including sign).
+    pub k: u32,
+    /// Fraction bits.
+    pub f: u32,
+    /// Confidence parameter ρ ∈ (0, 1].
+    pub rho: f64,
+    /// Datapath rounding mode.
+    pub rounding: RoundingMode,
+}
+
+impl DesignPoint {
+    /// Datapath word length `K + F`.
+    #[must_use]
+    pub fn word_length(&self) -> u32 {
+        self.k + self.f
+    }
+
+    /// The point's weight format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QFormat::new`] bound checks.
+    pub fn format(&self) -> ldafp_fixedpoint::Result<QFormat> {
+        QFormat::new(self.k, self.f)
+    }
+
+    /// Stable display label, e.g. `Q2.4 rho=0.99 nearest-even`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "Q{}.{} rho={} {}",
+            self.k,
+            self.f,
+            self.rho,
+            rounding_name(self.rounding)
+        )
+    }
+}
+
+/// Stable lowercase name for a rounding mode (report/cache vocabulary).
+#[must_use]
+pub fn rounding_name(mode: RoundingMode) -> &'static str {
+    match mode {
+        RoundingMode::NearestEven => "nearest-even",
+        RoundingMode::NearestAway => "nearest-away",
+        RoundingMode::Floor => "floor",
+        RoundingMode::Ceil => "ceil",
+        RoundingMode::TowardZero => "toward-zero",
+    }
+}
+
+/// Parses a rounding-mode name produced by [`rounding_name`].
+#[must_use]
+pub fn rounding_from_name(name: &str) -> Option<RoundingMode> {
+    match name {
+        "nearest-even" => Some(RoundingMode::NearestEven),
+        "nearest-away" => Some(RoundingMode::NearestAway),
+        "floor" => Some(RoundingMode::Floor),
+        "ceil" => Some(RoundingMode::Ceil),
+        "toward-zero" => Some(RoundingMode::TowardZero),
+        _ => None,
+    }
+}
+
+/// Bounds of the design space to sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExploreGrid {
+    /// Smallest word length `K + F` to try.
+    pub min_bits: u32,
+    /// Largest word length to try.
+    pub max_bits: u32,
+    /// Largest integer-bit split `K` at each word length (`K` ranges over
+    /// `1..=min(max_k, bits − 1)` so at least one fraction bit remains).
+    pub max_k: u32,
+    /// Confidence parameters to cross with every format.
+    pub rhos: Vec<f64>,
+    /// Rounding modes to cross with every format.
+    pub roundings: Vec<RoundingMode>,
+}
+
+impl Default for ExploreGrid {
+    fn default() -> Self {
+        ExploreGrid {
+            min_bits: 3,
+            max_bits: 8,
+            max_k: 2,
+            rhos: vec![0.99],
+            roundings: vec![RoundingMode::NearestEven],
+        }
+    }
+}
+
+impl ExploreGrid {
+    /// Enumerates the grid as concrete design points, **sorted by word
+    /// length ascending** (then `K`, then ρ, then rounding). The ordering
+    /// matters: the explorer dispatches points in this order so cheap
+    /// small-word-length solves finish first and seed their larger
+    /// neighbors' searches.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::EmptyGrid`] when the bounds produce no point, and
+    /// [`ExploreError::InvalidParameter`] for out-of-range `ρ` or bit
+    /// bounds.
+    pub fn design_points(&self) -> Result<Vec<DesignPoint>> {
+        if self.min_bits < 2 || self.max_bits < self.min_bits {
+            return Err(ExploreError::InvalidParameter {
+                name: "bits",
+                detail: format!(
+                    "need 2 <= min_bits <= max_bits, got {}..={}",
+                    self.min_bits, self.max_bits
+                ),
+            });
+        }
+        if self.max_k == 0 {
+            return Err(ExploreError::InvalidParameter {
+                name: "max_k",
+                detail: "need at least one integer bit".to_string(),
+            });
+        }
+        for &rho in &self.rhos {
+            if !(rho > 0.0 && rho <= 1.0 && rho.is_finite()) {
+                return Err(ExploreError::InvalidParameter {
+                    name: "rho",
+                    detail: format!("confidence must lie in (0, 1], got {rho}"),
+                });
+            }
+        }
+        let mut points = Vec::new();
+        for bits in self.min_bits..=self.max_bits {
+            for k in 1..=self.max_k.min(bits.saturating_sub(1)) {
+                let f = bits - k;
+                if QFormat::new(k, f).is_err() {
+                    continue;
+                }
+                for &rho in &self.rhos {
+                    for &rounding in &self.roundings {
+                        points.push(DesignPoint { k, f, rho, rounding });
+                    }
+                }
+            }
+        }
+        if points.is_empty() {
+            return Err(ExploreError::EmptyGrid {
+                detail: format!(
+                    "bits {}..={}, max_k {}, {} rho(s), {} rounding mode(s)",
+                    self.min_bits,
+                    self.max_bits,
+                    self.max_k,
+                    self.rhos.len(),
+                    self.roundings.len()
+                ),
+            });
+        }
+        Ok(points)
+    }
+
+    /// Number of design points the grid enumerates (0 when invalid).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.design_points().map_or(0, |p| p.len())
+    }
+
+    /// Whether the grid enumerates no valid point.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Whether two points are warm-start neighbors: same ρ and rounding, and
+/// within Chebyshev distance 1 in the `(K, F)` plane. A neighbor's optimum
+/// lives on an adjacent grid, so re-rounding it onto this point's grid is
+/// the cheapest high-quality incumbent probe available.
+#[must_use]
+pub fn are_neighbors(a: &DesignPoint, b: &DesignPoint) -> bool {
+    let dk = a.k.abs_diff(b.k);
+    let df = a.f.abs_diff(b.f);
+    a.rho == b.rho && a.rounding == b.rounding && dk.max(df) == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grid_enumerates_sorted_by_word_length() {
+        let points = ExploreGrid::default().design_points().unwrap();
+        assert!(!points.is_empty());
+        let lengths: Vec<u32> = points.iter().map(DesignPoint::word_length).collect();
+        let mut sorted = lengths.clone();
+        sorted.sort_unstable();
+        assert_eq!(lengths, sorted, "points must come smallest-format first");
+        assert!(points.iter().all(|p| p.f >= 1 && p.k >= 1));
+    }
+
+    #[test]
+    fn grid_crosses_rhos_and_roundings() {
+        let grid = ExploreGrid {
+            min_bits: 4,
+            max_bits: 4,
+            max_k: 2,
+            rhos: vec![0.9, 0.99],
+            roundings: vec![RoundingMode::NearestEven, RoundingMode::Floor],
+        };
+        // 2 formats (Q1.3, Q2.2) × 2 rhos × 2 roundings.
+        assert_eq!(grid.design_points().unwrap().len(), 8);
+    }
+
+    #[test]
+    fn invalid_bounds_are_rejected() {
+        let grid = ExploreGrid {
+            max_bits: 1,
+            ..ExploreGrid::default()
+        };
+        assert!(matches!(
+            grid.design_points(),
+            Err(ExploreError::InvalidParameter { name: "bits", .. })
+        ));
+        let grid = ExploreGrid {
+            rhos: vec![1.5],
+            ..ExploreGrid::default()
+        };
+        assert!(matches!(
+            grid.design_points(),
+            Err(ExploreError::InvalidParameter { name: "rho", .. })
+        ));
+    }
+
+    #[test]
+    fn neighborhood_is_chebyshev_one_with_matching_hyperparams() {
+        let p = |k, f| DesignPoint {
+            k,
+            f,
+            rho: 0.99,
+            rounding: RoundingMode::NearestEven,
+        };
+        assert!(are_neighbors(&p(2, 4), &p(2, 5)));
+        assert!(are_neighbors(&p(2, 4), &p(1, 3)));
+        assert!(!are_neighbors(&p(2, 4), &p(2, 4)), "a point is not its own seed");
+        assert!(!are_neighbors(&p(2, 4), &p(2, 6)));
+        let mut q = p(2, 5);
+        q.rho = 0.9;
+        assert!(!are_neighbors(&p(2, 4), &q), "different rho breaks adjacency");
+    }
+
+    #[test]
+    fn rounding_names_round_trip() {
+        for mode in [
+            RoundingMode::NearestEven,
+            RoundingMode::NearestAway,
+            RoundingMode::Floor,
+            RoundingMode::Ceil,
+            RoundingMode::TowardZero,
+        ] {
+            assert_eq!(rounding_from_name(rounding_name(mode)), Some(mode));
+        }
+        assert_eq!(rounding_from_name("bogus"), None);
+    }
+}

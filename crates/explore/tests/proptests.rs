@@ -1,0 +1,116 @@
+//! Property test for the warm-start soundness claim: seeding the search
+//! with external candidate weights — good, bad, or garbage — must not
+//! change the certified incumbent objective. Seeds only strengthen the
+//! incumbent side of branch-and-bound; bounds and pruning are untouched,
+//! so a certified warm solve and a certified cold solve bracket the same
+//! global optimum within the configured gaps.
+
+use ldafp_core::{LdaFpConfig, LdaFpTrainer, TrainingOutcome};
+use ldafp_datasets::BinaryDataset;
+use ldafp_fixedpoint::QFormat;
+use ldafp_linalg::Matrix;
+use proptest::prelude::*;
+
+fn separated_data(n: usize, offset: f64, jitter: f64, seed: u64) -> BinaryDataset {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        ((state >> 33) as f64 / f64::from(1u32 << 31)) - 1.0
+    };
+    let a = Matrix::from_fn(n, 2, |_, j| {
+        if j == 0 {
+            -offset + jitter * next()
+        } else {
+            0.3 * next()
+        }
+    });
+    let b = Matrix::from_fn(n, 2, |_, j| {
+        if j == 0 {
+            offset + jitter * next()
+        } else {
+            0.3 * next()
+        }
+    });
+    BinaryDataset::new(a, b).expect("non-empty classes")
+}
+
+/// Both solves certified ⇒ both incumbents lie within the certification
+/// gap of the same global optimum, so they differ by at most twice that
+/// gap from each other.
+fn certified_tolerance(config: &LdaFpConfig, a: f64, b: f64) -> f64 {
+    2.0 * (config.bnb.absolute_gap + config.bnb.relative_gap * a.abs().max(b.abs())) + 1e-9
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn warm_and_cold_solves_reach_the_same_certified_objective(
+        data_seed in 0u64..1_000,
+        offset in 0.3f64..0.6,
+        k in 1u32..=2,
+        f in 2u32..=4,
+        seed_scale in -2.0f64..2.0,
+    ) {
+        let data = separated_data(20, offset, 0.1, data_seed);
+        let format = QFormat::new(k, f).expect("bounded params");
+        let config = LdaFpConfig::fast();
+        let trainer = LdaFpTrainer::new(config.clone());
+
+        let cold = trainer.train(&data, format);
+        // Seeds: a scaled/flipped-ish direction, a garbage vector, and a
+        // wrong-dimension vector (must be ignored, not crash).
+        let seeds = vec![
+            vec![seed_scale, -seed_scale],
+            vec![1e6, f64::NAN],
+            vec![0.5; 7],
+        ];
+        let warm = trainer.train_seeded(&data, format, &seeds);
+
+        // Training can legitimately fail on hostile grids; the property
+        // only constrains agreeing certificates. Mixed success is
+        // possible when a budget-bound search is pushed over the line
+        // either way — not a soundness violation.
+        if let (Ok(cold), Ok(warm)) = (cold, warm) {
+            if matches!(cold.outcome(), TrainingOutcome::Certified)
+                && matches!(warm.outcome(), TrainingOutcome::Certified)
+            {
+                let (a, b) = (cold.fisher_cost(), warm.fisher_cost());
+                let tol = certified_tolerance(&config, a, b);
+                prop_assert!(
+                    (a - b).abs() <= tol,
+                    "certified incumbents disagree: cold {a} vs warm {b} (tol {tol})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seeding_with_the_cold_optimum_reproduces_it(
+        data_seed in 0u64..1_000,
+        offset in 0.35f64..0.6,
+    ) {
+        let data = separated_data(18, offset, 0.08, data_seed);
+        let format = QFormat::new(2, 4).expect("static format");
+        let config = LdaFpConfig::fast();
+        let trainer = LdaFpTrainer::new(config.clone());
+
+        if let Ok(cold) = trainer.train(&data, format) {
+            if matches!(cold.outcome(), TrainingOutcome::Certified) {
+                let warm = trainer
+                    .train_seeded(&data, format, &[cold.weights().to_vec()])
+                    .expect("seeded solve of a solvable problem succeeds");
+                if matches!(warm.outcome(), TrainingOutcome::Certified) {
+                    let (a, b) = (cold.fisher_cost(), warm.fisher_cost());
+                    let tol = certified_tolerance(&config, a, b);
+                    prop_assert!(
+                        (a - b).abs() <= tol,
+                        "self-seeding moved the optimum: {a} vs {b} (tol {tol})"
+                    );
+                }
+            }
+        }
+    }
+}

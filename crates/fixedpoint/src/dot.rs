@@ -69,18 +69,62 @@ pub fn mac_dot(w: &[Fx], x: &[Fx], mode: RoundingMode) -> Result<Fx> {
 /// Same failure modes as [`mac_dot`].
 pub fn mac_dot_counted(w: &[Fx], x: &[Fx], mode: RoundingMode) -> Result<(Fx, usize)> {
     let fmt = check_operands(w, x)?;
-    let mut acc = fmt.zero();
+    // Raw-integer inner loop. The element-wise `wrapping_mul` /
+    // `wrapping_add` path re-checks formats and reduces through
+    // `i128::rem_euclid` — a software division — on every step; with the
+    // formats validated once up front, every reduction here is a
+    // power-of-two wrap, so shifts and masks compute the identical result
+    // (the tests pin this loop to [`mac_dot_traced`] step for step).
+    // Magnitudes stay comfortably inside `i64`: `K+F ≤ 31` bounds raws by
+    // `2^30`, products by `2^60`, and accumulator sums by `2^31`.
+    let f = fmt.f();
+    let wl = fmt.word_length();
+    let modulus = 1i64 << wl;
+    let half_modulus = 1i64 << (wl - 1);
+    let wrap = |v: i64| -> i64 {
+        // Two's-complement wrap into `wl` bits: the mask is `v mod 2^wl`
+        // for any sign, exactly `QFormat::wrap_raw`.
+        let r = v & (modulus - 1);
+        if r >= half_modulus {
+            r - modulus
+        } else {
+            r
+        }
+    };
+    let frac_mask = if f == 0 { 0 } else { (1i64 << f) - 1 };
+    let half = if f == 0 { 0 } else { 1i64 << (f - 1) };
+    let mut acc = 0i64;
     let mut overflows = 0usize;
     for (wi, xi) in w.iter().zip(x) {
-        let p = wi.wrapping_mul(*xi, mode)?;
-        let unbounded = acc.raw() as i128 + p.raw() as i128;
-        let next = acc.wrapping_add(p)?;
-        if next.raw() as i128 != unbounded {
+        let wide = wi.raw() * xi.raw(); // 2F fractional bits
+        let p_scaled = if f == 0 {
+            wide
+        } else {
+            // `>> F` is floor division and `& frac_mask` the euclidean
+            // remainder, mirroring `Fx::mul_rounded_raw` mode for mode.
+            let q = wide >> f;
+            let r = wide & frac_mask;
+            q + match mode {
+                RoundingMode::Floor => 0,
+                RoundingMode::Ceil => i64::from(r > 0),
+                RoundingMode::TowardZero => i64::from(wide < 0 && r > 0),
+                RoundingMode::NearestAway => i64::from(r > half || (r == half && wide >= 0)),
+                RoundingMode::NearestEven => match r.cmp(&half) {
+                    std::cmp::Ordering::Greater => 1,
+                    std::cmp::Ordering::Less => 0,
+                    std::cmp::Ordering::Equal => q & 1, // odd quotient rounds up
+                },
+            }
+        };
+        let p = wrap(p_scaled);
+        let unbounded = acc + p;
+        let next = wrap(unbounded);
+        if next != unbounded {
             overflows += 1;
         }
         acc = next;
     }
-    Ok((acc, overflows))
+    Ok((fmt.from_raw(acc), overflows))
 }
 
 /// Like [`mac_dot`] but also returns the full [`MacTrace`].
@@ -194,6 +238,44 @@ mod tests {
 
     fn q(k: u32, f: u32) -> QFormat {
         QFormat::new(k, f).unwrap()
+    }
+
+    #[test]
+    fn fast_counted_loop_matches_traced_reference() {
+        // `mac_dot_counted` runs a shift/mask integer loop;
+        // `mac_dot_traced` still goes through the element-wise
+        // `wrapping_mul`/`wrapping_add` ops. They must agree on the final
+        // value AND the overflow count for every format shape (wide words,
+        // integer-only, fraction-heavy) and every rounding mode, on inputs
+        // spanning the full raw range so wraps and ties both occur.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2014);
+        for (k, f) in [(3u32, 0u32), (2, 6), (1, 12), (16, 15), (1, 30), (31, 0), (4, 1)] {
+            let fmt = q(k, f);
+            let (lo, hi) = (fmt.min_raw(), fmt.max_raw());
+            for mode in [
+                RoundingMode::NearestEven,
+                RoundingMode::NearestAway,
+                RoundingMode::Floor,
+                RoundingMode::Ceil,
+                RoundingMode::TowardZero,
+            ] {
+                for len in [1usize, 2, 7, 42] {
+                    let gen = |rng: &mut rand_chacha::ChaCha8Rng| -> Vec<Fx> {
+                        (0..len).map(|_| fmt.from_raw(rng.gen_range(lo..=hi))).collect()
+                    };
+                    let w = gen(&mut rng);
+                    let x = gen(&mut rng);
+                    let (fast, fast_overflows) = mac_dot_counted(&w, &x, mode).unwrap();
+                    let (slow, trace) = mac_dot_traced(&w, &x, mode).unwrap();
+                    assert_eq!(
+                        (fast.raw(), fast_overflows),
+                        (slow.raw(), trace.intermediate_overflows),
+                        "Q{k}.{f} {mode:?} len={len} w={w:?} x={x:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

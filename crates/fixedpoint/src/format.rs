@@ -249,6 +249,36 @@ impl QFormat {
         xs.iter().map(|&x| self.quantize(x, mode)).collect()
     }
 
+    /// Allocation-free variant of [`Self::quantize_slice`]: clears `out`
+    /// and refills it, reusing its capacity. Hot inference loops (the
+    /// serving batch path) call this once per row with a scratch buffer.
+    ///
+    /// The `2^F` scale and the raw saturation bounds are hoisted out of
+    /// the element loop ([`Self::quantize`] recomputes them per value);
+    /// the multiply uses the identical precomputed factor, so the result
+    /// is bit-for-bit the same as the scalar path — the tests assert it.
+    pub fn quantize_slice_into(&self, xs: &[f64], mode: RoundingMode, out: &mut Vec<Fx>) {
+        out.clear();
+        let pow = (2.0f64).powi(self.f as i32);
+        let (lo, hi) = (self.min_raw(), self.max_raw());
+        let (lo_f, hi_f) = (lo as f64, hi as f64);
+        out.extend(xs.iter().map(|&x| {
+            let raw = if x.is_nan() {
+                0
+            } else {
+                let rounded = round_f64(x * pow, mode);
+                if rounded <= lo_f {
+                    lo
+                } else if rounded >= hi_f {
+                    hi
+                } else {
+                    rounded as i64
+                }
+            };
+            Fx::from_raw_parts(raw, *self)
+        }));
+    }
+
     /// Value-level grid rounding for a slice.
     pub fn round_slice_to_grid(&self, xs: &[f64], mode: RoundingMode) -> Vec<f64> {
         xs.iter().map(|&x| self.round_to_grid(x, mode)).collect()
@@ -296,6 +326,37 @@ mod tests {
         assert!(QFormat::new(1, 31).is_err());
         assert!(QFormat::new(1, 30).is_ok());
         assert!(QFormat::new(31, 0).is_ok());
+    }
+
+    #[test]
+    fn slice_quantization_is_bit_identical_to_scalar() {
+        // The slice path hoists `2^F` and the saturation bounds out of the
+        // loop; it must agree with `quantize` on every input class —
+        // in-range values, exact ties, both saturation sides, NaN, ±inf.
+        let inputs: Vec<f64> = vec![
+            0.0, 0.5, -0.5, 0.078125, -0.078125, 0.15625, 1.999, -2.0, 100.0, -100.0,
+            f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 1e-12, -1e-12, 0.9999999,
+        ];
+        for (k, f) in [(2u32, 6u32), (3, 0), (1, 10), (4, 4)] {
+            let q = QFormat::new(k, f).unwrap();
+            for mode in [
+                RoundingMode::NearestEven,
+                RoundingMode::NearestAway,
+                RoundingMode::Floor,
+                RoundingMode::Ceil,
+                RoundingMode::TowardZero,
+            ] {
+                let mut fast = Vec::new();
+                q.quantize_slice_into(&inputs, mode, &mut fast);
+                for (x, got) in inputs.iter().zip(&fast) {
+                    assert_eq!(
+                        got.raw(),
+                        q.quantize(*x, mode).raw(),
+                        "Q{k}.{f} {mode:?} x={x}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -22,16 +22,43 @@ use crate::error::{Result, ServeError};
 use crate::pool::WorkerPool;
 use ldafp_core::multiclass::OneVsRestClassifier;
 use ldafp_core::FixedPointClassifier;
-use ldafp_fixedpoint::mac_dot_counted;
+use ldafp_fixedpoint::{mac_dot_counted, Fx, QFormat, RoundingMode};
 use std::sync::{Arc, Mutex};
+
+/// Reusable per-row working buffers for the batch path.
+///
+/// Scaling and quantization each need a row-sized buffer; allocating them
+/// per row made batched prediction *slower* than the row-at-a-time loop
+/// (allocator pressure dominated the MAC work). One scratch per batch —
+/// or per shard on the pool path — removes every per-row allocation.
+#[derive(Debug, Default)]
+struct RowScratch {
+    scaled: Vec<f64>,
+    quantized: Vec<Fx>,
+}
+
+/// Row-invariant classification state (see [`InferenceEngine::row_context`]).
+struct RowContext<'a> {
+    format: QFormat,
+    rounding: RoundingMode,
+    min_value: f64,
+    max_value: f64,
+    num_features: usize,
+    /// Input scaling vector; `None` when scaling is the identity, in which
+    /// case rows are classified in place without copying into scratch.
+    scale: Option<&'a [f64]>,
+    model: &'a ServedModel,
+}
 
 /// One classified row.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Prediction {
     /// Winning class index (binary: 0 = `y ≥ T`, 1 otherwise).
     pub class_index: usize,
-    /// The artifact's label for that class.
-    pub label: String,
+    /// The artifact's label for that class, shared with the engine's
+    /// interned label table — cloning a prediction (and emitting one per
+    /// row in a batch) is a refcount bump, not a heap allocation.
+    pub label: Arc<str>,
     /// Advisory decision margin in value units (binary: `(y − T)·2⁻ᶠ`;
     /// one-vs-rest: the winner's calibrated margin). Not used to decide.
     pub score: f64,
@@ -76,6 +103,10 @@ pub struct BatchOutput {
 #[derive(Debug, Clone)]
 pub struct InferenceEngine {
     artifact: Arc<ModelArtifact>,
+    /// Class labels interned once at construction so per-row predictions
+    /// never allocate label strings (the artifact keeps its own `String`
+    /// copies for serialization).
+    labels: Arc<[Arc<str>]>,
 }
 
 impl InferenceEngine {
@@ -86,8 +117,14 @@ impl InferenceEngine {
     /// Propagates [`ModelArtifact::validate`] failures.
     pub fn new(artifact: ModelArtifact) -> Result<Self> {
         artifact.validate()?;
+        let labels = artifact
+            .class_labels
+            .iter()
+            .map(|l| Arc::from(l.as_str()))
+            .collect();
         Ok(InferenceEngine {
             artifact: Arc::new(artifact),
+            labels,
         })
     }
 
@@ -125,8 +162,10 @@ impl InferenceEngine {
     pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Result<BatchOutput> {
         let mut predictions = Vec::with_capacity(rows.len());
         let mut stats = BatchStats::default();
+        let mut scratch = RowScratch::default();
+        let ctx = self.row_context();
         for (i, row) in rows.iter().enumerate() {
-            let (p, s) = self.predict_row_at(row, i)?;
+            let (p, s) = self.predict_row_with(&ctx, row, i, &mut scratch)?;
             predictions.push(p);
             stats.absorb(s);
         }
@@ -190,26 +229,67 @@ impl InferenceEngine {
     }
 
     fn predict_row_at(&self, row: &[f64], index: usize) -> Result<(Prediction, BatchStats)> {
-        if row.len() != self.num_features() {
+        self.predict_row_with(&self.row_context(), row, index, &mut RowScratch::default())
+    }
+
+    /// Snapshots everything row-invariant — format bounds (each a `powi`
+    /// behind the accessor), rounding mode, the model-kind dispatch — so
+    /// the batch path pays for them once per batch instead of once per
+    /// row. The single-row path rebuilds it per call, as a one-shot API
+    /// must.
+    fn row_context(&self) -> RowContext<'_> {
+        let format = self.artifact.model.format();
+        let rounding = match &self.artifact.model {
+            ServedModel::Binary(clf) => clf.rounding(),
+            ServedModel::OneVsRest(clf) => clf.heads()[0].rounding(),
+        };
+        let scale = self.artifact.input_scale.as_slice();
+        let identity = matches!(scale, [s] if *s == 1.0);
+        RowContext {
+            format,
+            rounding,
+            min_value: format.min_value(),
+            max_value: format.max_value(),
+            num_features: self.num_features(),
+            scale: if identity { None } else { Some(scale) },
+            model: &self.artifact.model,
+        }
+    }
+
+    fn predict_row_with(
+        &self,
+        ctx: &RowContext<'_>,
+        row: &[f64],
+        index: usize,
+        scratch: &mut RowScratch,
+    ) -> Result<(Prediction, BatchStats)> {
+        if row.len() != ctx.num_features {
             return Err(ServeError::FeatureMismatch {
-                expected: self.num_features(),
+                expected: ctx.num_features,
                 got: row.len(),
                 row: index,
             });
         }
-        let scaled = self.scale_row(row);
-        let format = self.artifact.model.format();
+        let scaled: &[f64] = match ctx.scale {
+            None => row,
+            Some(scale) => {
+                scale_row_into(row, scale, &mut scratch.scaled);
+                &scratch.scaled
+            }
+        };
         let saturated_inputs = scaled
             .iter()
-            .filter(|x| **x < format.min_value() || **x > format.max_value())
+            .filter(|x| **x < ctx.min_value || **x > ctx.max_value)
             .count() as u64;
-        let (class_index, score, wraps) = match &self.artifact.model {
-            ServedModel::Binary(clf) => binary_decision(clf, &scaled),
-            ServedModel::OneVsRest(clf) => one_vs_rest_decision(clf, &scaled),
+        ctx.format
+            .quantize_slice_into(scaled, ctx.rounding, &mut scratch.quantized);
+        let (class_index, score, wraps) = match ctx.model {
+            ServedModel::Binary(clf) => binary_decision(clf, &scratch.quantized),
+            ServedModel::OneVsRest(clf) => one_vs_rest_decision(clf, &scratch.quantized),
         };
         let prediction = Prediction {
             class_index,
-            label: self.artifact.class_labels[class_index].clone(),
+            label: Arc::clone(&self.labels[class_index]),
             score,
         };
         let stats = BatchStats {
@@ -220,25 +300,27 @@ impl InferenceEngine {
         Ok((prediction, stats))
     }
 
-    fn scale_row(&self, row: &[f64]) -> Vec<f64> {
-        let scale = &self.artifact.input_scale;
-        if scale.len() == 1 {
-            if scale[0] == 1.0 {
-                return row.to_vec();
-            }
-            return row.iter().map(|x| x * scale[0]).collect();
-        }
-        row.iter().zip(scale).map(|(x, s)| x * s).collect()
-    }
 }
 
-/// Binary decision on the wrapping MAC. Identical comparison to
-/// [`FixedPointClassifier::classify`]: `y.raw ≥ T.raw` picks class 0.
-fn binary_decision(clf: &FixedPointClassifier, scaled: &[f64]) -> (usize, f64, u64) {
+/// Applies a non-identity input scaling (broadcast scalar or per-feature
+/// vector) into `out`. The identity case never reaches here — rows are
+/// classified in place without a copy.
+fn scale_row_into(row: &[f64], scale: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    if scale.len() == 1 {
+        out.extend(row.iter().map(|x| x * scale[0]));
+        return;
+    }
+    out.extend(row.iter().zip(scale).map(|(x, s)| x * s));
+}
+
+/// Binary decision on the wrapping MAC over an already-quantized row.
+/// Identical comparison to [`FixedPointClassifier::classify`]:
+/// `y.raw ≥ T.raw` picks class 0.
+fn binary_decision(clf: &FixedPointClassifier, xq: &[Fx]) -> (usize, f64, u64) {
     let format = clf.format();
-    let xq = format.quantize_slice(scaled, clf.rounding());
-    let (y, wraps) = mac_dot_counted(clf.weights(), &xq, clf.rounding())
-        .expect("formats agree by construction");
+    let (y, wraps) =
+        mac_dot_counted(clf.weights(), xq, clf.rounding()).expect("formats agree by construction");
     let margin_raw = y.raw() - clf.threshold().raw();
     let class_index = usize::from(margin_raw < 0);
     (
@@ -248,18 +330,16 @@ fn binary_decision(clf: &FixedPointClassifier, scaled: &[f64]) -> (usize, f64, u
     )
 }
 
-/// One-vs-rest decision mirroring [`OneVsRestClassifier::classify`]:
-/// per-head raw margin, calibrated by `margin_scale`, argmax with ties to
-/// the lowest class index.
-fn one_vs_rest_decision(clf: &OneVsRestClassifier, scaled: &[f64]) -> (usize, f64, u64) {
-    let format = clf.heads()[0].format();
+/// One-vs-rest decision mirroring [`OneVsRestClassifier::classify`] over an
+/// already-quantized row: per-head raw margin, calibrated by
+/// `margin_scale`, argmax with ties to the lowest class index.
+fn one_vs_rest_decision(clf: &OneVsRestClassifier, xq: &[Fx]) -> (usize, f64, u64) {
     let rounding = clf.heads()[0].rounding();
-    let xq = format.quantize_slice(scaled, rounding);
     let mut best_class = 0usize;
     let mut best_margin = f64::NEG_INFINITY;
     let mut wraps = 0u64;
     for (c, (head, scale)) in clf.heads().iter().zip(clf.margin_scales()).enumerate() {
-        let (y, w) = mac_dot_counted(head.weights(), &xq, rounding)
+        let (y, w) = mac_dot_counted(head.weights(), xq, rounding)
             .expect("heads share the format by construction");
         wraps += w as u64;
         let margin = (y.raw() - head.threshold().raw()) as f64 * scale;

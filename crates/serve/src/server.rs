@@ -270,7 +270,7 @@ fn predict_response(out: &crate::engine::BatchOutput) -> Value {
                     .map(|p| {
                         Value::object([
                             ("class", Value::from(p.class_index)),
-                            ("label", Value::from(p.label.as_str())),
+                            ("label", Value::from(&*p.label)),
                             ("score", Value::from(p.score)),
                         ])
                     })

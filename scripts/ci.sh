@@ -17,4 +17,12 @@ cargo test -q -p ldafp-serve --test loopback
 cargo test -q -p ldafp-cli --test serve_roundtrip
 cargo clippy -p ldafp-serve --all-targets -- -D warnings
 
-cargo clippy --all-targets -- -D warnings
+# Exploration layer: engine/cache/pareto units, warm-start and cache
+# property tests, then a CLI smoke sweep on the built-in demo workload
+# (exit 0 requires the frontier's best point to train to certification).
+cargo build --release -p ldafp-explore
+cargo test -q -p ldafp-explore
+cargo run --release -q -p ldafp-cli -- explore --quick --threads 2 --max-bits 5 > /dev/null
+
+# Whole-workspace lint, warnings promoted to errors.
+cargo clippy --workspace --all-targets -- -D warnings

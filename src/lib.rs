@@ -14,12 +14,15 @@
 //!   simulation.
 //! * [`serve`] — model artifacts, integer-only batched inference, and the
 //!   TCP serving runtime.
+//! * [`explore`] — parallel design-space exploration with warm-started
+//!   solves, a persistent result cache, and Pareto reporting.
 
 #![forbid(unsafe_code)]
 
 pub use ldafp_bnb as bnb;
 pub use ldafp_core as core;
 pub use ldafp_datasets as datasets;
+pub use ldafp_explore as explore;
 pub use ldafp_fixedpoint as fixedpoint;
 pub use ldafp_hwmodel as hwmodel;
 pub use ldafp_linalg as linalg;

@@ -1,0 +1,77 @@
+//! Observability-overhead gate: measures what the `ldafp-obs` facade
+//! costs the solver hot path, written to `BENCH_obs.json`.
+//!
+//! ```text
+//! cargo run -p ldafp-bench --release --bin obs_bench [-- --quick]
+//! ```
+//!
+//! Exits nonzero when the estimated disabled-subscriber overhead — every
+//! emission site billed at the price of one disabled `enabled()` check —
+//! reaches 2% of the training wall time. The enabled-vs-disabled A/B is
+//! printed for context but not gated: it prices the subscriber, which
+//! users opt into with `--trace`.
+
+use ldafp_bench::experiments::{run_obs_overhead, ObsBenchConfig};
+use ldafp_bench::{quick_flag, table};
+
+fn main() {
+    let mut config = ObsBenchConfig::default();
+    if quick_flag() {
+        config.train_per_class = 60;
+        config.repeats = 2;
+        config.dispatch_calls = 1_000_000;
+    }
+    eprintln!(
+        "obs overhead — {} samples/class @ {} bits, {} repeat(s)/mode, {}M dispatch calls",
+        config.train_per_class,
+        config.word_length,
+        config.repeats,
+        config.dispatch_calls / 1_000_000
+    );
+    let report = run_obs_overhead(&config);
+
+    let cells = vec![
+        vec![
+            "train, tracing disabled".to_string(),
+            format!("{:.1} ms", 1e3 * report.disabled_train_s),
+        ],
+        vec![
+            "train, counting subscriber".to_string(),
+            format!(
+                "{:.1} ms ({:+.2}%)",
+                1e3 * report.enabled_train_s,
+                report.enabled_overhead_pct()
+            ),
+        ],
+        vec![
+            "events per training run".to_string(),
+            report.events_per_train.to_string(),
+        ],
+        vec![
+            "disabled dispatch".to_string(),
+            format!("{:.2} ns/check", report.dispatch_ns),
+        ],
+        vec![
+            "est. disabled overhead".to_string(),
+            format!(
+                "{:.4}% (gate < {}%)",
+                report.est_disabled_overhead_pct(),
+                report.gate_pct
+            ),
+        ],
+    ];
+    println!("{}", table::render(&["measurement", "value"], &cells));
+
+    let out = "BENCH_obs.json";
+    std::fs::write(out, report.to_json_string()).expect("write BENCH_obs.json");
+    println!("wrote {out}");
+
+    if !report.gate_passes() {
+        eprintln!(
+            "FAIL: estimated disabled-subscriber overhead {:.4}% >= {}% of solver wall time",
+            report.est_disabled_overhead_pct(),
+            report.gate_pct
+        );
+        std::process::exit(1);
+    }
+}

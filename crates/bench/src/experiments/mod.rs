@@ -5,6 +5,7 @@ mod ablation;
 mod bci;
 mod explore;
 mod fig2;
+mod obs;
 mod power;
 mod serve;
 mod synthetic;
@@ -14,6 +15,7 @@ pub use ablation::{run_ablation, AblationConfig, AblationRow};
 pub use bci::{run_table2, Table2Config, Table2Row};
 pub use explore::{run_explore_bench, ExploreBenchConfig, ExploreBenchReport};
 pub use fig2::{run_fig2, BoundaryRobustness, Fig2Config, Fig2Report};
+pub use obs::{run_obs_overhead, ObsBenchConfig, ObsOverheadReport};
 pub use power::{run_power, PowerConfig, PowerRow};
 pub use serve::{
     run_serve_throughput, serve_fixture, ServeBenchConfig, ServeThroughputReport,

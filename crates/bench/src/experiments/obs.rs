@@ -1,0 +1,258 @@
+//! Observability-overhead benchmark: proves the disabled tracing facade
+//! is effectively free on the solver hot path, and measures what enabling
+//! a subscriber actually costs. Written to `BENCH_obs.json`; the
+//! `obs_bench` binary exits nonzero when the estimated disabled overhead
+//! reaches [`ObsBenchConfig::gate_pct`].
+//!
+//! Methodology: enabling a counting subscriber for one training run yields
+//! the number of events the instrumentation emits per solve. A tight loop
+//! over [`ldafp_obs::enabled`] yields the per-call cost of the disabled
+//! check (one relaxed atomic load). The product, divided by the disabled
+//! training wall time, bounds what the dormant instrumentation can cost —
+//! a *deliberate over*-estimate, since it bills every emission site as if
+//! the event had been built. The enabled-vs-disabled A/B ratio is
+//! reported as well, informational only: it prices the subscriber, not
+//! the facade.
+
+use ldafp_core::{LdaFpConfig, LdaFpTrainer};
+use ldafp_datasets::synthetic::{generate, SyntheticConfig};
+use ldafp_fixedpoint::QFormat;
+use ldafp_obs as obs;
+use ldafp_serve::json::Value;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Workload shape for [`run_obs_overhead`].
+#[derive(Debug, Clone)]
+pub struct ObsBenchConfig {
+    /// Samples per class in the synthetic training set.
+    pub train_per_class: usize,
+    /// Total word length of the trained format.
+    pub word_length: u32,
+    /// Integer bits of the trained format.
+    pub k: u32,
+    /// Timed training repeats per mode (best run reported).
+    pub repeats: usize,
+    /// Iterations of the `enabled()` dispatch loop.
+    pub dispatch_calls: u64,
+    /// Fail threshold for the estimated disabled overhead, in percent.
+    pub gate_pct: f64,
+}
+
+impl Default for ObsBenchConfig {
+    fn default() -> Self {
+        ObsBenchConfig {
+            train_per_class: 200,
+            word_length: 6,
+            k: 2,
+            repeats: 3,
+            dispatch_calls: 10_000_000,
+            gate_pct: 2.0,
+        }
+    }
+}
+
+/// Measured cost of the observability layer around one training workload.
+#[derive(Debug, Clone)]
+pub struct ObsOverheadReport {
+    /// Best training wall time with no subscriber installed, seconds.
+    pub disabled_train_s: f64,
+    /// Best training wall time with the counting subscriber, seconds.
+    pub enabled_train_s: f64,
+    /// Events one training run emits when tracing is enabled.
+    pub events_per_train: u64,
+    /// Cost of one disabled `enabled()` check, nanoseconds.
+    pub dispatch_ns: f64,
+    /// Fail threshold the gate compares against, percent.
+    pub gate_pct: f64,
+}
+
+impl ObsOverheadReport {
+    /// Upper bound on what the dormant instrumentation costs the solver
+    /// hot path: every emission site billed at the disabled-dispatch
+    /// price, as a percentage of the disabled training wall time.
+    #[must_use]
+    pub fn est_disabled_overhead_pct(&self) -> f64 {
+        if self.disabled_train_s <= 0.0 {
+            return 0.0;
+        }
+        let dormant_s = self.events_per_train as f64 * self.dispatch_ns * 1e-9;
+        100.0 * dormant_s / self.disabled_train_s
+    }
+
+    /// Enabled-over-disabled wall-time inflation, percent. Prices the
+    /// counting subscriber plus event construction; informational.
+    #[must_use]
+    pub fn enabled_overhead_pct(&self) -> f64 {
+        if self.disabled_train_s <= 0.0 {
+            return 0.0;
+        }
+        100.0 * (self.enabled_train_s - self.disabled_train_s) / self.disabled_train_s
+    }
+
+    /// Whether the disabled-overhead gate passes.
+    #[must_use]
+    pub fn gate_passes(&self) -> bool {
+        self.est_disabled_overhead_pct() < self.gate_pct
+    }
+
+    /// The `BENCH_obs.json` document.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        Value::object([
+            ("bench", Value::from("obs-overhead")),
+            ("disabled_train_s", Value::from(self.disabled_train_s)),
+            ("enabled_train_s", Value::from(self.enabled_train_s)),
+            ("events_per_train", Value::from(self.events_per_train as i64)),
+            ("dispatch_ns", Value::from(self.dispatch_ns)),
+            (
+                "est_disabled_overhead_pct",
+                Value::from(self.est_disabled_overhead_pct()),
+            ),
+            (
+                "enabled_overhead_pct",
+                Value::from(self.enabled_overhead_pct()),
+            ),
+            ("gate_pct", Value::from(self.gate_pct)),
+            ("gate_passes", Value::from(self.gate_passes())),
+        ])
+        .to_pretty_string()
+    }
+}
+
+/// Subscriber that only counts deliveries — the cheapest possible
+/// consumer, so the enabled A/B isolates facade + event-building cost.
+#[derive(Default)]
+struct CountingSubscriber {
+    events: AtomicU64,
+}
+
+impl obs::Subscriber for CountingSubscriber {
+    fn event(&self, _event: &obs::Event) {
+        self.events.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Runs the workload in both modes plus the dispatch microloop.
+///
+/// Installs and clears the process-wide subscriber; callers that share
+/// the process with other tracing consumers should not run concurrently
+/// with this function.
+#[must_use]
+pub fn run_obs_overhead(config: &ObsBenchConfig) -> ObsOverheadReport {
+    let mut rng = ChaCha8Rng::seed_from_u64(2014);
+    let (train, _factor) = generate(
+        &SyntheticConfig {
+            n_per_class: config.train_per_class,
+            ..SyntheticConfig::default()
+        },
+        &mut rng,
+    )
+    .scaled_to(0.9);
+    let format = QFormat::new(config.k, config.word_length - config.k).expect("valid bench format");
+    let trainer = LdaFpTrainer::new(LdaFpConfig::fast());
+
+    let train_once = || {
+        let model = trainer.train(&train, format).expect("bench workload trains");
+        std::hint::black_box(model.fisher_cost());
+    };
+
+    // Disabled mode: the facade's default state.
+    obs::clear_subscriber();
+    train_once(); // warmup: page faults, allocator growth, lazy statics
+    let mut disabled_train_s = f64::INFINITY;
+    for _ in 0..config.repeats.max(1) {
+        let t = Instant::now();
+        train_once();
+        disabled_train_s = disabled_train_s.min(t.elapsed().as_secs_f64());
+    }
+
+    // Enabled mode: count events while timing.
+    let counter = Arc::new(CountingSubscriber::default());
+    obs::set_subscriber(counter.clone());
+    train_once(); // warmup under the subscriber
+    let baseline = counter.events.load(Ordering::Relaxed);
+    let mut enabled_train_s = f64::INFINITY;
+    for _ in 0..config.repeats.max(1) {
+        let t = Instant::now();
+        train_once();
+        enabled_train_s = enabled_train_s.min(t.elapsed().as_secs_f64());
+    }
+    let total = counter.events.load(Ordering::Relaxed);
+    obs::clear_subscriber();
+    let events_per_train = (total - baseline) / config.repeats.max(1) as u64;
+
+    // Dispatch microloop: the disabled check, priced per call.
+    let calls = config.dispatch_calls.max(1);
+    let t = Instant::now();
+    let mut hits = 0u64;
+    for _ in 0..calls {
+        if std::hint::black_box(obs::enabled()) {
+            hits += 1;
+        }
+    }
+    std::hint::black_box(hits);
+    let dispatch_ns = t.elapsed().as_secs_f64() * 1e9 / calls as f64;
+
+    ObsOverheadReport {
+        disabled_train_s,
+        enabled_train_s,
+        events_per_train,
+        dispatch_ns,
+        gate_pct: config.gate_pct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_report_is_sane_and_serializes() {
+        let report = run_obs_overhead(&ObsBenchConfig {
+            train_per_class: 40,
+            repeats: 1,
+            dispatch_calls: 100_000,
+            ..ObsBenchConfig::default()
+        });
+        assert!(report.disabled_train_s > 0.0);
+        assert!(report.enabled_train_s > 0.0);
+        assert!(
+            report.events_per_train > 0,
+            "instrumented training must emit events"
+        );
+        assert!(report.dispatch_ns >= 0.0);
+        assert!(report.est_disabled_overhead_pct() >= 0.0);
+        let json = report.to_json_string();
+        for needle in [
+            "\"bench\"",
+            "\"est_disabled_overhead_pct\"",
+            "\"events_per_train\"",
+            "\"gate_passes\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
+    fn gate_math_matches_the_fields() {
+        let report = ObsOverheadReport {
+            disabled_train_s: 1.0,
+            enabled_train_s: 1.1,
+            events_per_train: 1_000_000,
+            dispatch_ns: 10.0, // 1e6 × 10 ns = 10 ms = 1% of 1 s
+            gate_pct: 2.0,
+        };
+        assert!((report.est_disabled_overhead_pct() - 1.0).abs() < 1e-9);
+        assert!((report.enabled_overhead_pct() - 10.0).abs() < 1e-6);
+        assert!(report.gate_passes());
+        let failing = ObsOverheadReport {
+            dispatch_ns: 30.0,
+            ..report
+        };
+        assert!(!failing.gate_passes());
+    }
+}

@@ -1,7 +1,9 @@
 use crate::BoxNode;
+use ldafp_obs as obs;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// How one node's assessment fell short of the ideal solve path. Problems
@@ -294,6 +296,86 @@ impl Ord for HeapNode {
     }
 }
 
+/// Cached handles into the global metrics registry. Registration takes a
+/// mutex, so it happens once per process; recording through the handles
+/// is lock-free.
+struct SearchMetrics {
+    solves: Arc<obs::Counter>,
+    certified_solves: Arc<obs::Counter>,
+    degraded_solves: Arc<obs::Counter>,
+    nodes_assessed: Arc<obs::Counter>,
+    pruned_by_bound: Arc<obs::Counter>,
+    pruned_infeasible: Arc<obs::Counter>,
+    leaves_resolved: Arc<obs::Counter>,
+    incumbent_updates: Arc<obs::Counter>,
+    nodes_per_solve: Arc<obs::Histogram>,
+    solve_us: Arc<obs::Histogram>,
+}
+
+fn search_metrics() -> &'static SearchMetrics {
+    static METRICS: OnceLock<SearchMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = obs::Registry::global();
+        SearchMetrics {
+            solves: r.counter("bnb.solves"),
+            certified_solves: r.counter("bnb.certified_solves"),
+            degraded_solves: r.counter("bnb.degraded_solves"),
+            nodes_assessed: r.counter("bnb.nodes_assessed"),
+            pruned_by_bound: r.counter("bnb.pruned_by_bound"),
+            pruned_infeasible: r.counter("bnb.pruned_infeasible"),
+            leaves_resolved: r.counter("bnb.leaves_resolved"),
+            incumbent_updates: r.counter("bnb.incumbent_updates"),
+            nodes_per_solve: r.histogram("bnb.nodes_per_solve"),
+            solve_us: r.histogram("bnb.solve_us"),
+        }
+    })
+}
+
+/// Flushes one finished search into the global registry — a bulk add per
+/// *solve*, not per node, so the metrics cost is independent of tree
+/// size — and closes the trace with a `bnb.done` event.
+fn publish_outcome(outcome: BnbOutcome) -> BnbOutcome {
+    let m = search_metrics();
+    let s = &outcome.stats;
+    m.solves.inc();
+    if outcome.certified {
+        m.certified_solves.inc();
+    }
+    if !s.degradation.is_clean() {
+        m.degraded_solves.inc();
+    }
+    m.nodes_assessed.add(s.nodes_assessed as u64);
+    m.pruned_by_bound.add(s.pruned_by_bound as u64);
+    m.pruned_infeasible.add(s.pruned_infeasible as u64);
+    m.leaves_resolved.add(s.leaves_resolved as u64);
+    m.incumbent_updates.add(s.incumbent_updates as u64);
+    m.nodes_per_solve.record(s.nodes_assessed as u64);
+    m.solve_us
+        .record(u64::try_from(outcome.elapsed.as_micros()).unwrap_or(u64::MAX));
+    if obs::enabled() {
+        let mut e = obs::Event::new("bnb.done")
+            .with("certified", outcome.certified)
+            .with("nodes_assessed", s.nodes_assessed)
+            .with("pruned_by_bound", s.pruned_by_bound)
+            .with("pruned_infeasible", s.pruned_infeasible)
+            .with("incumbent_updates", s.incumbent_updates)
+            .with("max_depth", s.max_depth)
+            .with("best_lower_bound", outcome.best_lower_bound)
+            .with(
+                "elapsed_us",
+                u64::try_from(outcome.elapsed.as_micros()).unwrap_or(u64::MAX),
+            );
+        if let Some((_, cost)) = &outcome.incumbent {
+            e = e.with("incumbent_cost", *cost);
+        }
+        if !s.degradation.is_clean() {
+            e = e.with("degraded_assessments", s.degradation.degraded_assessments());
+        }
+        obs::emit(e);
+    }
+    outcome
+}
+
 /// Runs best-first branch-and-bound (the paper's Algorithm 1 skeleton).
 ///
 /// The loop: pop the box with the smallest lower bound; if its bound already
@@ -323,6 +405,18 @@ pub fn solve_with_incumbent<P: BoundingProblem>(
     let start = Instant::now();
     let mut stats = BnbStats::default();
     let mut incumbent: Option<(Vec<f64>, f64)> = seed;
+    if obs::enabled() {
+        if let Some((_, cost)) = &incumbent {
+            // The seed is the zeroth incumbent: tracing it gives the gap
+            // trajectory its starting point even when no node improves it.
+            obs::emit(
+                obs::Event::new("bnb.incumbent")
+                    .with("cost", *cost)
+                    .with("update", 0usize)
+                    .with("seed", true),
+            );
+        }
+    }
     let mut heap: BinaryHeap<HeapNode> = BinaryHeap::new();
 
     let root_assessment = sanitize(problem.assess(&root), &mut stats);
@@ -331,14 +425,21 @@ pub fn solve_with_incumbent<P: BoundingProblem>(
     match root_assessment.lower_bound {
         None => {
             stats.pruned_infeasible += 1;
+            if obs::enabled() {
+                obs::emit(
+                    obs::Event::new("bnb.prune")
+                        .with("reason", "infeasible")
+                        .with("depth", 0usize),
+                );
+            }
             let certified = stats.degradation.is_clean();
-            return BnbOutcome {
+            return publish_outcome(BnbOutcome {
                 incumbent,
                 best_lower_bound: f64::INFINITY,
                 certified,
                 stats,
                 elapsed: start.elapsed(),
-            };
+            });
         }
         Some(lb) => heap.push(HeapNode {
             lower_bound: lb,
@@ -364,13 +465,13 @@ pub fn solve_with_incumbent<P: BoundingProblem>(
             let gap = inc_cost - frontier_bound;
             if gap <= config.absolute_gap || gap <= config.relative_gap * inc_cost.abs() {
                 let certified = stats.degradation.is_clean();
-                return BnbOutcome {
+                return publish_outcome(BnbOutcome {
                     incumbent,
                     best_lower_bound: frontier_bound,
                     certified,
                     stats,
                     elapsed: start.elapsed(),
-                };
+                });
             }
         }
         if stats.nodes_assessed >= config.max_nodes {
@@ -396,6 +497,22 @@ pub fn solve_with_incumbent<P: BoundingProblem>(
 
         stats.max_depth = stats.max_depth.max(node.depth);
 
+        // Bound-gap trajectory: one expansion event per popped node. Gated
+        // on `enabled()` so the disabled cost is a relaxed load + branch.
+        if obs::enabled() {
+            let mut e = obs::Event::new("bnb.expand")
+                .with("depth", node.depth)
+                .with("lower_bound", lower_bound)
+                .with("frontier_bound", frontier_bound)
+                .with("nodes_assessed", stats.nodes_assessed);
+            if let Some((_, inc_cost)) = &incumbent {
+                e = e
+                    .with("incumbent_cost", *inc_cost)
+                    .with("gap", inc_cost - frontier_bound);
+            }
+            obs::emit(e);
+        }
+
         let split = if problem.is_terminal(&node) {
             None
         } else {
@@ -417,13 +534,30 @@ pub fn solve_with_incumbent<P: BoundingProblem>(
             stats.nodes_assessed += 1;
             adopt_candidate(&mut incumbent, a.candidate, &mut stats);
             match a.lower_bound {
-                None => stats.pruned_infeasible += 1,
+                None => {
+                    stats.pruned_infeasible += 1;
+                    if obs::enabled() {
+                        obs::emit(
+                            obs::Event::new("bnb.prune")
+                                .with("reason", "infeasible")
+                                .with("depth", child.depth),
+                        );
+                    }
+                }
                 Some(lb) => {
                     let dominated = incumbent
                         .as_ref()
                         .is_some_and(|(_, c)| lb >= *c - config.absolute_gap);
                     if dominated {
                         stats.pruned_by_bound += 1;
+                        if obs::enabled() {
+                            obs::emit(
+                                obs::Event::new("bnb.prune")
+                                    .with("reason", "bound")
+                                    .with("depth", child.depth)
+                                    .with("lower_bound", lb),
+                            );
+                        }
                     } else {
                         heap.push(HeapNode {
                             lower_bound: lb,
@@ -445,13 +579,13 @@ pub fn solve_with_incumbent<P: BoundingProblem>(
             None => f64::INFINITY,
         });
     let certified = certified && heap.is_empty() && stats.degradation.is_clean();
-    BnbOutcome {
+    publish_outcome(BnbOutcome {
         incumbent,
         best_lower_bound,
         certified,
         stats,
         elapsed: start.elapsed(),
-    }
+    })
 }
 
 /// Records degradation and rejects non-finite data before it can reach the
@@ -488,6 +622,14 @@ fn adopt_candidate(
             None => true,
         };
         if better {
+            if obs::enabled() {
+                obs::emit(
+                    obs::Event::new("bnb.incumbent")
+                        .with("cost", cost)
+                        .with("update", stats.incumbent_updates + 1)
+                        .with("seed", false),
+                );
+            }
             *incumbent = Some((point, cost));
             stats.incumbent_updates += 1;
         }

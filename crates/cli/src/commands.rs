@@ -5,7 +5,10 @@
 //! process boundary. The binary's `main` only does I/O.
 
 use crate::{args::ParsedArgs, csv, model_json, CliError, Result};
-use ldafp_core::{eval, FixedPointClassifier, LdaFpConfig, LdaFpTrainer, LdaModel, TrainingOutcome};
+use ldafp_core::{
+    eval, DegradationStats, FixedPointClassifier, LdaFpConfig, LdaFpTrainer, LdaModel,
+    TrainingOutcome,
+};
 use ldafp_datasets::BinaryDataset;
 use ldafp_hwmodel::power::MacPowerModel;
 use ldafp_hwmodel::rtl::{generate_verilog, RtlConfig};
@@ -50,12 +53,16 @@ pub fn exit_code(outcome: &TrainingOutcome) -> u8 {
 /// `ldafp train --data <csv> --bits <n> [--k <n>] [--rho <p>] [--baseline]
 /// [--budget-secs <n>] [--max-solver-retries <n>] [--quick]` — trains a
 /// classifier and returns the model document as JSON plus the training
-/// outcome (`None` for the baseline, which involves no search).
+/// outcome and the search's degradation counters (both `None` for the
+/// baseline, which involves no search).
 ///
 /// # Errors
 ///
 /// Propagates CSV, argument and training failures.
-pub fn train(args: &ParsedArgs, csv_text: &str) -> Result<(String, Option<TrainingOutcome>)> {
+pub fn train(
+    args: &ParsedArgs,
+    csv_text: &str,
+) -> Result<(String, Option<TrainingOutcome>, Option<DegradationStats>)> {
     let data = csv::parse(csv_text)?;
     let bits: u32 = args.get_parsed("bits", 8)?;
     let max_k: u32 = args.get_parsed("k", 4)?;
@@ -65,9 +72,9 @@ pub fn train(args: &ParsedArgs, csv_text: &str) -> Result<(String, Option<Traini
         return Err(CliError(format!("--bits must be in 1..=31, got {bits}")));
     }
 
-    let (algorithm, classifier, fisher_cost, outcome) = if args.has_flag("baseline") {
+    let (algorithm, classifier, fisher_cost, outcome, degradation) = if args.has_flag("baseline") {
         let (clf, _format) = eval::quantized_lda_auto(&data, bits, max_k)?;
-        ("lda-rounded".to_string(), clf, None, None)
+        ("lda-rounded".to_string(), clf, None, None, None)
     } else {
         let mut cfg = if args.has_flag("quick") {
             LdaFpConfig::fast()
@@ -84,6 +91,7 @@ pub fn train(args: &ParsedArgs, csv_text: &str) -> Result<(String, Option<Traini
             model.classifier().clone(),
             Some(model.fisher_cost()),
             Some(model.outcome().clone()),
+            Some(model.stats().degradation.clone()),
         )
     };
 
@@ -102,7 +110,89 @@ pub fn train(args: &ParsedArgs, csv_text: &str) -> Result<(String, Option<Traini
         save_artifact(&doc, path)?;
     }
 
-    Ok((model_json::to_json_string(&doc), outcome))
+    Ok((model_json::to_json_string(&doc), outcome, degradation))
+}
+
+/// One human-readable line summarizing non-clean [`DegradationStats`],
+/// printed on stderr after `train` so degraded runs are visible without
+/// digging into the model JSON. Returns `None` when the search was clean.
+#[must_use]
+pub fn degradation_summary(d: &DegradationStats) -> Option<String> {
+    if d.is_clean() {
+        return None;
+    }
+    let mut parts = Vec::new();
+    for (count, what) in [
+        (d.recovered_solves, "recovered solve(s)"),
+        (d.trivial_bounds, "trivial bound(s)"),
+        (d.suspect_infeasible, "suspect infeasibility claim(s)"),
+        (d.rejected_bounds, "rejected non-finite bound(s)"),
+        (d.rejected_candidates, "rejected non-finite candidate(s)"),
+    ] {
+        if count > 0 {
+            parts.push(format!("{count} {what}"));
+        }
+    }
+    let mut line = format!("search degradation: {}", parts.join(", "));
+    if !d.solver_errors.is_empty() {
+        let kinds: Vec<String> = d
+            .solver_errors
+            .iter()
+            .map(|(kind, n)| format!("{kind} ×{n}"))
+            .collect();
+        line.push_str(&format!("; solver errors: {}", kinds.join(", ")));
+    }
+    Some(line)
+}
+
+/// `ldafp trace-check --input <ndjson>` — validates a `--trace` capture
+/// line by line: every line must parse as a JSON object with a string
+/// `event` and numeric `t_us`. Reports a per-event-name tally, so CI can
+/// assert that the expected instrumentation points actually fired.
+///
+/// # Errors
+///
+/// Returns the 1-based line numbers (up to 10) of malformed lines.
+pub fn trace_check(text: &str) -> Result<String> {
+    use std::collections::BTreeMap;
+
+    let mut tally: BTreeMap<String, usize> = BTreeMap::new();
+    let mut bad: Vec<String> = Vec::new();
+    let mut total = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        total += 1;
+        let lineno = idx + 1;
+        match ldafp_serve::json::parse(line) {
+            Err(e) => bad.push(format!("line {lineno}: {e}")),
+            Ok(value) => {
+                let name = value.get("event").and_then(|v| v.as_str());
+                let has_time = value.get("t_us").and_then(ldafp_serve::json::Value::as_f64);
+                match (name, has_time) {
+                    (Some(name), Some(_)) => {
+                        *tally.entry(name.to_string()).or_insert(0) += 1;
+                    }
+                    (None, _) => bad.push(format!("line {lineno}: missing string `event` key")),
+                    (_, None) => bad.push(format!("line {lineno}: missing numeric `t_us` key")),
+                }
+            }
+        }
+    }
+    if !bad.is_empty() {
+        let shown = bad.len().min(10);
+        return Err(CliError(format!(
+            "trace-check: {} invalid line(s) out of {total}:\n  {}",
+            bad.len(),
+            bad[..shown].join("\n  ")
+        )));
+    }
+    let mut out = format!("trace ok: {total} event line(s)\n");
+    for (name, count) in &tally {
+        out.push_str(&format!("  {name:<20} {count}\n"));
+    }
+    Ok(out)
 }
 
 /// Converts a training-side model document into the serving artifact and
@@ -580,9 +670,9 @@ mod tests {
             &[
                 "data", "bits", "k", "rho", "budget-secs", "max-solver-retries", "module",
                 "model", "out", "target", "min-bits", "max-bits", "save-model", "input",
-                "addr", "threads", "holdout", "rounding", "cache-dir", "json",
+                "addr", "threads", "holdout", "rounding", "cache-dir", "json", "trace",
             ],
-            &["baseline", "quick", "testbench", "cold", "no-cache"],
+            &["baseline", "quick", "testbench", "cold", "no-cache", "metrics-summary"],
         )
         .unwrap()
     }
@@ -590,7 +680,7 @@ mod tests {
     #[test]
     fn train_eval_info_roundtrip() {
         let csv_text = easy_csv();
-        let (model_json, outcome) =
+        let (model_json, outcome, _) =
             train(&parsed(&["--bits", "6", "--quick"]), &csv_text).unwrap();
         let doc = model_json::from_json_str(&model_json).unwrap();
         assert_eq!(doc.algorithm, "lda-fp");
@@ -610,7 +700,7 @@ mod tests {
 
     #[test]
     fn baseline_flag_trains_rounded_lda() {
-        let (model_json, outcome) =
+        let (model_json, outcome, _) =
             train(&parsed(&["--bits", "8", "--baseline"]), &easy_csv()).unwrap();
         let doc = model_json::from_json_str(&model_json).unwrap();
         assert_eq!(doc.algorithm, "lda-rounded");
@@ -620,13 +710,59 @@ mod tests {
 
     #[test]
     fn train_accepts_max_solver_retries() {
-        let (model_json, _) = train(
+        let (model_json, _, _) = train(
             &parsed(&["--bits", "6", "--quick", "--max-solver-retries", "0"]),
             &easy_csv(),
         )
         .unwrap();
         let doc = model_json::from_json_str(&model_json).unwrap();
         assert_eq!(doc.algorithm, "lda-fp");
+    }
+
+    #[test]
+    fn degradation_summary_only_reports_dirty_searches() {
+        assert!(degradation_summary(&DegradationStats::default()).is_none());
+
+        let mut d = DegradationStats {
+            recovered_solves: 2,
+            trivial_bounds: 1,
+            ..DegradationStats::default()
+        };
+        d.solver_errors.insert("ill-conditioned".to_string(), 3);
+        let line = degradation_summary(&d).unwrap();
+        assert!(line.contains("2 recovered solve(s)"), "{line}");
+        assert!(line.contains("1 trivial bound(s)"), "{line}");
+        assert!(line.contains("ill-conditioned ×3"), "{line}");
+        assert!(!line.contains("suspect"), "{line}");
+    }
+
+    #[test]
+    fn trace_check_tallies_valid_streams_and_pinpoints_bad_lines() {
+        let good = "{\"event\":\"bnb.expand\",\"t_us\":1}\n\n{\"event\":\"bnb.expand\",\"t_us\":2}\n{\"event\":\"registry.dump\",\"t_us\":9,\"registry\":{}}\n";
+        let report = trace_check(good).unwrap();
+        assert!(report.contains("trace ok: 3 event line(s)"), "{report}");
+        assert!(report.contains("bnb.expand"), "{report}");
+        assert!(report.contains('2'), "{report}");
+
+        let err = trace_check("{\"event\":\"a\",\"t_us\":1}\nnot json\n{\"t_us\":2}\n").unwrap_err();
+        assert!(err.0.contains("2 invalid line(s)"), "{}", err.0);
+        assert!(err.0.contains("line 2"), "{}", err.0);
+        assert!(err.0.contains("line 3"), "{}", err.0);
+        assert!(err.0.contains("missing string `event`"), "{}", err.0);
+    }
+
+    #[test]
+    fn train_surfaces_degradation_stats_for_the_search_path() {
+        let (_, outcome, degradation) =
+            train(&parsed(&["--bits", "6", "--quick"]), &easy_csv()).unwrap();
+        assert!(outcome.is_some());
+        let d = degradation.expect("lda-fp training must report degradation stats");
+        // A clean run on easy data: counters exist and are all zero.
+        assert!(d.is_clean(), "{d:?}");
+
+        let (_, _, baseline_degradation) =
+            train(&parsed(&["--bits", "6", "--baseline"]), &easy_csv()).unwrap();
+        assert!(baseline_degradation.is_none(), "baseline runs no search");
     }
 
     #[test]
@@ -648,7 +784,7 @@ mod tests {
     #[test]
     fn model_document_without_outcome_field_still_parses() {
         // Documents written before the outcome field existed must load.
-        let (model_json, _) = train(&parsed(&["--bits", "6", "--quick"]), &easy_csv()).unwrap();
+        let (model_json, _, _) = train(&parsed(&["--bits", "6", "--quick"]), &easy_csv()).unwrap();
         let mut doc = model_json::from_json_str(&model_json).unwrap();
         doc.outcome = None;
         let text = model_json::to_json_string(&doc);
@@ -669,7 +805,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("model.ldafp.json");
         let csv_text = easy_csv();
-        let (model_json, _) = train(
+        let (model_json, _, _) = train(
             &parsed(&[
                 "--bits",
                 "6",
@@ -735,7 +871,7 @@ mod tests {
 
     #[test]
     fn export_rtl_produces_verilog() {
-        let (model_json, _) = train(&parsed(&["--bits", "6", "--quick"]), &easy_csv()).unwrap();
+        let (model_json, _, _) = train(&parsed(&["--bits", "6", "--quick"]), &easy_csv()).unwrap();
         let v = export_rtl(&parsed(&["--module", "demo_clf", "--testbench"]), &model_json)
             .unwrap();
         assert!(v.contains("module demo_clf ("), "{v}");
@@ -744,7 +880,7 @@ mod tests {
 
     #[test]
     fn eval_rejects_feature_mismatch() {
-        let (model_json, _) = train(&parsed(&["--bits", "6", "--quick"]), &easy_csv()).unwrap();
+        let (model_json, _, _) = train(&parsed(&["--bits", "6", "--quick"]), &easy_csv()).unwrap();
         let err = eval_cmd(&model_json, "0.1,0.2,0.3,A\n0.2,0.1,0.0,B\n").unwrap_err();
         assert!(err.0.contains("features"), "{}", err.0);
     }

@@ -16,7 +16,13 @@
 //!                  [--threads 4] [--budget-secs 30] [--cache-dir .ldafp-cache]
 //!                  [--no-cache] [--cold] [--json report.json] [--quick]
 //! ldafp demo       [--bits 6]
+//! ldafp trace-check --input trace.ndjson
 //! ```
+//!
+//! Every command also accepts the observability options `--trace <file>`
+//! (stream solver/server events as NDJSON while the command runs, closing
+//! with a `registry.dump` metrics snapshot) and `--metrics-summary`
+//! (print the metrics registry to stderr on exit).
 //!
 //! CSV format: one sample per line, comma-separated features, last column
 //! is the label (`A`/`B`, `0`/`1` or `-1`/`1`). `#` comments and a header
@@ -29,7 +35,9 @@
 
 use ldafp_cli::args::ParsedArgs;
 use ldafp_cli::{commands, CliError};
+use ldafp_obs::NdjsonWriter;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const USAGE: &str = "usage: ldafp <command> [options]
 
@@ -47,6 +55,11 @@ commands:
               [--rho p,...] [--rounding mode,...] [--threads n] [--budget-secs n]
               [--cache-dir dir] [--no-cache] [--cold] [--json report.json] [--quick]
   demo        [--bits n]
+  trace-check --input <trace.ndjson>
+
+observability (any command):
+  --trace <file>     stream solver/server events as NDJSON while running
+  --metrics-summary  print the metrics registry to stderr on exit
 
 run `ldafp help` or see the crate docs for details";
 
@@ -70,15 +83,26 @@ fn run() -> ldafp_cli::Result<(String, u8)> {
         &[
             "data", "bits", "k", "rho", "budget-secs", "max-solver-retries", "module",
             "model", "out", "target", "min-bits", "max-bits", "save-model", "input",
-            "addr", "threads", "holdout", "rounding", "cache-dir", "json",
+            "addr", "threads", "holdout", "rounding", "cache-dir", "json", "trace",
         ],
-        &["baseline", "quick", "testbench", "cold", "no-cache"],
+        &["baseline", "quick", "testbench", "cold", "no-cache", "metrics-summary"],
     )?;
     let command = args
         .positional()
         .first()
         .map(String::as_str)
         .unwrap_or("help");
+
+    // --trace installs the NDJSON subscriber before any work runs, so the
+    // stream captures every solver/server event of the command.
+    let trace_writer = match args.get("trace") {
+        Some(path) => {
+            let writer = Arc::new(NdjsonWriter::create(path)?);
+            ldafp_obs::set_subscriber(writer.clone());
+            Some(writer)
+        }
+        None => None,
+    };
 
     let mut code = 0u8;
     let output = match command {
@@ -90,11 +114,14 @@ fn run() -> ldafp_cli::Result<(String, u8)> {
                 )
             })?;
             let csv_text = std::fs::read_to_string(data_path)?;
-            let (json, outcome) = commands::train(&args, &csv_text)?;
+            let (json, outcome, degradation) = commands::train(&args, &csv_text)?;
             if let Some(o) = &outcome {
                 // Stderr, so piping / --out never mixes it into the JSON.
                 eprintln!("ldafp: training outcome: {} — {}", o.label(), o.summary());
                 code = commands::exit_code(o);
+            }
+            if let Some(line) = degradation.as_ref().and_then(commands::degradation_summary) {
+                eprintln!("ldafp: {line}");
             }
             json
         }
@@ -127,7 +154,16 @@ fn run() -> ldafp_cli::Result<(String, u8)> {
             // Stderr so scripts scraping stdout stay quiet; the handle's
             // resolved address matters when the user asked for port 0.
             eprintln!("ldafp: serving on {}", handle.addr());
+            let metrics = Arc::clone(handle.metrics());
             handle.join(); // returns when a client sends `shutdown`
+            // The server keeps its request counters in a private registry;
+            // fold it into the observability outputs after shutdown.
+            if let Some(writer) = &trace_writer {
+                writer.dump_registry(metrics.registry());
+            }
+            if args.has_flag("metrics-summary") {
+                eprint!("ldafp: server metrics:\n{}", metrics.registry().dump_text());
+            }
             String::new()
         }
         "info" => commands::info(&read_required_for(&args, "info", "model")?)?,
@@ -154,9 +190,26 @@ fn run() -> ldafp_cli::Result<(String, u8)> {
             commands::export_rtl(&args, &read_required_for(&args, "export-rtl", "model")?)?
         }
         "demo" => commands::demo(&args)?,
+        "trace-check" => {
+            let trace_text = read_required_for(&args, "trace-check", "input")?;
+            commands::trace_check(&trace_text)?
+        }
         "help" | "--help" | "-h" => format!("{USAGE}\n"),
         other => return Err(CliError(format!("unknown command '{other}'\n{USAGE}"))),
     };
+
+    // Close out observability: the trace stream ends with a registry.dump
+    // line, and --metrics-summary prints the same snapshot human-readably.
+    if let Some(writer) = &trace_writer {
+        writer.dump_registry(ldafp_obs::Registry::global());
+        ldafp_obs::clear_subscriber();
+    }
+    if args.has_flag("metrics-summary") {
+        eprint!(
+            "ldafp: metrics:\n{}",
+            ldafp_obs::Registry::global().dump_text()
+        );
+    }
 
     // --out redirects the payload to a file, leaving a confirmation on stdout.
     if let Some(path) = args.get("out") {

@@ -53,7 +53,7 @@ fn train_save_serve_round_trip_is_bit_identical_to_in_process_eval() {
     let csv_text = training_csv();
 
     // 1. Train with --save-model: writes the serving artifact.
-    let (doc_json, _outcome) = commands::train(
+    let (doc_json, _outcome, _degradation) = commands::train(
         &parsed(&[
             "--bits",
             "6",

@@ -5,6 +5,7 @@ use ldafp_bnb::{BnbConfig, BnbStats, BoundingProblem, BoxNode, NodeAssessment, N
 use ldafp_datasets::BinaryDataset;
 use ldafp_fixedpoint::{QFormat, RoundingMode};
 use ldafp_linalg::vecops;
+use ldafp_obs as obs;
 use ldafp_solver::{
     error_kind, solve_with_recovery_checked, RecoveryConfig, SocpProblem, SolverConfig,
     SolverError,
@@ -380,6 +381,16 @@ impl LdaFpTrainer {
     ) -> Result<LdaFpModel> {
         let start = Instant::now();
         let tp = TrainingProblem::from_dataset(data, format, self.config.rho, self.config.rounding)?;
+        if obs::enabled() {
+            let (na, nb) = data.class_sizes();
+            obs::emit(
+                obs::Event::new("train.start")
+                    .with("format", format.to_string())
+                    .with("features", tp.num_features())
+                    .with("rows", na + nb)
+                    .with("seeds", seeds.len()),
+            );
+        }
         let lda = LdaModel::from_moments(tp.moments())?;
 
         // ---- Incumbent seeding (DESIGN.md §5 heuristics) ----------------
@@ -490,6 +501,25 @@ impl LdaFpTrainer {
             tp.threshold_for(&weights)
         };
         let classifier = FixedPointClassifier::from_float(&weights, threshold, format)?;
+        obs::Registry::global()
+            .counter("train.sessions")
+            .inc();
+        if obs::enabled() {
+            obs::emit(
+                obs::Event::new("train.done")
+                    .with("outcome", training_outcome.label())
+                    .with("fisher_cost", fisher_cost)
+                    .with("nodes_assessed", outcome.stats.nodes_assessed)
+                    .with(
+                        "degraded_assessments",
+                        outcome.stats.degradation.degraded_assessments(),
+                    )
+                    .with(
+                        "elapsed_us",
+                        u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX),
+                    ),
+            );
+        }
         Ok(LdaFpModel {
             classifier,
             weights,

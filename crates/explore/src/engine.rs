@@ -34,10 +34,11 @@ use crate::Result;
 use ldafp_core::{eval, LdaFpConfig, LdaFpTrainer};
 use ldafp_datasets::BinaryDataset;
 use ldafp_hwmodel::power::MacPowerModel;
+use ldafp_obs as obs;
 use ldafp_serve::json::Value;
 use std::collections::VecDeque;
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Engine configuration.
@@ -283,6 +284,76 @@ pub fn holdout_split(
     Ok((data.select(&train_a, &train_b), data.select(&val_a, &val_b)))
 }
 
+/// Cached handles into the global metrics registry (registered once per
+/// process; recording is lock-free and safe from every worker thread).
+struct SweepMetrics {
+    points: Arc<obs::Counter>,
+    cache_hits: Arc<obs::Counter>,
+    cache_misses: Arc<obs::Counter>,
+    warm_seeded: Arc<obs::Counter>,
+    failures: Arc<obs::Counter>,
+    point_us: Arc<obs::Histogram>,
+}
+
+fn sweep_metrics() -> &'static SweepMetrics {
+    static METRICS: OnceLock<SweepMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = obs::Registry::global();
+        SweepMetrics {
+            points: r.counter("explore.points"),
+            cache_hits: r.counter("explore.cache_hits"),
+            cache_misses: r.counter("explore.cache_misses"),
+            warm_seeded: r.counter("explore.warm_seeded_points"),
+            failures: r.counter("explore.failed_points"),
+            point_us: r.histogram("explore.point_us"),
+        }
+    })
+}
+
+/// Per-grid-point telemetry: counters always, one `explore.point` trace
+/// event when tracing is on.
+fn record_point(outcome: &DesignOutcome) {
+    let m = sweep_metrics();
+    m.points.inc();
+    if outcome.from_cache {
+        m.cache_hits.inc();
+    } else {
+        m.cache_misses.inc();
+        m.point_us
+            .record((outcome.elapsed_ms * 1e3).max(0.0) as u64);
+    }
+    if outcome.warm_seeded {
+        m.warm_seeded.inc();
+    }
+    if outcome.failure.is_some() {
+        m.failures.inc();
+    }
+    if obs::enabled() {
+        let mut e = obs::Event::new("explore.point")
+            .with("k", outcome.point.k)
+            .with("f", outcome.point.f)
+            .with("rho", outcome.point.rho)
+            .with("rounding", rounding_name(outcome.point.rounding))
+            .with("from_cache", outcome.from_cache)
+            .with("warm_seeded", outcome.warm_seeded)
+            .with("nodes_assessed", outcome.nodes_assessed)
+            .with("elapsed_ms", outcome.elapsed_ms);
+        match (&outcome.metrics, &outcome.failure) {
+            (Some(m), _) => {
+                e = e
+                    .with("outcome", m.outcome.as_str())
+                    .with("validation_error", m.validation_error)
+                    .with("fisher_cost", m.fisher_cost);
+            }
+            (None, Some(failure)) => {
+                e = e.with("failure", failure.as_str());
+            }
+            (None, None) => {}
+        }
+        obs::emit(e);
+    }
+}
+
 /// The exploration engine.
 #[derive(Debug, Clone)]
 pub struct Explorer {
@@ -473,12 +544,14 @@ impl Explorer {
         if let Some(cache) = cache {
             if let Some(hit) = cache.load(&key).as_ref().and_then(DesignOutcome::from_value) {
                 if hit.point == *point {
-                    return DesignOutcome {
+                    let outcome = DesignOutcome {
                         from_cache: true,
                         elapsed_ms: 0.0,
                         nodes_assessed: 0,
                         ..hit
                     };
+                    record_point(&outcome);
+                    return outcome;
                 }
             }
         }
@@ -539,6 +612,7 @@ impl Explorer {
             // A failed store costs a future re-solve, nothing else.
             let _ = cache.store(&key, &outcome.to_value());
         }
+        record_point(&outcome);
         outcome
     }
 }

@@ -1,0 +1,77 @@
+//! Histogram edge cases (ISSUE 4 satellite): zero observations, a single
+//! bucket, u64 sum saturation, and concurrent recording from ≥8 threads —
+//! plain `std::sync::atomic` assertions, no loom.
+
+use ldafp_obs::Histogram;
+use std::sync::Arc;
+use std::thread;
+
+#[test]
+fn zero_observations_report_zeroes() {
+    let h = Histogram::new();
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.sum(), 0);
+    assert_eq!(h.mean(), 0.0);
+    assert_eq!(h.value_at_quantile(0.5), 0);
+    assert_eq!(h.value_at_quantile(0.99), 0);
+    let snap = h.snapshot();
+    assert!(snap.buckets.is_empty());
+    assert_eq!(snap.p50, 0);
+}
+
+#[test]
+fn single_bucket_splits_at_inclusive_edge() {
+    let h = Histogram::with_edges(&[100]);
+    h.record(0);
+    h.record(100); // inclusive: still the first bucket
+    h.record(101); // open bucket
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 3);
+    assert_eq!(snap.buckets.len(), 2);
+    assert_eq!(snap.buckets[0].le, Some(100));
+    assert_eq!(snap.buckets[0].count, 2);
+    assert_eq!(snap.buckets[1].le, None);
+    assert_eq!(snap.buckets[1].count, 1);
+    assert_eq!(h.value_at_quantile(0.5), 100);
+    assert_eq!(h.value_at_quantile(1.0), u64::MAX);
+}
+
+#[test]
+fn sum_saturates_instead_of_wrapping() {
+    let h = Histogram::new();
+    h.record(u64::MAX);
+    h.record(u64::MAX);
+    h.record(1);
+    assert_eq!(h.sum(), u64::MAX, "saturating add, not wrapping");
+    assert_eq!(h.count(), 3, "count still exact");
+}
+
+#[test]
+fn concurrent_recording_from_eight_threads_loses_nothing() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 20_000;
+    let h = Arc::new(Histogram::with_edges(&[10, 1_000, 100_000]));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Deterministic per-thread mix spanning every bucket.
+                    h.record((i * 7 + t as u64) % 200_000);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("recorder thread panicked");
+    }
+
+    let expected_count = THREADS as u64 * PER_THREAD;
+    assert_eq!(h.count(), expected_count);
+    let expected_sum: u64 = (0..THREADS as u64)
+        .flat_map(|t| (0..PER_THREAD).map(move |i| (i * 7 + t) % 200_000))
+        .sum();
+    assert_eq!(h.sum(), expected_sum);
+    let bucket_total: u64 = h.snapshot().buckets.iter().map(|b| b.count).sum();
+    assert_eq!(bucket_total, expected_count, "no recording lost to races");
+}

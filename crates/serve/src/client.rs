@@ -135,6 +135,7 @@ impl Client {
             saturated_inputs: field_u64(stats, "saturated_inputs"),
             p50_us: field_u64(stats, "p50_us"),
             p99_us: field_u64(stats, "p99_us"),
+            uptime_ms: field_u64(stats, "uptime_ms"),
         })
     }
 

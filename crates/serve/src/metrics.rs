@@ -1,9 +1,17 @@
-//! Lock-free rolling metrics for the server: request/row counters, datapath
-//! event counters, and a fixed-bucket latency histogram good enough for
-//! p50/p99 without allocation on the hot path.
+//! Server metrics, built on the workspace-shared `ldafp-obs` primitives:
+//! request/row counters, datapath event counters, and a fixed-bucket
+//! latency histogram good enough for p50/p99 without allocation on the
+//! hot path.
+//!
+//! Each [`Metrics`] owns a **private** [`obs::Registry`] rather than
+//! writing into `Registry::global()`: several servers can live in one
+//! process (tests spin up many), and their counters must not bleed into
+//! each other. The CLI dumps a server's registry explicitly via
+//! [`Metrics::registry`].
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use ldafp_obs as obs;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Upper edges (µs, inclusive) of the latency histogram buckets; the last
 /// bucket is open-ended. Roughly logarithmic from 50µs to 5s.
@@ -15,14 +23,16 @@ const BUCKET_EDGES_US: [u64; 14] = [
 /// Shared, thread-safe metrics registry. One instance lives behind an
 /// `Arc` for the server's whole lifetime; connection threads record into
 /// it with relaxed atomics.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Metrics {
-    requests: AtomicU64,
-    rows: AtomicU64,
-    errors: AtomicU64,
-    accumulator_wraps: AtomicU64,
-    saturated_inputs: AtomicU64,
-    latency_buckets: [AtomicU64; BUCKET_EDGES_US.len() + 1],
+    registry: obs::Registry,
+    requests: Arc<obs::Counter>,
+    rows: Arc<obs::Counter>,
+    errors: Arc<obs::Counter>,
+    accumulator_wraps: Arc<obs::Counter>,
+    saturated_inputs: Arc<obs::Counter>,
+    latency_us: Arc<obs::Histogram>,
+    started: Instant,
 }
 
 /// A point-in-time copy of the counters, with derived percentiles.
@@ -42,31 +52,49 @@ pub struct MetricsSnapshot {
     pub p50_us: u64,
     /// 99th-percentile request latency, µs (upper bucket edge).
     pub p99_us: u64,
+    /// Time since the server's metrics were created, milliseconds.
+    pub uptime_ms: u64,
 }
 
 impl Metrics {
-    /// Fresh, zeroed registry.
+    /// Fresh, zeroed registry; the uptime clock starts now.
     pub fn new() -> Self {
-        Self::default()
+        let registry = obs::Registry::new();
+        Metrics {
+            requests: registry.counter("serve.requests"),
+            rows: registry.counter("serve.rows"),
+            errors: registry.counter("serve.errors"),
+            accumulator_wraps: registry.counter("serve.accumulator_wraps"),
+            saturated_inputs: registry.counter("serve.saturated_inputs"),
+            latency_us: registry.histogram_with_edges("serve.latency_us", &BUCKET_EDGES_US),
+            registry,
+            started: Instant::now(),
+        }
+    }
+
+    /// The underlying registry, for exporters (`--metrics-summary`).
+    pub fn registry(&self) -> &obs::Registry {
+        &self.registry
+    }
+
+    /// Time since this server's metrics were created.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
     }
 
     /// Records one served predict request.
     pub fn record_request(&self, rows: u64, wraps: u64, saturated: u64, latency: Duration) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        self.rows.fetch_add(rows, Ordering::Relaxed);
-        self.accumulator_wraps.fetch_add(wraps, Ordering::Relaxed);
-        self.saturated_inputs.fetch_add(saturated, Ordering::Relaxed);
-        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
-        let bucket = BUCKET_EDGES_US
-            .iter()
-            .position(|edge| us <= *edge)
-            .unwrap_or(BUCKET_EDGES_US.len());
-        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.requests.inc();
+        self.rows.add(rows);
+        self.accumulator_wraps.add(wraps);
+        self.saturated_inputs.add(saturated);
+        self.latency_us
+            .record(u64::try_from(latency.as_micros()).unwrap_or(u64::MAX));
     }
 
     /// Records a request that failed.
     pub fn record_error(&self) {
-        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.errors.inc();
     }
 
     /// Copies the counters and derives p50/p99 from the histogram.
@@ -74,40 +102,25 @@ impl Metrics {
     /// A percentile is reported as the upper edge of the first bucket whose
     /// cumulative count reaches that fraction of all requests — an upper
     /// bound with bucket-width resolution, which is all a rolling health
-    /// endpoint needs.
+    /// endpoint needs. Requests slower than the last edge report
+    /// `u64::MAX` ("slower than the instrument can say").
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let buckets: Vec<u64> = self
-            .latency_buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = buckets.iter().sum();
-        let percentile = |p: f64| -> u64 {
-            if total == 0 {
-                return 0;
-            }
-            let target = (p * total as f64).ceil() as u64;
-            let mut cumulative = 0u64;
-            for (i, count) in buckets.iter().enumerate() {
-                cumulative += count;
-                if cumulative >= target {
-                    return BUCKET_EDGES_US
-                        .get(i)
-                        .copied()
-                        .unwrap_or(u64::MAX);
-                }
-            }
-            u64::MAX
-        };
         MetricsSnapshot {
-            requests: self.requests.load(Ordering::Relaxed),
-            rows: self.rows.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            accumulator_wraps: self.accumulator_wraps.load(Ordering::Relaxed),
-            saturated_inputs: self.saturated_inputs.load(Ordering::Relaxed),
-            p50_us: percentile(0.50),
-            p99_us: percentile(0.99),
+            requests: self.requests.get(),
+            rows: self.rows.get(),
+            errors: self.errors.get(),
+            accumulator_wraps: self.accumulator_wraps.get(),
+            saturated_inputs: self.saturated_inputs.get(),
+            p50_us: self.latency_us.value_at_quantile(0.50),
+            p99_us: self.latency_us.value_at_quantile(0.99),
+            uptime_ms: u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX),
         }
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
     }
 }
 
@@ -159,5 +172,25 @@ mod tests {
         m.record_request(1, 0, 0, Duration::from_secs(60));
         let s = m.snapshot();
         assert_eq!(s.p50_us, u64::MAX);
+    }
+
+    #[test]
+    fn registry_exposes_the_same_numbers() {
+        let m = Metrics::new();
+        m.record_request(3, 1, 0, Duration::from_micros(120));
+        let dump = m.registry().dump_json();
+        assert!(dump.contains("\"serve.requests\":1"), "{dump}");
+        assert!(dump.contains("\"serve.rows\":3"), "{dump}");
+        assert!(dump.contains("\"serve.latency_us\""), "{dump}");
+    }
+
+    #[test]
+    fn uptime_is_monotone() {
+        let m = Metrics::new();
+        let a = m.snapshot().uptime_ms;
+        std::thread::sleep(Duration::from_millis(2));
+        let b = m.snapshot().uptime_ms;
+        assert!(b >= a);
+        assert!(m.uptime() >= Duration::from_millis(2));
     }
 }

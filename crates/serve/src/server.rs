@@ -321,6 +321,7 @@ fn stats_response(metrics: &Metrics) -> Value {
                 ("saturated_inputs", Value::from(s.saturated_inputs)),
                 ("p50_us", Value::from(s.p50_us)),
                 ("p99_us", Value::from(s.p99_us)),
+                ("uptime_ms", Value::from(s.uptime_ms)),
             ]),
         ),
     ])

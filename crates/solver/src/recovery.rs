@@ -26,7 +26,10 @@
 //! recovered search is exactly reproducible.
 
 use crate::{Result, SocpProblem, Solution, SolverConfig, SolverError};
+use ldafp_obs as obs;
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 /// A solution obtained through the recovering solve path, together with the
 /// escalation trail that produced it.
@@ -123,6 +126,64 @@ pub struct RecoveryAttempt {
     pub error_kind: Option<String>,
 }
 
+/// Cached handles into the global metrics registry (registered once per
+/// process; recording is lock-free).
+struct SolveMetrics {
+    solves: Arc<obs::Counter>,
+    recovered_solves: Arc<obs::Counter>,
+    failed_solves: Arc<obs::Counter>,
+    retries: Arc<obs::Counter>,
+    newton_steps: Arc<obs::Counter>,
+    solve_us: Arc<obs::Histogram>,
+    newton_per_solve: Arc<obs::Histogram>,
+}
+
+fn solve_metrics() -> &'static SolveMetrics {
+    static METRICS: OnceLock<SolveMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = obs::Registry::global();
+        SolveMetrics {
+            solves: r.counter("solver.solves"),
+            recovered_solves: r.counter("solver.recovered_solves"),
+            failed_solves: r.counter("solver.failed_solves"),
+            retries: r.counter("solver.retries"),
+            newton_steps: r.counter("solver.newton_steps"),
+            solve_us: r.histogram("solver.solve_us"),
+            newton_per_solve: r.histogram("solver.newton_steps_per_solve"),
+        }
+    })
+}
+
+/// Per-SOCP-solve telemetry: counters always (a handful of relaxed atomic
+/// adds per solve), a `solver.solved` trace event only when tracing is on.
+fn record_solve(recovered: &RecoveredSolution, started: Instant) {
+    let m = solve_metrics();
+    m.solves.inc();
+    if recovered.recovered() {
+        m.recovered_solves.inc();
+    }
+    m.newton_steps.add(recovered.solution.newton_steps as u64);
+    m.newton_per_solve
+        .record(recovered.solution.newton_steps as u64);
+    m.solve_us
+        .record(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+    if obs::enabled() {
+        obs::emit(
+            obs::Event::new("solver.solved")
+                .with("newton_steps", recovered.solution.newton_steps)
+                .with("stages", recovered.solution.stages)
+                .with("objective", recovered.solution.objective)
+                .with("duality_gap_bound", recovered.solution.duality_gap_bound)
+                .with("retries", recovered.attempts.len())
+                .with("lambda", recovered.lambda)
+                .with(
+                    "elapsed_us",
+                    u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+                ),
+        );
+    }
+}
+
 /// Solves `problem`, retrying per `recovery` on non-`Infeasible` failures.
 ///
 /// Infeasibility is *not* retried: it is a phase-I certificate, not a
@@ -159,6 +220,7 @@ pub fn solve_with_recovery_checked(
     recovery: &RecoveryConfig,
     mut inject: impl FnMut(usize) -> Option<SolverError>,
 ) -> Result<RecoveredSolution> {
+    let started = Instant::now();
     let run = |p: &SocpProblem, start: Option<&[f64]>, cfg: &SolverConfig, attempt: usize,
                inject: &mut dyn FnMut(usize) -> Option<SolverError>| {
         match inject(attempt) {
@@ -171,14 +233,19 @@ pub fn solve_with_recovery_checked(
     let first = run(problem, x0, config, 0, &mut inject);
     let first_err = match first {
         Ok(solution) => {
-            return Ok(RecoveredSolution {
+            let recovered = RecoveredSolution {
                 solution,
                 attempts: Vec::new(),
                 lambda: 0.0,
                 tol: config.tol,
-            })
+            };
+            record_solve(&recovered, started);
+            return Ok(recovered);
         }
-        Err(e) if !is_recoverable(&e) => return Err(e),
+        Err(e) if !is_recoverable(&e) => {
+            solve_metrics().failed_solves.inc();
+            return Err(e);
+        }
         Err(e) => e,
     };
 
@@ -195,6 +262,18 @@ pub fn solve_with_recovery_checked(
 
     for attempt in 1..=recovery.max_retries {
         let (tol_factor, lambda, perturbation) = recovery.schedule(attempt, q_scale);
+        solve_metrics().retries.inc();
+        if obs::enabled() {
+            // Retry-escalation trail: what failed and what is escalated.
+            obs::emit(
+                obs::Event::new("solver.retry")
+                    .with("attempt", attempt)
+                    .with("prior_error_kind", error_kind(&last_err))
+                    .with("tol_factor", tol_factor)
+                    .with("lambda", lambda)
+                    .with("perturbation", perturbation),
+            );
+        }
         let cfg = SolverConfig {
             tol: config.tol * tol_factor,
             newton_tol: config.newton_tol * tol_factor,
@@ -219,14 +298,19 @@ pub fn solve_with_recovery_checked(
                     error: None,
                     error_kind: None,
                 });
-                return Ok(RecoveredSolution {
+                let recovered = RecoveredSolution {
                     solution,
                     attempts,
                     lambda,
                     tol: cfg.tol,
-                });
+                };
+                record_solve(&recovered, started);
+                return Ok(recovered);
             }
-            Err(e) if !is_recoverable(&e) => return Err(e),
+            Err(e) if !is_recoverable(&e) => {
+                solve_metrics().failed_solves.inc();
+                return Err(e);
+            }
             Err(e) => {
                 attempts.push(RecoveryAttempt {
                     attempt,
@@ -239,6 +323,14 @@ pub fn solve_with_recovery_checked(
                 last_err = e;
             }
         }
+    }
+    solve_metrics().failed_solves.inc();
+    if obs::enabled() {
+        obs::emit(
+            obs::Event::new("solver.exhausted")
+                .with("attempts", recovery.max_retries + 1)
+                .with("error_kind", error_kind(&last_err)),
+        );
     }
     Err(last_err)
 }

@@ -24,5 +24,37 @@ cargo build --release -p ldafp-explore
 cargo test -q -p ldafp-explore
 cargo run --release -q -p ldafp-cli -- explore --quick --threads 2 --max-bits 5 > /dev/null
 
+# Observability layer: facade units + histogram edge cases, the
+# tracing-soundness test (subscriber must not change training results),
+# then an end-to-end --trace smoke: train with the NDJSON stream on,
+# validate every line with trace-check, and assert the expected solver
+# instrumentation actually fired. Finally the overhead gate: obs_bench
+# exits nonzero when the disabled facade costs >= 2% of solver wall time.
+cargo test -q -p ldafp-obs
+cargo test -q -p ldafp-core --test obs_soundness
+cargo clippy -p ldafp-obs --all-targets -- -D warnings
+obs_tmp="$(mktemp -d)"
+trap 'rm -rf "$obs_tmp"' EXIT
+for i in $(seq 0 19); do
+    printf '%s,%s,A\n' "-0.4$i" "0.0$i"
+    printf '%s,%s,B\n' "0.4$i" "-0.0$i"
+done > "$obs_tmp/train.csv"
+train_status=0
+cargo run --release -q -p ldafp-cli -- train --data "$obs_tmp/train.csv" \
+    --bits 6 --quick --trace "$obs_tmp/trace.ndjson" --metrics-summary \
+    > /dev/null 2> "$obs_tmp/train.err" || train_status=$?
+case "$train_status" in
+    0|2|3) ;; # training-outcome contract: only 1 is a hard error
+    *) echo "train --trace smoke failed with status $train_status" >&2; exit 1 ;;
+esac
+cargo run --release -q -p ldafp-cli -- trace-check --input "$obs_tmp/trace.ndjson"
+for event in bnb.expand bnb.prune bnb.incumbent solver.solved registry.dump; do
+    grep -q "\"event\":\"$event\"" "$obs_tmp/trace.ndjson" \
+        || { echo "missing $event in trace" >&2; exit 1; }
+done
+grep -q 'bnb.solves' "$obs_tmp/train.err" \
+    || { echo "--metrics-summary printed no registry" >&2; exit 1; }
+cargo run --release -q -p ldafp-bench --bin obs_bench -- --quick > /dev/null
+
 # Whole-workspace lint, warnings promoted to errors.
 cargo clippy --workspace --all-targets -- -D warnings

@@ -1,0 +1,77 @@
+//! Parallel-B&B speedup gate: serial vs 2/4-thread search wall time on a
+//! latency-simulated eq.-(27) problem, plus the barrier-workspace A/B,
+//! written to `BENCH_bnb_par.json`.
+//!
+//! ```text
+//! cargo run -p ldafp-bench --release --bin bnb_par_bench [-- --quick]
+//! ```
+//!
+//! Exits nonzero when the 4-thread speedup falls below 1.5×. The search
+//! runs in latency-simulation mode (per-node sleeps stand in for SOCP
+//! solve time) so the gate measures scheduler overlap on any core count;
+//! every timed run is asserted bit-identical to the serial outcome first.
+
+use ldafp_bench::experiments::{run_bnb_par, BnbParConfig};
+use ldafp_bench::{quick_flag, table};
+
+fn main() {
+    let mut config = BnbParConfig::default();
+    if quick_flag() {
+        config.dims = 3;
+        config.node_latency_us = 1_000;
+        config.repeats = 2;
+        config.ws_vars = 10;
+        config.ws_repeats = 10;
+    }
+    eprintln!(
+        "bnb parallel — {} dims @ {} µs/node latency-sim, {} repeat(s)/thread-count",
+        config.dims, config.node_latency_us, config.repeats
+    );
+    let report = run_bnb_par(&config);
+
+    let cells = vec![
+        vec![
+            "search, 1 thread".to_string(),
+            format!("{:.1} ms ({} nodes)", 1e3 * report.serial_s, report.nodes_assessed),
+        ],
+        vec![
+            "search, 2 threads".to_string(),
+            format!("{:.1} ms ({:.2}x)", 1e3 * report.par2_s, report.speedup_2t()),
+        ],
+        vec![
+            "search, 4 threads".to_string(),
+            format!(
+                "{:.1} ms ({:.2}x, gate >= {:.1}x)",
+                1e3 * report.par4_s,
+                report.speedup_4t(),
+                report.gate_speedup_4t
+            ),
+        ],
+        vec![
+            "newton step, reused workspace".to_string(),
+            format!("{:.2} µs", report.ws_reuse_step_us),
+        ],
+        vec![
+            "newton step, allocate-per-step".to_string(),
+            format!(
+                "{:.2} µs ({:.2}x slower)",
+                report.ws_alloc_step_us,
+                report.ws_step_speedup()
+            ),
+        ],
+    ];
+    println!("{}", table::render(&["measurement", "value"], &cells));
+
+    let out = "BENCH_bnb_par.json";
+    std::fs::write(out, report.to_json_string()).expect("write BENCH_bnb_par.json");
+    println!("wrote {out}");
+
+    if !report.gate_passes() {
+        eprintln!(
+            "FAIL: 4-thread speedup {:.2}x < {:.1}x on the latency-sim search",
+            report.speedup_4t(),
+            report.gate_speedup_4t
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,348 @@
+//! Parallel branch-and-bound and barrier-workspace benchmark, written to
+//! `BENCH_bnb_par.json`; the `bnb_par_bench` binary exits nonzero when the
+//! 4-thread speedup falls below [`BnbParConfig::gate_speedup_4t`].
+//!
+//! Methodology: the container this suite runs on is not guaranteed more
+//! than one core, so a CPU-bound A/B cannot demonstrate scheduler overlap.
+//! The search benchmark therefore runs in *latency simulation* mode: a
+//! synthetic eq.-(27)-shaped problem (separable quadratic over a signed
+//! grid box) whose per-node assessment sleeps for a fixed duration, the
+//! way a real SOCP relaxation occupies the node for its solve time. Sleeps
+//! overlap across pool threads regardless of core count, so the measured
+//! speedup isolates exactly what the parallel frontier adds: concurrent
+//! child assessment plus speculative precomputation. The JSON reports the
+//! mode and the machine's core count so readers can calibrate.
+//!
+//! Every timed run is also checked for bit-identical outcomes against the
+//! serial search — speed at unequal certified objectives would be
+//! meaningless.
+//!
+//! The second half prices the barrier-solver workspace reuse: one
+//! representative SOCP solved with `reuse_workspace` on and off, reported
+//! as per-Newton-step cost. Solutions are asserted bit-identical.
+
+use ldafp_bnb::{solve_parallel, BnbConfig, BnbOutcome, BoxNode, NodeAssessment};
+use ldafp_linalg::Matrix;
+use ldafp_serve::json::Value;
+use ldafp_solver::{SocpProblem, SolverConfig};
+use std::time::{Duration, Instant};
+
+/// Workload shape for [`run_bnb_par`].
+#[derive(Debug, Clone)]
+pub struct BnbParConfig {
+    /// Dimensions of the synthetic grid problem.
+    pub dims: usize,
+    /// Simulated per-node solve latency, microseconds.
+    pub node_latency_us: u64,
+    /// Timed search repeats per thread count (best run reported).
+    pub repeats: usize,
+    /// Fail threshold: minimum serial/4-thread wall-time ratio.
+    pub gate_speedup_4t: f64,
+    /// Variables in the workspace-reuse SOCP.
+    pub ws_vars: usize,
+    /// Timed solve repeats per workspace mode.
+    pub ws_repeats: usize,
+}
+
+impl Default for BnbParConfig {
+    fn default() -> Self {
+        BnbParConfig {
+            dims: 4,
+            node_latency_us: 2_000,
+            repeats: 3,
+            gate_speedup_4t: 1.5,
+            ws_vars: 16,
+            ws_repeats: 30,
+        }
+    }
+}
+
+/// Measured results of the parallel-search and workspace benchmarks.
+#[derive(Debug, Clone)]
+pub struct BnbParReport {
+    /// Core count of the machine the benchmark ran on.
+    pub cores: usize,
+    /// Simulated per-node latency, microseconds.
+    pub node_latency_us: u64,
+    /// Nodes assessed by every run (identical across thread counts).
+    pub nodes_assessed: usize,
+    /// Best serial (1-thread) wall time, seconds.
+    pub serial_s: f64,
+    /// Best 2-thread wall time, seconds.
+    pub par2_s: f64,
+    /// Best 4-thread wall time, seconds.
+    pub par4_s: f64,
+    /// Fail threshold the gate compares against.
+    pub gate_speedup_4t: f64,
+    /// Newton steps of the workspace-reuse SOCP (identical across modes).
+    pub ws_newton_steps: usize,
+    /// Per-Newton-step cost with workspace reuse, microseconds.
+    pub ws_reuse_step_us: f64,
+    /// Per-Newton-step cost with allocate-per-step, microseconds.
+    pub ws_alloc_step_us: f64,
+}
+
+impl BnbParReport {
+    /// Serial over 2-thread wall-time ratio.
+    #[must_use]
+    pub fn speedup_2t(&self) -> f64 {
+        if self.par2_s <= 0.0 {
+            return 0.0;
+        }
+        self.serial_s / self.par2_s
+    }
+
+    /// Serial over 4-thread wall-time ratio — the gated figure.
+    #[must_use]
+    pub fn speedup_4t(&self) -> f64 {
+        if self.par4_s <= 0.0 {
+            return 0.0;
+        }
+        self.serial_s / self.par4_s
+    }
+
+    /// Allocate-per-step over reuse per-Newton-step cost ratio.
+    #[must_use]
+    pub fn ws_step_speedup(&self) -> f64 {
+        if self.ws_reuse_step_us <= 0.0 {
+            return 0.0;
+        }
+        self.ws_alloc_step_us / self.ws_reuse_step_us
+    }
+
+    /// Whether the 4-thread speedup gate passes.
+    #[must_use]
+    pub fn gate_passes(&self) -> bool {
+        self.speedup_4t() >= self.gate_speedup_4t
+    }
+
+    /// The `BENCH_bnb_par.json` document.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        Value::object([
+            ("bench", Value::from("bnb-parallel")),
+            ("mode", Value::from("latency-sim")),
+            ("cores", Value::from(self.cores as i64)),
+            ("node_latency_us", Value::from(self.node_latency_us as i64)),
+            ("nodes_assessed", Value::from(self.nodes_assessed as i64)),
+            ("serial_s", Value::from(self.serial_s)),
+            ("par2_s", Value::from(self.par2_s)),
+            ("par4_s", Value::from(self.par4_s)),
+            ("speedup_2t", Value::from(self.speedup_2t())),
+            ("speedup_4t", Value::from(self.speedup_4t())),
+            ("gate_speedup_4t", Value::from(self.gate_speedup_4t)),
+            ("gate_passes", Value::from(self.gate_passes())),
+            ("ws_newton_steps", Value::from(self.ws_newton_steps as i64)),
+            ("ws_reuse_step_us", Value::from(self.ws_reuse_step_us)),
+            ("ws_alloc_step_us", Value::from(self.ws_alloc_step_us)),
+            ("ws_step_speedup", Value::from(self.ws_step_speedup())),
+        ])
+        .to_pretty_string()
+    }
+}
+
+/// Synthetic eq.-(27)-shaped problem: minimize a separable quadratic
+/// `Σ (xᵢ − cᵢ)²` over the integer grid in `[−4, 4]ᵐ`, with a simulated
+/// per-node solve latency standing in for the SOCP relaxation.
+struct SimProblem {
+    center: Vec<f64>,
+    latency: Duration,
+}
+
+impl SimProblem {
+    fn new(dims: usize, latency: Duration) -> SimProblem {
+        // Deterministic off-grid optimum so rounding matters in every dim.
+        let center = (0..dims)
+            .map(|i| (i as f64 * 0.73 + 0.3).sin() * 3.0)
+            .collect();
+        SimProblem { center, latency }
+    }
+
+    fn root(&self) -> BoxNode {
+        let m = self.center.len();
+        BoxNode::new(vec![-4.0; m], vec![4.0; m]).expect("valid root box")
+    }
+}
+
+impl ldafp_bnb::SharedBoundingProblem for SimProblem {
+    fn assess_node(&self, node: &BoxNode, _index: usize) -> NodeAssessment {
+        if !self.latency.is_zero() {
+            std::thread::sleep(self.latency);
+        }
+        let mut bound = 0.0;
+        let mut cand = Vec::with_capacity(self.center.len());
+        for (d, &c) in self.center.iter().enumerate() {
+            let proj = c.clamp(node.lower[d], node.upper[d]);
+            bound += (proj - c) * (proj - c);
+            cand.push(proj.round().clamp(node.lower[d].ceil(), node.upper[d].floor()));
+        }
+        let cost = cand
+            .iter()
+            .zip(&self.center)
+            .map(|(x, c)| (x - c) * (x - c))
+            .sum();
+        NodeAssessment::feasible(bound, Some((cand, cost)))
+    }
+
+    fn is_terminal(&self, node: &BoxNode) -> bool {
+        (0..self.center.len()).all(|d| node.width(d) <= 1.0 + 1e-9)
+    }
+}
+
+/// `true` when two outcomes agree on everything but wall time.
+fn same_outcome(a: &BnbOutcome, b: &BnbOutcome) -> bool {
+    a.incumbent == b.incumbent
+        && a.best_lower_bound.to_bits() == b.best_lower_bound.to_bits()
+        && a.certified == b.certified
+        && a.stats == b.stats
+}
+
+/// The workspace-reuse SOCP: `½‖x‖² − 1ᵀx` in a box with a binding norm
+/// cone, sized so the barrier spends a realistic number of Newton steps.
+fn ws_problem(n: usize) -> SocpProblem {
+    let mut p = SocpProblem::new(Matrix::identity(n), vec![-1.0; n]).expect("valid workspace QP");
+    p.add_box(&vec![-1.0; n], &vec![1.0; n]).expect("box");
+    // ‖x‖ ≤ √n/2 cuts off the unconstrained optimum 1, so the cone binds.
+    p.add_soc(
+        Matrix::identity(n),
+        vec![0.0; n],
+        vec![0.0; n],
+        (n as f64).sqrt() / 2.0,
+    )
+    .expect("cone");
+    p
+}
+
+/// Runs the search benchmark at 1/2/4 threads plus the workspace A/B.
+///
+/// # Panics
+///
+/// Panics when any parallel outcome differs from the serial one, or the
+/// workspace modes disagree — the soundness contract of the whole PR.
+#[must_use]
+pub fn run_bnb_par(config: &BnbParConfig) -> BnbParReport {
+    let problem = SimProblem::new(
+        config.dims,
+        Duration::from_micros(config.node_latency_us),
+    );
+    let bnb = BnbConfig::default();
+
+    let time_at = |threads: usize| -> (f64, BnbOutcome) {
+        let mut best = f64::INFINITY;
+        let mut outcome = None;
+        for _ in 0..config.repeats.max(1) {
+            let t = Instant::now();
+            let out = solve_parallel(&problem, problem.root(), &bnb, threads);
+            best = best.min(t.elapsed().as_secs_f64());
+            outcome = Some(out);
+        }
+        (best, outcome.expect("at least one repeat"))
+    };
+
+    let (serial_s, serial_out) = time_at(1);
+    assert!(serial_out.certified, "sim problem must certify");
+    let (par2_s, par2_out) = time_at(2);
+    let (par4_s, par4_out) = time_at(4);
+    for (label, out) in [("2-thread", &par2_out), ("4-thread", &par4_out)] {
+        assert!(
+            same_outcome(&serial_out, out),
+            "{label} outcome diverged from serial: {out:?} vs {serial_out:?}"
+        );
+    }
+
+    // Workspace A/B: same problem, same start, only the reuse flag moves.
+    let p = ws_problem(config.ws_vars);
+    let solve_with = |reuse: bool| -> (f64, ldafp_solver::Solution) {
+        let cfg = SolverConfig {
+            reuse_workspace: reuse,
+            ..SolverConfig::default()
+        };
+        let _ = p.solve(&cfg).expect("workspace QP warmup");
+        let mut best = f64::INFINITY;
+        let mut solution = None;
+        for _ in 0..config.ws_repeats.max(1) {
+            let t = Instant::now();
+            let sol = p.solve(&cfg).expect("workspace QP solves");
+            best = best.min(t.elapsed().as_secs_f64());
+            solution = Some(sol);
+        }
+        (best, solution.expect("at least one repeat"))
+    };
+    let (reuse_s, reuse_sol) = solve_with(true);
+    let (alloc_s, alloc_sol) = solve_with(false);
+    assert_eq!(
+        reuse_sol.x, alloc_sol.x,
+        "workspace reuse changed the solution"
+    );
+    assert_eq!(reuse_sol.newton_steps, alloc_sol.newton_steps);
+    let steps = reuse_sol.newton_steps.max(1) as f64;
+
+    BnbParReport {
+        cores: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        node_latency_us: config.node_latency_us,
+        nodes_assessed: serial_out.stats.nodes_assessed,
+        serial_s,
+        par2_s,
+        par4_s,
+        gate_speedup_4t: config.gate_speedup_4t,
+        ws_newton_steps: reuse_sol.newton_steps,
+        ws_reuse_step_us: 1e6 * reuse_s / steps,
+        ws_alloc_step_us: 1e6 * alloc_s / steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_is_sane_and_serializes() {
+        let report = run_bnb_par(&BnbParConfig {
+            dims: 2,
+            node_latency_us: 200,
+            repeats: 1,
+            ws_vars: 6,
+            ws_repeats: 2,
+            ..BnbParConfig::default()
+        });
+        assert!(report.nodes_assessed > 0);
+        assert!(report.serial_s > 0.0 && report.par2_s > 0.0 && report.par4_s > 0.0);
+        assert!(report.ws_newton_steps > 0);
+        assert!(report.ws_reuse_step_us > 0.0 && report.ws_alloc_step_us > 0.0);
+        let json = report.to_json_string();
+        for needle in [
+            "\"mode\"",
+            "\"latency-sim\"",
+            "\"speedup_4t\"",
+            "\"gate_passes\"",
+            "\"ws_step_speedup\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
+    fn gate_math_matches_the_fields() {
+        let report = BnbParReport {
+            cores: 1,
+            node_latency_us: 1000,
+            nodes_assessed: 100,
+            serial_s: 1.0,
+            par2_s: 0.6,
+            par4_s: 0.5,
+            gate_speedup_4t: 1.5,
+            ws_newton_steps: 50,
+            ws_reuse_step_us: 10.0,
+            ws_alloc_step_us: 15.0,
+        };
+        assert!((report.speedup_2t() - 1.0 / 0.6).abs() < 1e-12);
+        assert!((report.speedup_4t() - 2.0).abs() < 1e-12);
+        assert!((report.ws_step_speedup() - 1.5).abs() < 1e-12);
+        assert!(report.gate_passes());
+        let failing = BnbParReport {
+            par4_s: 0.8,
+            ..report
+        };
+        assert!(!failing.gate_passes());
+    }
+}

@@ -3,6 +3,7 @@
 
 mod ablation;
 mod bci;
+mod bnb_par;
 mod explore;
 mod fig2;
 mod obs;
@@ -13,6 +14,7 @@ mod tradeoff;
 
 pub use ablation::{run_ablation, AblationConfig, AblationRow};
 pub use bci::{run_table2, Table2Config, Table2Row};
+pub use bnb_par::{run_bnb_par, BnbParConfig, BnbParReport};
 pub use explore::{run_explore_bench, ExploreBenchConfig, ExploreBenchReport};
 pub use fig2::{run_fig2, BoundaryRobustness, Fig2Config, Fig2Report};
 pub use obs::{run_obs_overhead, ObsBenchConfig, ObsOverheadReport};

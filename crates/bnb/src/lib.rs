@@ -51,11 +51,15 @@
 #[cfg(feature = "fault-injection")]
 mod fault;
 mod node;
+mod parallel;
 mod search;
 
 #[cfg(feature = "fault-injection")]
-pub use fault::{FaultKind, FaultPlan, FaultyProblem};
+pub use fault::{FaultKind, FaultPlan, FaultyProblem, SharedFaultyProblem};
 pub use node::BoxNode;
+pub use parallel::{
+    solve_parallel, solve_parallel_with_incumbent, AtomicIncumbent, SharedBoundingProblem,
+};
 pub use search::{
     solve, solve_with_incumbent, BnbConfig, BnbOutcome, BnbStats, BoundingProblem,
     DegradationStats, NodeAssessment, NodeDegradation, SearchOrder,

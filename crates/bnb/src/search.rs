@@ -256,10 +256,12 @@ pub struct BnbOutcome {
 }
 
 /// Heap entry whose ordering realizes the configured [`SearchOrder`].
-struct HeapNode {
-    lower_bound: f64,
-    node: BoxNode,
-    order: SearchOrder,
+/// `pub(crate)` so the parallel frontier (`crate::parallel`) can inspect the
+/// open boxes when choosing speculation targets.
+pub(crate) struct HeapNode {
+    pub(crate) lower_bound: f64,
+    pub(crate) node: BoxNode,
+    pub(crate) order: SearchOrder,
 }
 
 impl PartialEq for HeapNode {
@@ -402,11 +404,87 @@ pub fn solve_with_incumbent<P: BoundingProblem>(
     config: &BnbConfig,
     seed: Option<(Vec<f64>, f64)>,
 ) -> BnbOutcome {
+    run_search(&mut SerialSource(problem), root, config, seed)
+}
+
+/// Where the search obtains node assessments.
+///
+/// This trait is the seam between the *decision loop* ([`run_search`]) and
+/// the *assessment supply*. The serial path ([`SerialSource`]) computes each
+/// assessment inline; the parallel path (`crate::parallel`) serves them from
+/// a worker pool that precomputes assessments speculatively. Because both
+/// paths drive the **same** loop — same pops, same pushes, same stats, same
+/// incumbent adoptions, in the same order — serial/parallel bit-identity of
+/// the certified objective, final weights and [`DegradationStats`] is
+/// structural rather than coincidental.
+pub(crate) trait AssessmentSource {
+    /// Assessment of `node`, which is the next node in the serial decision
+    /// order. Returns the assessment and the id of the pool worker that
+    /// computed it (`None` when it was computed on the calling thread).
+    fn assess_next(&mut self, node: &BoxNode) -> (NodeAssessment, Option<usize>);
+
+    /// See [`BoundingProblem::is_terminal`].
+    fn is_terminal(&self, node: &BoxNode) -> bool;
+
+    /// See [`BoundingProblem::branch`].
+    fn branch(&self, node: &BoxNode) -> Option<(usize, f64)>;
+
+    /// Announces the two children about to be assessed (in order: left,
+    /// right) so a pool can start on both before `assess_next` asks for the
+    /// first.
+    fn request_pair(&mut self, _left: &BoxNode, _right: &BoxNode) {}
+
+    /// Called after the root push and at the end of every expansion with the
+    /// current frontier — the speculation hook.
+    fn after_expansion(&mut self, _heap: &BinaryHeap<HeapNode>) {}
+
+    /// A new incumbent cost was adopted (or seeded). Pools forward this to
+    /// workers so they can skip speculative work that is already dominated.
+    fn publish_incumbent(&mut self, _cost: f64) {}
+}
+
+/// The serial assessment source: compute every assessment inline, in the
+/// decision loop's own thread. This is the exact historical code path.
+pub(crate) struct SerialSource<'a, P: BoundingProblem>(pub(crate) &'a mut P);
+
+impl<P: BoundingProblem> AssessmentSource for SerialSource<'_, P> {
+    fn assess_next(&mut self, node: &BoxNode) -> (NodeAssessment, Option<usize>) {
+        (self.0.assess(node), None)
+    }
+    fn is_terminal(&self, node: &BoxNode) -> bool {
+        self.0.is_terminal(node)
+    }
+    fn branch(&self, node: &BoxNode) -> Option<(usize, f64)> {
+        self.0.branch(node)
+    }
+}
+
+/// Tags a trace event with the pool worker that computed the triggering
+/// assessment, when it was not the search thread itself.
+fn with_worker(e: obs::Event, worker: Option<usize>) -> obs::Event {
+    match worker {
+        Some(w) => e.with("worker", w),
+        None => e,
+    }
+}
+
+/// The branch-and-bound decision loop, generic over the assessment supply.
+///
+/// Every statement that touches `heap`, `stats` or `incumbent` is identical
+/// for all sources; a source only changes *where* assessments are computed,
+/// never *what* the loop does with them.
+pub(crate) fn run_search<S: AssessmentSource>(
+    source: &mut S,
+    root: BoxNode,
+    config: &BnbConfig,
+    seed: Option<(Vec<f64>, f64)>,
+) -> BnbOutcome {
     let start = Instant::now();
     let mut stats = BnbStats::default();
     let mut incumbent: Option<(Vec<f64>, f64)> = seed;
-    if obs::enabled() {
-        if let Some((_, cost)) = &incumbent {
+    if let Some((_, cost)) = &incumbent {
+        source.publish_incumbent(*cost);
+        if obs::enabled() {
             // The seed is the zeroth incumbent: tracing it gives the gap
             // trajectory its starting point even when no node improves it.
             obs::emit(
@@ -419,18 +497,22 @@ pub fn solve_with_incumbent<P: BoundingProblem>(
     }
     let mut heap: BinaryHeap<HeapNode> = BinaryHeap::new();
 
-    let root_assessment = sanitize(problem.assess(&root), &mut stats);
+    let (root_raw, root_worker) = source.assess_next(&root);
+    let root_assessment = sanitize(root_raw, &mut stats);
     stats.nodes_assessed += 1;
-    adopt_candidate(&mut incumbent, root_assessment.candidate, &mut stats);
+    if adopt_candidate(&mut incumbent, root_assessment.candidate, &mut stats, root_worker) {
+        source.publish_incumbent(incumbent.as_ref().expect("just adopted").1);
+    }
     match root_assessment.lower_bound {
         None => {
             stats.pruned_infeasible += 1;
             if obs::enabled() {
-                obs::emit(
+                obs::emit(with_worker(
                     obs::Event::new("bnb.prune")
                         .with("reason", "infeasible")
                         .with("depth", 0usize),
-                );
+                    root_worker,
+                ));
             }
             let certified = stats.degradation.is_clean();
             return publish_outcome(BnbOutcome {
@@ -447,6 +529,7 @@ pub fn solve_with_incumbent<P: BoundingProblem>(
             order: config.search_order,
         }),
     }
+    source.after_expansion(&heap);
 
     let mut certified = true;
     while let Some(HeapNode { lower_bound, node, .. }) = heap.pop() {
@@ -513,10 +596,10 @@ pub fn solve_with_incumbent<P: BoundingProblem>(
             obs::emit(e);
         }
 
-        let split = if problem.is_terminal(&node) {
+        let split = if source.is_terminal(&node) {
             None
         } else {
-            problem.branch(&node)
+            source.branch(&node)
         };
         let Some((dim, at)) = split else {
             // Terminal box: already resolved by its assessment's candidate
@@ -529,19 +612,24 @@ pub fn solve_with_incumbent<P: BoundingProblem>(
             continue;
         };
 
+        source.request_pair(&left, &right);
         for child in [left, right] {
-            let a = sanitize(problem.assess(&child), &mut stats);
+            let (raw, worker) = source.assess_next(&child);
+            let a = sanitize(raw, &mut stats);
             stats.nodes_assessed += 1;
-            adopt_candidate(&mut incumbent, a.candidate, &mut stats);
+            if adopt_candidate(&mut incumbent, a.candidate, &mut stats, worker) {
+                source.publish_incumbent(incumbent.as_ref().expect("just adopted").1);
+            }
             match a.lower_bound {
                 None => {
                     stats.pruned_infeasible += 1;
                     if obs::enabled() {
-                        obs::emit(
+                        obs::emit(with_worker(
                             obs::Event::new("bnb.prune")
                                 .with("reason", "infeasible")
                                 .with("depth", child.depth),
-                        );
+                            worker,
+                        ));
                     }
                 }
                 Some(lb) => {
@@ -551,12 +639,13 @@ pub fn solve_with_incumbent<P: BoundingProblem>(
                     if dominated {
                         stats.pruned_by_bound += 1;
                         if obs::enabled() {
-                            obs::emit(
+                            obs::emit(with_worker(
                                 obs::Event::new("bnb.prune")
                                     .with("reason", "bound")
                                     .with("depth", child.depth)
                                     .with("lower_bound", lb),
-                            );
+                                worker,
+                            ));
                         }
                     } else {
                         heap.push(HeapNode {
@@ -568,6 +657,7 @@ pub fn solve_with_incumbent<P: BoundingProblem>(
                 }
             }
         }
+        source.after_expansion(&heap);
     }
 
     let best_lower_bound = heap
@@ -611,11 +701,15 @@ fn sanitize(mut a: NodeAssessment, stats: &mut BnbStats) -> NodeAssessment {
     a
 }
 
+/// Adopts `candidate` when it strictly improves on the incumbent; returns
+/// whether it did. `worker` attributes the trace event to the pool worker
+/// whose assessment produced the candidate.
 fn adopt_candidate(
     incumbent: &mut Option<(Vec<f64>, f64)>,
     candidate: Option<(Vec<f64>, f64)>,
     stats: &mut BnbStats,
-) {
+    worker: Option<usize>,
+) -> bool {
     if let Some((point, cost)) = candidate {
         let better = match incumbent {
             Some((_, best)) => cost < *best,
@@ -623,17 +717,20 @@ fn adopt_candidate(
         };
         if better {
             if obs::enabled() {
-                obs::emit(
+                obs::emit(with_worker(
                     obs::Event::new("bnb.incumbent")
                         .with("cost", cost)
                         .with("update", stats.incumbent_updates + 1)
                         .with("seed", false),
-                );
+                    worker,
+                ));
             }
             *incumbent = Some((point, cost));
             stats.incumbent_updates += 1;
+            return true;
         }
     }
+    false
 }
 
 #[cfg(test)]

@@ -1,0 +1,196 @@
+//! Bit-identity of the parallel search: for every thread count, the
+//! certified objective, final weight vector, statistics and anytime
+//! behavior must match the serial search exactly — not approximately.
+
+use ldafp_bnb::{
+    solve, solve_parallel, solve_parallel_with_incumbent, solve_with_incumbent, BnbConfig,
+    BnbOutcome, BoundingProblem, BoxNode, NodeAssessment, SearchOrder, SharedBoundingProblem,
+};
+use proptest::prelude::*;
+
+/// Minimize Σ (xᵢ − cᵢ)² over integer grid points inside the box — the
+/// proptest oracle problem, here in shared (parallel-capable) form.
+#[derive(Clone)]
+struct GridQuadratic {
+    target: Vec<f64>,
+}
+
+impl GridQuadratic {
+    fn cost(&self, x: &[f64]) -> f64 {
+        x.iter()
+            .zip(&self.target)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+
+    fn assess_box(&self, node: &BoxNode) -> NodeAssessment {
+        let proj: Vec<f64> = self
+            .target
+            .iter()
+            .zip(node.lower.iter().zip(&node.upper))
+            .map(|(&t, (&l, &u))| t.clamp(l, u))
+            .collect();
+        let lb = self.cost(&proj);
+        let mut cand = Vec::with_capacity(self.target.len());
+        for ((&t, &l), &u) in self.target.iter().zip(&node.lower).zip(&node.upper) {
+            let lo = l.ceil();
+            let hi = u.floor();
+            if lo > hi {
+                return if node.max_width() < 1.0 {
+                    NodeAssessment::infeasible()
+                } else {
+                    NodeAssessment::feasible(lb, None)
+                };
+            }
+            cand.push(t.round().clamp(lo, hi));
+        }
+        let c = self.cost(&cand);
+        NodeAssessment::feasible(lb, Some((cand, c)))
+    }
+}
+
+impl SharedBoundingProblem for GridQuadratic {
+    fn assess_node(&self, node: &BoxNode, _index: usize) -> NodeAssessment {
+        self.assess_box(node)
+    }
+
+    fn is_terminal(&self, node: &BoxNode) -> bool {
+        node.max_width() <= 1.0
+    }
+}
+
+/// The same problem through the serial trait, so `solve` itself is the
+/// reference implementation the parallel runs are held to.
+struct SerialGrid(GridQuadratic);
+
+impl BoundingProblem for SerialGrid {
+    fn assess(&mut self, node: &BoxNode) -> NodeAssessment {
+        self.0.assess_box(node)
+    }
+
+    fn is_terminal(&self, node: &BoxNode) -> bool {
+        node.max_width() <= 1.0
+    }
+}
+
+fn assert_outcomes_identical(serial: &BnbOutcome, parallel: &BnbOutcome, label: &str) {
+    match (&serial.incumbent, &parallel.incumbent) {
+        (None, None) => {}
+        (Some((sx, sc)), Some((px, pc))) => {
+            assert_eq!(sx, px, "{label}: weight vectors differ");
+            assert_eq!(sc.to_bits(), pc.to_bits(), "{label}: costs differ in bits");
+        }
+        _ => panic!("{label}: incumbent presence differs"),
+    }
+    assert_eq!(
+        serial.best_lower_bound.to_bits(),
+        parallel.best_lower_bound.to_bits(),
+        "{label}: lower bounds differ in bits"
+    );
+    assert_eq!(serial.certified, parallel.certified, "{label}: certificates differ");
+    assert_eq!(serial.stats, parallel.stats, "{label}: statistics differ");
+}
+
+fn root_for(dim: usize) -> BoxNode {
+    BoxNode::new(vec![-8.0; dim], vec![8.0; dim]).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Full-outcome equality of 1/2/3/4-thread searches with `solve`.
+    #[test]
+    fn every_thread_count_matches_serial(
+        target in prop::collection::vec(-7.5f64..7.5, 1..4),
+    ) {
+        let p = GridQuadratic { target };
+        let config = BnbConfig::default();
+        let serial = solve(&mut SerialGrid(p.clone()), root_for(p.target.len()), &config);
+        for threads in 1..=4 {
+            let out = solve_parallel(&p, root_for(p.target.len()), &config, threads);
+            assert_outcomes_identical(&serial, &out, &format!("{threads} thread(s)"));
+        }
+    }
+
+    /// Node budgets interrupt the parallel search at the same node, with
+    /// the same anytime incumbent — exact parity of interrupted runs.
+    #[test]
+    fn node_budget_parity(
+        target in prop::collection::vec(-7.5f64..7.5, 2..4),
+        max_nodes in 1usize..40,
+    ) {
+        let p = GridQuadratic { target };
+        let config = BnbConfig { max_nodes, ..BnbConfig::default() };
+        let serial = solve(&mut SerialGrid(p.clone()), root_for(p.target.len()), &config);
+        for threads in [2, 4] {
+            let out = solve_parallel(&p, root_for(p.target.len()), &config, threads);
+            assert_outcomes_identical(&serial, &out, &format!("budget {max_nodes}, {threads} threads"));
+        }
+    }
+
+    /// Seeded incumbents prune identically at every thread count.
+    #[test]
+    fn seeded_incumbent_parity(
+        target in prop::collection::vec(-7.5f64..7.5, 1..4),
+        seed_cost in 0.0f64..30.0,
+    ) {
+        let p = GridQuadratic { target };
+        let dim = p.target.len();
+        let seed = Some((vec![0.0; dim], seed_cost));
+        let config = BnbConfig::default();
+        let serial = solve_with_incumbent(
+            &mut SerialGrid(p.clone()), root_for(dim), &config, seed.clone());
+        for threads in [1, 3] {
+            let out = solve_parallel_with_incumbent(
+                &p, root_for(dim), &config, seed.clone(), threads);
+            assert_outcomes_identical(&serial, &out, &format!("seeded, {threads} threads"));
+        }
+    }
+
+    /// Depth-first ordering survives parallel execution bit-for-bit.
+    #[test]
+    fn depth_first_parity(
+        target in prop::collection::vec(-7.5f64..7.5, 1..3),
+    ) {
+        let p = GridQuadratic { target };
+        let config = BnbConfig { search_order: SearchOrder::DepthFirst, ..BnbConfig::default() };
+        let serial = solve(&mut SerialGrid(p.clone()), root_for(p.target.len()), &config);
+        let out = solve_parallel(&p, root_for(p.target.len()), &config, 4);
+        assert_outcomes_identical(&serial, &out, "depth-first, 4 threads");
+    }
+}
+
+/// A 1-thread pool must take the exact serial code path: same outcome as
+/// `solve` on a problem whose assessment *panics* if ever called from a
+/// spawned thread — proof no pool was constructed.
+#[test]
+fn one_thread_pool_is_the_serial_code_path() {
+    struct MainThreadOnly {
+        inner: GridQuadratic,
+        main: std::thread::ThreadId,
+    }
+    impl SharedBoundingProblem for MainThreadOnly {
+        fn assess_node(&self, node: &BoxNode, _index: usize) -> NodeAssessment {
+            assert_eq!(
+                std::thread::current().id(),
+                self.main,
+                "1-thread search must never leave the calling thread"
+            );
+            self.inner.assess_box(node)
+        }
+        fn is_terminal(&self, node: &BoxNode) -> bool {
+            node.max_width() <= 1.0
+        }
+    }
+    let inner = GridQuadratic {
+        target: vec![1.3, -2.7, 0.4],
+    };
+    let p = MainThreadOnly {
+        inner: inner.clone(),
+        main: std::thread::current().id(),
+    };
+    let config = BnbConfig::default();
+    let serial = solve(&mut SerialGrid(inner), root_for(3), &config);
+    let out = solve_parallel(&p, root_for(3), &config, 1);
+    assert_outcomes_identical(&serial, &out, "1-thread pool");
+}

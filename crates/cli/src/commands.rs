@@ -51,7 +51,8 @@ pub fn exit_code(outcome: &TrainingOutcome) -> u8 {
 }
 
 /// `ldafp train --data <csv> --bits <n> [--k <n>] [--rho <p>] [--baseline]
-/// [--budget-secs <n>] [--max-solver-retries <n>] [--quick]` — trains a
+/// [--budget-secs <n>] [--max-solver-retries <n>] [--solver-threads <n>]
+/// [--quick]` — trains a
 /// classifier and returns the model document as JSON plus the training
 /// outcome and the search's degradation counters (both `None` for the
 /// baseline, which involves no search).
@@ -264,11 +265,13 @@ pub fn serve_start(
     Ok(ldafp_serve::serve(engine, addr, config)?)
 }
 
-/// Threads `--max-solver-retries` into the recovery schedule. `0` disables
-/// the retry path entirely (failed relaxations degrade to trivial bounds
-/// immediately).
+/// Threads `--max-solver-retries` into the recovery schedule (`0` disables
+/// the retry path entirely: failed relaxations degrade to trivial bounds
+/// immediately) and `--solver-threads` into the B&B search (`0` = one per
+/// core, `1` = serial; results are bit-identical either way).
 fn apply_recovery_args(args: &ParsedArgs, cfg: &mut LdaFpConfig) -> Result<()> {
     cfg.recovery.max_retries = args.get_parsed("max-solver-retries", cfg.recovery.max_retries)?;
+    cfg.solver_threads = args.get_parsed("solver-threads", cfg.solver_threads)?;
     Ok(())
 }
 
@@ -670,11 +673,27 @@ mod tests {
             &[
                 "data", "bits", "k", "rho", "budget-secs", "max-solver-retries", "module",
                 "model", "out", "target", "min-bits", "max-bits", "save-model", "input",
-                "addr", "threads", "holdout", "rounding", "cache-dir", "json", "trace",
+                "addr", "threads", "solver-threads", "holdout", "rounding", "cache-dir",
+                "json", "trace",
             ],
             &["baseline", "quick", "testbench", "cold", "no-cache", "metrics-summary"],
         )
         .unwrap()
+    }
+
+    #[test]
+    fn solver_threads_flag_is_parsed_and_bit_identical_to_serial() {
+        let csv_text = easy_csv();
+        let (serial, _, _) =
+            train(&parsed(&["--bits", "5", "--quick", "--solver-threads", "1"]), &csv_text)
+                .unwrap();
+        let (parallel, _, _) =
+            train(&parsed(&["--bits", "5", "--quick", "--solver-threads", "3"]), &csv_text)
+                .unwrap();
+        assert_eq!(serial, parallel, "thread count must not change the model");
+        let err = train(&parsed(&["--bits", "5", "--solver-threads", "zap"]), &csv_text)
+            .unwrap_err();
+        assert!(err.to_string().contains("solver-threads"), "got: {err}");
     }
 
     #[test]

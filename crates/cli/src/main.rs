@@ -43,8 +43,8 @@ const USAGE: &str = "usage: ldafp <command> [options]
 
 commands:
   train       --data <csv> --bits <n> [--k n] [--rho p] [--baseline] [--quick]
-              [--budget-secs n] [--max-solver-retries n] [--out model.json]
-              [--save-model model.ldafp.json]
+              [--budget-secs n] [--max-solver-retries n] [--solver-threads n]
+              [--out model.json] [--save-model model.ldafp.json]
   eval        --model <model.json> --data <csv>
   predict     --model <model.ldafp.json> --input <csv>
   serve       --model <model.ldafp.json> --addr <host:port> [--threads n]
@@ -52,8 +52,9 @@ commands:
   export-rtl  --model <model.json> [--module name] [--testbench] [--out clf.v]
   wordlength  --data <csv> --target <error> [--min-bits n] [--max-bits n]
   explore     [--data <csv>] [--holdout f] [--min-bits n] [--max-bits n] [--k n]
-              [--rho p,...] [--rounding mode,...] [--threads n] [--budget-secs n]
-              [--cache-dir dir] [--no-cache] [--cold] [--json report.json] [--quick]
+              [--rho p,...] [--rounding mode,...] [--threads n] [--solver-threads n]
+              [--budget-secs n] [--cache-dir dir] [--no-cache] [--cold]
+              [--json report.json] [--quick]
   demo        [--bits n]
   trace-check --input <trace.ndjson>
 
@@ -83,7 +84,8 @@ fn run() -> ldafp_cli::Result<(String, u8)> {
         &[
             "data", "bits", "k", "rho", "budget-secs", "max-solver-retries", "module",
             "model", "out", "target", "min-bits", "max-bits", "save-model", "input",
-            "addr", "threads", "holdout", "rounding", "cache-dir", "json", "trace",
+            "addr", "threads", "solver-threads", "holdout", "rounding", "cache-dir",
+            "json", "trace",
         ],
         &["baseline", "quick", "testbench", "cold", "no-cache", "metrics-summary"],
     )?;

@@ -1,7 +1,9 @@
 use crate::{CoreError, FixedPointClassifier, LdaModel, Result, TrainingProblem};
 #[cfg(feature = "fault-injection")]
 use ldafp_bnb::{FaultKind, FaultPlan};
-use ldafp_bnb::{BnbConfig, BnbStats, BoundingProblem, BoxNode, NodeAssessment, NodeDegradation};
+use ldafp_bnb::{
+    BnbConfig, BnbStats, BoxNode, NodeAssessment, NodeDegradation, SharedBoundingProblem,
+};
 use ldafp_datasets::BinaryDataset;
 use ldafp_fixedpoint::{QFormat, RoundingMode};
 use ldafp_linalg::vecops;
@@ -84,6 +86,23 @@ pub struct LdaFpConfig {
     /// rule; valuable for unbalanced problems such as one-vs-rest heads,
     /// where the class midpoint is far from the error-optimal cut.
     pub empirical_threshold_selection: bool,
+    /// Threads used *inside* one branch-and-bound search (the parallel
+    /// frontier of `ldafp-bnb`): `1` runs the exact serial code path, `0`
+    /// resolves to the machine's available parallelism, `n` uses exactly
+    /// `n`. Results are bit-identical for every value — only wall-clock
+    /// time changes. Defaults to the `LDAFP_SOLVER_THREADS` environment
+    /// variable, or `1` when unset.
+    #[serde(default = "default_solver_threads")]
+    pub solver_threads: usize,
+}
+
+/// Reads `LDAFP_SOLVER_THREADS` (default 1) — the serde and
+/// `Default::default` value of [`LdaFpConfig::solver_threads`].
+fn default_solver_threads() -> usize {
+    std::env::var("LDAFP_SOLVER_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(1)
 }
 
 impl Default for LdaFpConfig {
@@ -112,6 +131,7 @@ impl Default for LdaFpConfig {
             restrict_t_positive: true,
             empirical_scale_selection: true,
             empirical_threshold_selection: false,
+            solver_threads: default_solver_threads(),
         }
     }
 }
@@ -132,6 +152,18 @@ impl LdaFpConfig {
             polish_max_rounds: 4,
             upper_bound_solve: false,
             ..LdaFpConfig::default()
+        }
+    }
+
+    /// The effective intra-search thread count: `0` resolves to the
+    /// machine's available parallelism, anything else is taken literally
+    /// (minimum 1).
+    pub fn resolved_solver_threads(&self) -> usize {
+        match self.solver_threads {
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            n => n,
         }
     }
 }
@@ -426,19 +458,18 @@ impl LdaFpTrainer {
             reason: "degenerate search box (non-finite scatter statistics)".to_string(),
         })?;
 
-        let mut node_problem = NodeProblem {
+        let node_problem = NodeProblem {
             tp: &tp,
             config: &self.config,
             #[cfg(feature = "fault-injection")]
             fault: self.fault.clone(),
-            #[cfg(feature = "fault-injection")]
-            next_node: 0,
         };
-        let outcome = ldafp_bnb::solve_with_incumbent(
-            &mut node_problem,
+        let outcome = ldafp_bnb::solve_parallel_with_incumbent(
+            &node_problem,
             root,
             &self.config.bnb,
             best.clone(),
+            self.config.resolved_solver_threads(),
         );
         if let Some((w, _)) = outcome.incumbent.clone() {
             self.consider(&tp, &w, &mut best);
@@ -865,8 +896,6 @@ struct NodeProblem<'a> {
     config: &'a LdaFpConfig,
     #[cfg(feature = "fault-injection")]
     fault: Option<FaultPlan>,
-    #[cfg(feature = "fault-injection")]
-    next_node: usize,
 }
 
 impl NodeProblem<'_> {
@@ -1041,18 +1070,25 @@ impl NodeProblem<'_> {
     }
 }
 
-impl BoundingProblem for NodeProblem<'_> {
-    fn assess(&mut self, node: &BoxNode) -> NodeAssessment {
-        // Deterministic fault injection (test harness): decide this node's
-        // fate before anything else so the node index is stable.
+impl SharedBoundingProblem for NodeProblem<'_> {
+    #[cfg(feature = "fault-injection")]
+    fn exact_indexing(&self) -> bool {
+        // Fault plans key on the serial node index, so speculative
+        // out-of-order assessment must be disabled when one is active.
+        self.fault.is_some()
+    }
+
+    fn assess_node(&self, node: &BoxNode, index: usize) -> NodeAssessment {
+        // Deterministic fault injection (test harness): the search loop
+        // hands us the serial node index, so the fate of each node is
+        // stable across thread counts.
         #[cfg(feature = "fault-injection")]
-        let fault = {
-            let index = self.next_node;
-            self.next_node += 1;
-            self.fault
-                .as_ref()
-                .and_then(|plan| plan.fault_for(index).map(|kind| (kind, plan.clone())))
-        };
+        let fault = self
+            .fault
+            .as_ref()
+            .and_then(|plan| plan.fault_for(index).map(|kind| (kind, plan.clone())));
+        #[cfg(not(feature = "fault-injection"))]
+        let _ = index;
 
         let Some((lo, hi)) = self.snapped_bounds(node) else {
             return NodeAssessment::infeasible();

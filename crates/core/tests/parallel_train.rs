@@ -1,0 +1,86 @@
+//! End-to-end bit-identity of parallel training: the same dataset trained
+//! with `solver_threads` 1 and 4 must produce the same certified
+//! objective, the same weight vector (bit for bit) and the same search
+//! statistics — the thread count is a pure wall-clock knob.
+
+use ldafp_core::{LdaFpConfig, LdaFpTrainer};
+use ldafp_datasets::BinaryDataset;
+use ldafp_fixedpoint::QFormat;
+use ldafp_linalg::Matrix;
+
+/// Two separable clouds from a deterministic LCG.
+fn synthetic(n: usize, offset: f64, seed: u64) -> BinaryDataset {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        ((state >> 33) as f64 / f64::from(1u32 << 31)) - 1.0
+    };
+    let a = Matrix::from_fn(n, 3, |_, j| {
+        if j == 0 {
+            -offset + 0.15 * next()
+        } else {
+            0.3 * next()
+        }
+    });
+    let b = Matrix::from_fn(n, 3, |_, j| {
+        if j == 0 {
+            offset + 0.15 * next()
+        } else {
+            0.3 * next()
+        }
+    });
+    BinaryDataset::new(a, b).expect("non-empty classes")
+}
+
+fn train_with_threads(threads: usize, data: &BinaryDataset) -> ldafp_core::LdaFpModel {
+    let mut config = LdaFpConfig::fast();
+    config.solver_threads = threads;
+    let trainer = LdaFpTrainer::new(config);
+    let format = QFormat::new(2, 3).expect("valid format");
+    trainer.train(data, format).expect("training succeeds")
+}
+
+#[test]
+fn thread_count_never_changes_the_model() {
+    let data = synthetic(40, 0.5, 11);
+    let serial = train_with_threads(1, &data);
+    for threads in [2, 4] {
+        let parallel = train_with_threads(threads, &data);
+        assert_eq!(
+            serial.weights(),
+            parallel.weights(),
+            "{threads} threads: weight vectors differ"
+        );
+        assert_eq!(
+            serial.fisher_cost().to_bits(),
+            parallel.fisher_cost().to_bits(),
+            "{threads} threads: certified objectives differ in bits"
+        );
+        assert_eq!(
+            serial.certified(),
+            parallel.certified(),
+            "{threads} threads: certificates differ"
+        );
+        assert_eq!(
+            serial.stats(),
+            parallel.stats(),
+            "{threads} threads: search statistics differ"
+        );
+        assert_eq!(
+            serial.outcome(),
+            parallel.outcome(),
+            "{threads} threads: training outcomes differ"
+        );
+    }
+}
+
+#[test]
+fn auto_thread_count_resolves_to_at_least_one() {
+    let mut config = LdaFpConfig::fast();
+    config.solver_threads = 0;
+    assert!(config.resolved_solver_threads() >= 1);
+    config.solver_threads = 3;
+    assert_eq!(config.resolved_solver_threads(), 3);
+}

@@ -77,9 +77,15 @@ pub fn dataset_digest(data: &BinaryDataset) -> u64 {
 /// nested B&B/solver/recovery configs). The rendering is deterministic
 /// within a build; if a future field rename changes it, old entries simply
 /// become unreachable misses — never false hits.
+///
+/// `solver_threads` is normalized to `1` before hashing: the parallel
+/// search is bit-identical to the serial one, so the thread count must
+/// never fragment the cache.
 #[must_use]
 pub fn config_digest(config: &LdaFpConfig) -> u64 {
-    fnv1a64(format!("{config:?}").into_bytes(), FNV_OFFSET)
+    let mut canonical = config.clone();
+    canonical.solver_threads = 1;
+    fnv1a64(format!("{canonical:?}").into_bytes(), FNV_OFFSET)
 }
 
 /// Content key for one (dataset, point, config) problem instance.
@@ -213,6 +219,22 @@ mod tests {
             rho: 0.99,
             rounding: RoundingMode::NearestEven,
         }
+    }
+
+    #[test]
+    fn config_digest_ignores_solver_threads() {
+        let mut a = LdaFpConfig::fast();
+        a.solver_threads = 1;
+        let mut b = a.clone();
+        b.solver_threads = 4;
+        assert_eq!(
+            config_digest(&a),
+            config_digest(&b),
+            "thread count never changes results, so it must not fragment the cache"
+        );
+        let mut c = a.clone();
+        c.rho = a.rho + 0.001;
+        assert_ne!(config_digest(&a), config_digest(&c));
     }
 
     #[test]

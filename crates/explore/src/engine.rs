@@ -361,8 +361,21 @@ pub struct Explorer {
 }
 
 /// Shared state visible to every worker during a sweep.
+/// Nested-parallelism budget: the sweep already occupies one core per
+/// worker, so each B&B solve gets at most its share of the remaining
+/// parallelism (`0` = auto defers to that share entirely).
+fn clamp_solver_threads(requested: usize, intra_budget: usize) -> usize {
+    match requested {
+        0 => intra_budget,
+        n => n.min(intra_budget),
+    }
+}
+
 struct SweepShared<'a> {
     points: &'a [DesignPoint],
+    /// Intra-solve thread budget for each trainer, chosen so that
+    /// `sweep workers × solver threads` never exceeds the core count.
+    intra_threads: usize,
     queues: Vec<Mutex<VecDeque<usize>>>,
     /// `(point index, optimum weights)` of finished, successfully trained
     /// points — the warm-start solution board.
@@ -458,8 +471,11 @@ impl Explorer {
         let validation_digest = dataset_digest(validation);
         let started = Instant::now();
 
+        let cores =
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         let shared = SweepShared {
             points: &points,
+            intra_threads: (cores / threads).max(1),
             queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
             solved: Mutex::new(Vec::new()),
             results: Mutex::new(vec![None; points.len()]),
@@ -535,6 +551,8 @@ impl Explorer {
         let mut trainer_config = self.config.trainer.clone();
         trainer_config.rho = point.rho;
         trainer_config.rounding = point.rounding;
+        trainer_config.solver_threads =
+            clamp_solver_threads(trainer_config.solver_threads, shared.intra_threads);
         let key = problem_key(
             train_digest,
             validation_digest,
@@ -656,6 +674,17 @@ mod tests {
             rhos: vec![0.99],
             roundings: vec![RoundingMode::NearestEven],
         }
+    }
+
+    #[test]
+    fn solver_thread_budget_respects_core_share() {
+        // Auto (`0`) takes the whole per-worker share.
+        assert_eq!(clamp_solver_threads(0, 4), 4);
+        assert_eq!(clamp_solver_threads(0, 1), 1);
+        // Explicit requests are capped at the share, never raised.
+        assert_eq!(clamp_solver_threads(8, 2), 2);
+        assert_eq!(clamp_solver_threads(2, 4), 2);
+        assert_eq!(clamp_solver_threads(1, 16), 1);
     }
 
     #[test]

@@ -197,6 +197,169 @@ impl Cholesky {
     }
 }
 
+/// Reusable scratch for repeated Cholesky factorizations of same-sized
+/// matrices: the factor and the forward-substitution intermediate are kept
+/// between calls, so the steady state (the barrier solver's Newton loop,
+/// which factorizes one Hessian per step) allocates nothing.
+///
+/// Validation, pivot checks and arithmetic order are identical to
+/// [`Cholesky::new`] / [`Cholesky::solve`], so the results are bit-identical
+/// to the allocating API.
+#[derive(Debug, Clone)]
+pub struct CholeskyWorkspace {
+    l: Matrix,
+    y: Vec<f64>,
+}
+
+impl Default for CholeskyWorkspace {
+    fn default() -> Self {
+        CholeskyWorkspace::new()
+    }
+}
+
+impl CholeskyWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        CholeskyWorkspace {
+            l: Matrix::zeros(0, 0),
+            y: Vec::new(),
+        }
+    }
+
+    /// Factorizes `a` into the reused factor buffer. After `Ok(())`, the
+    /// factor is available via [`CholeskyWorkspace::factor`] and
+    /// [`CholeskyWorkspace::solve_into`].
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Cholesky::new`]. On error the stored factor
+    /// is invalid and must not be used until the next successful call.
+    pub fn factorize(&mut self, a: &Matrix) -> Result<()> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { dims: a.dims() });
+        }
+        let asym = a.max_asymmetry()?;
+        let tol = 1e-8 * a.max_abs().max(1.0);
+        if asym > tol {
+            return Err(LinalgError::NotSymmetric { max_asymmetry: asym });
+        }
+        let n = a.rows();
+        if self.l.dims() != (n, n) {
+            self.l = Matrix::zeros(n, n);
+        } else {
+            self.l.as_mut_slice().fill(0.0);
+        }
+        let l = &mut self.l;
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite {
+                            pivot: i,
+                            value: sum,
+                        });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The ridge-escalating twin of [`Cholesky::new_with_ridge`], reusing
+    /// this workspace's factor and a caller-owned `scratch` matrix for the
+    /// shifted copies. The ridge schedule, validation and arithmetic match
+    /// `new_with_ridge` exactly; returns the absolute ridge applied.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Cholesky::new_with_ridge`].
+    pub fn factorize_with_ridge(
+        &mut self,
+        a: &Matrix,
+        rel_ridge: f64,
+        scratch: &mut Matrix,
+    ) -> Result<f64> {
+        let n = a.rows().max(1);
+        let scale = (a.trace() / n as f64).abs().max(f64::MIN_POSITIVE);
+        let mut ridge = rel_ridge.max(0.0) * scale;
+        match self.factorize(a) {
+            Ok(()) if rel_ridge == 0.0 => return Ok(0.0),
+            _ => {}
+        }
+        if ridge == 0.0 {
+            ridge = 1e-12 * scale;
+        }
+        let mut last_err = LinalgError::NotPositiveDefinite { pivot: 0, value: 0.0 };
+        for _ in 0..8 {
+            scratch.copy_from(a);
+            scratch.add_ridge(ridge)?;
+            match self.factorize(scratch) {
+                Ok(()) => return Ok(ridge),
+                Err(e) => last_err = e,
+            }
+            ridge *= 10.0;
+        }
+        Err(last_err)
+    }
+
+    /// Borrow the lower-triangular factor of the last successful
+    /// factorization.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Dimension of the last factorized matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `A·x = b` into `x`, using the stored factor and the internal
+    /// forward-substitution buffer. Substitution order matches
+    /// [`Cholesky::solve`] exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve_into(&mut self, b: &[f64], x: &mut Vec<f64>) -> Result<()> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky_solve",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        // Forward: L·y = b
+        self.y.clear();
+        self.y.resize(n, 0.0);
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * self.y[k];
+            }
+            self.y[i] = sum / self.l[(i, i)];
+        }
+        // Backward: Lᵀ·x = y
+        x.clear();
+        x.resize(n, 0.0);
+        for i in (0..n).rev() {
+            let mut sum = self.y[i];
+            for k in (i + 1)..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,5 +469,61 @@ mod tests {
         let c = Cholesky::new(&Matrix::identity(4)).unwrap();
         assert_eq!(c.factor(), &Matrix::identity(4));
         assert_eq!(c.det(), 1.0);
+    }
+
+    #[test]
+    fn workspace_factor_and_solve_bit_match_allocating_api() {
+        let a = spd3();
+        let reference = Cholesky::new(&a).unwrap();
+        let mut ws = CholeskyWorkspace::new();
+        ws.factorize(&a).unwrap();
+        assert_eq!(ws.factor(), reference.factor());
+        let b = [1.0, -2.0, 0.5];
+        let expected = reference.solve(&b).unwrap();
+        let mut x = Vec::new();
+        ws.solve_into(&b, &mut x).unwrap();
+        assert_eq!(x, expected, "solve must be bit-identical");
+    }
+
+    #[test]
+    fn workspace_reuses_across_dimension_changes() {
+        let mut ws = CholeskyWorkspace::new();
+        ws.factorize(&Matrix::identity(2)).unwrap();
+        assert_eq!(ws.dim(), 2);
+        ws.factorize(&spd3()).unwrap();
+        assert_eq!(ws.dim(), 3);
+        let mut x = Vec::new();
+        ws.solve_into(&[1.0, 0.0, 0.0], &mut x).unwrap();
+        assert_eq!(x.len(), 3);
+        // Shrinking back also works: stale factor state must not leak.
+        ws.factorize(&Matrix::identity(2)).unwrap();
+        assert_eq!(ws.factor(), &Matrix::identity(2));
+    }
+
+    #[test]
+    fn workspace_rejects_what_cholesky_rejects() {
+        let mut ws = CholeskyWorkspace::new();
+        let indef = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            ws.factorize(&indef),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+        let asym = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]).unwrap();
+        assert!(matches!(ws.factorize(&asym), Err(LinalgError::NotSymmetric { .. })));
+        assert!(matches!(
+            ws.factorize(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn workspace_ridge_matches_allocating_ridge() {
+        let a = Matrix::outer(&[1.0, 2.0], &[1.0, 2.0]); // singular PSD
+        let (reference, ridge_ref) = Cholesky::new_with_ridge(&a, 1e-9).unwrap();
+        let mut ws = CholeskyWorkspace::new();
+        let mut scratch = Matrix::zeros(0, 0);
+        let ridge = ws.factorize_with_ridge(&a, 1e-9, &mut scratch).unwrap();
+        assert_eq!(ridge, ridge_ref);
+        assert_eq!(ws.factor(), reference.factor());
     }
 }

@@ -43,7 +43,7 @@ mod matrix;
 pub mod moments;
 pub mod vecops;
 
-pub use cholesky::Cholesky;
+pub use cholesky::{Cholesky, CholeskyWorkspace};
 pub use eigen::SymmetricEigen;
 pub use error::LinalgError;
 pub use lu::Lu;

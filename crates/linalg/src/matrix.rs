@@ -224,6 +224,26 @@ impl Matrix {
         }
     }
 
+    /// Overwrites `self` with `src`, resizing if the shapes differ. The
+    /// in-place twin of `src.clone()` for reusable buffers: once the shapes
+    /// match (the steady state on solver hot paths), no allocation happens.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// Overwrites `self` with `src * k`, resizing if the shapes differ —
+    /// the in-place twin of [`Matrix::scaled`]. Element order and arithmetic
+    /// match `scaled` exactly, so results are bit-identical.
+    pub fn copy_scaled_from(&mut self, src: &Matrix, k: f64) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend(src.data.iter().map(|x| x * k));
+    }
+
     /// Element-wise sum.
     ///
     /// # Errors
@@ -314,6 +334,26 @@ impl Matrix {
         Ok((0..self.rows)
             .map(|i| crate::vecops::dot(self.row(i), x))
             .collect())
+    }
+
+    /// Matrix-vector product written into a caller-owned buffer — the
+    /// allocation-free twin of [`Matrix::mul_vec`], with identical
+    /// summation order (bit-identical results).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `x.len() != self.cols()`.
+    pub fn mul_vec_into(&self, x: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "mul_vec",
+                left: self.dims(),
+                right: (x.len(), 1),
+            });
+        }
+        out.clear();
+        out.extend((0..self.rows).map(|i| crate::vecops::dot(self.row(i), x)));
+        Ok(())
     }
 
     /// Vector-matrix product `xᵀ * self`, returned as a vector.

@@ -10,8 +10,8 @@
 //! Both barriers are self-concordant, so damped Newton with backtracking
 //! converges globally from any strictly feasible start.
 
-use crate::{Result, SocpProblem, SolverConfig, SolverError};
-use ldafp_linalg::{vecops, Cholesky, Matrix};
+use crate::{Result, SocpProblem, SolverConfig, SolverError, Workspace};
+use ldafp_linalg::{vecops, Matrix};
 
 /// Early-stop predicate used by phase I to bail out as soon as a strictly
 /// feasible point for the original problem is witnessed.
@@ -122,12 +122,17 @@ fn add_barrier_derivatives(p: &SocpProblem, x: &[f64], grad: &mut [f64], hess: &
 
 /// One centering stage: damped Newton on `t·f + φ` from strictly feasible
 /// `x`. Returns the centered point and the Newton-step count.
+///
+/// All per-step buffers come from `ws`; every in-place operation is the
+/// bit-identical twin of the allocating call it replaced, so results do not
+/// depend on whether the workspace carries state from a previous step.
 fn center(
     p: &SocpProblem,
     t: f64,
     mut x: Vec<f64>,
     config: &SolverConfig,
     early_stop: Option<EarlyStop<'_>>,
+    ws: &mut Workspace,
 ) -> Result<(Vec<f64>, usize)> {
     let mut steps = 0usize;
     for _ in 0..config.max_newton_per_stage {
@@ -136,32 +141,46 @@ fn center(
                 return Ok((x, steps));
             }
         }
+        if !config.reuse_workspace {
+            // Benchmark baseline: reproduce the historical
+            // allocate-every-step cost profile.
+            ws.reset();
+        }
+        if ws.ensure(x.len()) {
+            ws.newton_reuses += 1;
+        }
         // Assemble gradient and Hessian of t·f + φ.
-        let mut grad = p.q().mul_vec(&x).expect("validated dimensions");
-        for (gi, ci) in grad.iter_mut().zip(p.c()) {
+        p.q()
+            .mul_vec_into(&x, &mut ws.grad)
+            .expect("validated dimensions");
+        for (gi, ci) in ws.grad.iter_mut().zip(p.c()) {
             *gi = t * (*gi + ci);
         }
-        let mut hess = p.q().scaled(t);
-        add_barrier_derivatives(p, &x, &mut grad, &mut hess);
+        ws.hess.copy_scaled_from(p.q(), t);
+        add_barrier_derivatives(p, &x, &mut ws.grad, &mut ws.hess);
 
         // Newton direction: solve H Δ = −grad, ridging on factorization
         // trouble (semidefinite Q with few constraints can leave H singular).
-        let neg_grad: Vec<f64> = grad.iter().map(|g| -g).collect();
-        let delta = match Cholesky::new(&hess) {
-            Ok(ch) => ch.solve(&neg_grad)?,
+        ws.neg_grad.clear();
+        ws.neg_grad.extend(ws.grad.iter().map(|g| -g));
+        match ws.chol.factorize(&ws.hess) {
+            Ok(()) => {}
             Err(_) => {
-                let (ch, _) = Cholesky::new_with_ridge(&hess, 1e-10).map_err(|e| {
-                    SolverError::NumericalFailure {
+                ws.chol
+                    .factorize_with_ridge(&ws.hess, 1e-10, &mut ws.shifted)
+                    .map_err(|e| SolverError::NumericalFailure {
                         reason: format!("Newton system factorization failed: {e}"),
-                    }
-                })?;
-                ch.solve(&neg_grad)?
+                    })?;
             }
-        };
+        }
+        let Workspace {
+            chol, neg_grad, delta, ..
+        } = &mut *ws;
+        chol.solve_into(neg_grad, delta)?;
         steps += 1;
 
         // Newton decrement: λ² = −gradᵀΔ.
-        let lambda_sq = -vecops::dot(&grad, &delta);
+        let lambda_sq = -vecops::dot(&ws.grad, &ws.delta);
         if !lambda_sq.is_finite() {
             return Err(SolverError::NumericalFailure {
                 reason: "non-finite Newton decrement".to_string(),
@@ -176,16 +195,17 @@ fn center(
             + barrier_value(p, &x).ok_or_else(|| SolverError::NumericalFailure {
                 reason: "iterate left the feasible region".to_string(),
             })?;
-        let slope = vecops::dot(&grad, &delta); // negative
+        let slope = vecops::dot(&ws.grad, &ws.delta); // negative
         let mut alpha = 1.0;
         let mut accepted = false;
         for _ in 0..60 {
-            let mut cand = x.clone();
-            vecops::axpy(alpha, &delta, &mut cand);
-            if let Some(phi) = barrier_value(p, &cand) {
-                let fc = t * p.objective(&cand) + phi;
+            ws.cand.clear();
+            ws.cand.extend_from_slice(&x);
+            vecops::axpy(alpha, &ws.delta, &mut ws.cand);
+            if let Some(phi) = barrier_value(p, &ws.cand) {
+                let fc = t * p.objective(&ws.cand) + phi;
                 if fc <= f0 + config.armijo * alpha * slope {
-                    x = cand;
+                    x.copy_from_slice(&ws.cand);
                     accepted = true;
                     break;
                 }
@@ -202,13 +222,16 @@ fn center(
 }
 
 /// Full barrier method from a strictly feasible start. Returns
-/// `(x, stages, newton_steps)`.
+/// `(x, stages, newton_steps)`. The workspace is reused across every
+/// centering stage (and across phase I / phase II when the caller shares
+/// one per solve).
 pub(crate) fn barrier_minimize(
     p: &SocpProblem,
     x0: Vec<f64>,
     config: &SolverConfig,
+    ws: &mut Workspace,
 ) -> Result<(Vec<f64>, usize, usize, f64)> {
-    barrier_minimize_with_stop(p, x0, config, None)
+    barrier_minimize_with_stop(p, x0, config, None, ws)
 }
 
 /// Barrier method with an optional early-stop predicate (used by phase I to
@@ -219,6 +242,7 @@ pub(crate) fn barrier_minimize_with_stop(
     x0: Vec<f64>,
     config: &SolverConfig,
     early_stop: Option<EarlyStop<'_>>,
+    ws: &mut Workspace,
 ) -> Result<(Vec<f64>, usize, usize, f64)> {
     debug_assert!(
         p.num_constraints() == 0 || barrier_value(p, &x0).is_some(),
@@ -232,14 +256,14 @@ pub(crate) fn barrier_minimize_with_stop(
     if p.num_constraints() == 0 {
         // Pure Newton on f (t is irrelevant); one stage suffices for a
         // quadratic.
-        let (xx, steps) = center(p, 1.0, x, config, early_stop)?;
+        let (xx, steps) = center(p, 1.0, x, config, early_stop, ws)?;
         return Ok((xx, 1, steps, 1.0));
     }
 
     let mut t = config.t_init;
     for _ in 0..config.max_stages {
         stages += 1;
-        let (xx, steps) = center(p, t, x, config, early_stop)?;
+        let (xx, steps) = center(p, t, x, config, early_stop, ws)?;
         x = xx;
         steps_total += steps;
         if let Some(stop) = early_stop {
@@ -294,7 +318,8 @@ mod tests {
     fn unconstrained_quadratic_newton() {
         // minimize (x−3)² → x = 3 in one centering stage.
         let p = SocpProblem::new(Matrix::identity(1).scaled(2.0), vec![-6.0]).unwrap();
-        let (x, stages, _, _) = barrier_minimize(&p, vec![0.0], &cfg()).unwrap();
+        let (x, stages, _, _) =
+            barrier_minimize(&p, vec![0.0], &cfg(), &mut Workspace::new()).unwrap();
         assert!((x[0] - 3.0).abs() < 1e-8);
         assert_eq!(stages, 1);
     }
@@ -304,7 +329,7 @@ mod tests {
         // minimize (x−3)² s.t. x ≤ 1 → x = 1.
         let mut p = SocpProblem::new(Matrix::identity(1).scaled(2.0), vec![-6.0]).unwrap();
         p.add_linear(vec![1.0], 1.0).unwrap();
-        let (x, _, _, _) = barrier_minimize(&p, vec![0.0], &cfg()).unwrap();
+        let (x, _, _, _) = barrier_minimize(&p, vec![0.0], &cfg(), &mut Workspace::new()).unwrap();
         assert!((x[0] - 1.0).abs() < 1e-6, "x = {}", x[0]);
     }
 
@@ -313,7 +338,7 @@ mod tests {
         // minimize (x−3)² s.t. x ≤ 100 → x = 3.
         let mut p = SocpProblem::new(Matrix::identity(1).scaled(2.0), vec![-6.0]).unwrap();
         p.add_linear(vec![1.0], 100.0).unwrap();
-        let (x, _, _, _) = barrier_minimize(&p, vec![0.0], &cfg()).unwrap();
+        let (x, _, _, _) = barrier_minimize(&p, vec![0.0], &cfg(), &mut Workspace::new()).unwrap();
         assert!((x[0] - 3.0).abs() < 1e-5, "x = {}", x[0]);
     }
 
@@ -323,8 +348,39 @@ mod tests {
         let mut p = SocpProblem::new(Matrix::identity(2).scaled(2.0), vec![-6.0, 0.0]).unwrap();
         p.add_soc(Matrix::identity(2), vec![0.0; 2], vec![0.0; 2], 1.0)
             .unwrap();
-        let (x, _, _, _) = barrier_minimize(&p, vec![0.0, 0.0], &cfg()).unwrap();
+        let (x, _, _, _) =
+            barrier_minimize(&p, vec![0.0, 0.0], &cfg(), &mut Workspace::new()).unwrap();
         assert!((x[0] - 1.0).abs() < 1e-5, "x = {x:?}");
         assert!(x[1].abs() < 1e-5, "x = {x:?}");
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical_to_fresh_allocation() {
+        // Cone + linear constraints exercise every in-place path; a reused
+        // workspace (carrying state from a previous, differently-sized solve)
+        // must produce bit-identical iterates to allocate-per-step mode.
+        let mut p = SocpProblem::new(Matrix::identity(2).scaled(2.0), vec![-6.0, 0.0]).unwrap();
+        p.add_soc(Matrix::identity(2), vec![0.0; 2], vec![0.0; 2], 1.0)
+            .unwrap();
+        p.add_linear(vec![0.0, 1.0], 0.5).unwrap();
+
+        let mut fresh_cfg = cfg();
+        fresh_cfg.reuse_workspace = false;
+        let (x_fresh, st_f, ns_f, t_f) =
+            barrier_minimize(&p, vec![0.0, 0.0], &fresh_cfg, &mut Workspace::new()).unwrap();
+
+        // Dirty the reused workspace with a different-dimension solve first.
+        let mut ws = Workspace::new();
+        let q1 = SocpProblem::new(Matrix::identity(3).scaled(2.0), vec![-1.0, 0.0, 0.0]).unwrap();
+        barrier_minimize(&q1, vec![0.0; 3], &cfg(), &mut ws).unwrap();
+        let (x_reuse, st_r, ns_r, t_r) = barrier_minimize(&p, vec![0.0, 0.0], &cfg(), &mut ws).unwrap();
+
+        assert_eq!(x_fresh.len(), x_reuse.len());
+        for (a, b) in x_fresh.iter().zip(&x_reuse) {
+            assert_eq!(a.to_bits(), b.to_bits(), "iterates diverged: {a} vs {b}");
+        }
+        assert_eq!((st_f, ns_f), (st_r, ns_r));
+        assert_eq!(t_f.to_bits(), t_r.to_bits());
+        assert!(ws.newton_reuses() > 0, "reused path never reused buffers");
     }
 }

@@ -51,9 +51,11 @@ mod error;
 mod phase1;
 mod problem;
 mod recovery;
+mod workspace;
 
 pub use error::SolverError;
 pub use problem::{KktReport, LinearConstraint, SocConstraint, SocpProblem, Solution, SolverConfig};
+pub use workspace::Workspace;
 pub use recovery::{
     error_kind, is_recoverable, solve_with_recovery, solve_with_recovery_checked,
     RecoveredSolution, RecoveryAttempt, RecoveryConfig,

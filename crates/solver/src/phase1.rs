@@ -16,7 +16,7 @@
 //! minimization stops early as soon as `s < −margin` is witnessed: the `x`
 //! part is then a strictly feasible start for phase II.
 
-use crate::{Result, SocpProblem, SolverConfig, SolverError};
+use crate::{Result, SocpProblem, SolverConfig, SolverError, Workspace};
 use ldafp_linalg::Matrix;
 
 /// Finds a strictly feasible point for `p`, optionally warm-starting the
@@ -33,6 +33,7 @@ pub(crate) fn find_strictly_feasible(
     p: &SocpProblem,
     x0: Option<Vec<f64>>,
     config: &SolverConfig,
+    ws: &mut Workspace,
 ) -> Result<(Vec<f64>, usize)> {
     let n = p.num_vars();
     let x0 = x0.unwrap_or_else(|| vec![0.0; n]);
@@ -85,7 +86,7 @@ pub(crate) fn find_strictly_feasible(
         ..config.clone()
     };
     let (xs, _stages, steps, _t) =
-        crate::barrier::barrier_minimize_with_stop(&aux, start, &phase1_cfg, Some(&stop))?;
+        crate::barrier::barrier_minimize_with_stop(&aux, start, &phase1_cfg, Some(&stop), ws)?;
 
     let s = xs[n];
     let x: Vec<f64> = xs[..n].to_vec();
@@ -113,7 +114,7 @@ mod tests {
     fn already_feasible_origin_short_circuits() {
         let mut p = SocpProblem::new(Matrix::identity(2), vec![0.0; 2]).unwrap();
         p.add_linear(vec![1.0, 1.0], 5.0).unwrap();
-        let (x, steps) = find_strictly_feasible(&p, None, &cfg()).unwrap();
+        let (x, steps) = find_strictly_feasible(&p, None, &cfg(), &mut Workspace::new()).unwrap();
         assert_eq!(x, vec![0.0, 0.0]);
         assert_eq!(steps, 0);
     }
@@ -123,7 +124,7 @@ mod tests {
         // x ≥ 3 (i.e. −x ≤ −3): origin violates.
         let mut p = SocpProblem::new(Matrix::identity(1), vec![0.0]).unwrap();
         p.add_linear(vec![-1.0], -3.0).unwrap();
-        let (x, steps) = find_strictly_feasible(&p, None, &cfg()).unwrap();
+        let (x, steps) = find_strictly_feasible(&p, None, &cfg(), &mut Workspace::new()).unwrap();
         assert!(x[0] > 3.0, "x = {}", x[0]);
         assert!(steps > 0);
     }
@@ -134,7 +135,7 @@ mod tests {
         let mut p = SocpProblem::new(Matrix::identity(1), vec![0.0]).unwrap();
         p.add_linear(vec![1.0], 0.0).unwrap();
         p.add_linear(vec![-1.0], -1.0).unwrap();
-        match find_strictly_feasible(&p, None, &cfg()) {
+        match find_strictly_feasible(&p, None, &cfg(), &mut Workspace::new()) {
             Err(SolverError::Infeasible { max_violation }) => {
                 assert!(max_violation > -1e-6);
             }
@@ -150,7 +151,7 @@ mod tests {
             .unwrap();
         p.add_linear(vec![-1.0, 0.0], -3.0).unwrap();
         assert!(matches!(
-            find_strictly_feasible(&p, None, &cfg()),
+            find_strictly_feasible(&p, None, &cfg(), &mut Workspace::new()),
             Err(SolverError::Infeasible { .. })
         ));
     }
@@ -159,7 +160,7 @@ mod tests {
     fn warm_start_used_when_feasible() {
         let mut p = SocpProblem::new(Matrix::identity(1), vec![0.0]).unwrap();
         p.add_linear(vec![-1.0], -3.0).unwrap(); // x ≥ 3
-        let (x, steps) = find_strictly_feasible(&p, Some(vec![10.0]), &cfg()).unwrap();
+        let (x, steps) = find_strictly_feasible(&p, Some(vec![10.0]), &cfg(), &mut Workspace::new()).unwrap();
         assert_eq!(x, vec![10.0]);
         assert_eq!(steps, 0);
     }
@@ -170,7 +171,7 @@ mod tests {
         let mut p = SocpProblem::new(Matrix::identity(1), vec![0.0]).unwrap();
         p.add_linear(vec![1.0], 1.001).unwrap();
         p.add_linear(vec![-1.0], -0.999).unwrap();
-        let (x, _) = find_strictly_feasible(&p, None, &cfg()).unwrap();
+        let (x, _) = find_strictly_feasible(&p, None, &cfg(), &mut Workspace::new()).unwrap();
         assert!(x[0] > 0.999 && x[0] < 1.001, "x = {}", x[0]);
     }
 }

@@ -1,5 +1,6 @@
 use crate::{Result, SolverError};
 use ldafp_linalg::{vecops, Matrix};
+use ldafp_obs as obs;
 use serde::{Deserialize, Serialize};
 
 /// A linear inequality `gᵀx ≤ h`.
@@ -78,6 +79,15 @@ pub struct SolverConfig {
     /// Phase I accepts a start point when its max violation is below
     /// `−feasibility_margin`; otherwise the problem is declared infeasible.
     pub feasibility_margin: f64,
+    /// Reuse the per-solve [`crate::Workspace`] buffers across Newton steps
+    /// (on by default). Off reproduces the historical allocate-per-step cost
+    /// profile — results are bit-identical either way; only speed differs.
+    #[serde(default = "default_reuse_workspace")]
+    pub reuse_workspace: bool,
+}
+
+fn default_reuse_workspace() -> bool {
+    true
 }
 
 impl Default for SolverConfig {
@@ -92,6 +102,7 @@ impl Default for SolverConfig {
             armijo: 0.01,
             backtrack: 0.5,
             feasibility_margin: 1e-9,
+            reuse_workspace: default_reuse_workspace(),
         }
     }
 }
@@ -339,6 +350,9 @@ impl SocpProblem {
     ///
     /// Same failure modes as [`Self::solve`].
     pub fn solve_from(&self, x0: Option<&[f64]>, config: &SolverConfig) -> Result<Solution> {
+        // One workspace per solve, shared by phase I (n+1 vars) and phase II
+        // (n vars); `ensure` handles the dimension switch.
+        let mut ws = crate::Workspace::new();
         let mut phase1_steps = 0usize;
         let start = match x0 {
             Some(x) if x.len() == self.n && self.is_strictly_feasible(x, config.feasibility_margin) => {
@@ -346,13 +360,14 @@ impl SocpProblem {
             }
             _ => {
                 let warm = x0.filter(|x| x.len() == self.n).map(|x| x.to_vec());
-                let (x, steps) = crate::phase1::find_strictly_feasible(self, warm, config)?;
+                let (x, steps) = crate::phase1::find_strictly_feasible(self, warm, config, &mut ws)?;
                 phase1_steps = steps;
                 x
             }
         };
         let (x, stages, steps, barrier_t) =
-            crate::barrier::barrier_minimize(self, start, config)?;
+            crate::barrier::barrier_minimize(self, start, config, &mut ws)?;
+        workspace_reuse_counter().add(ws.newton_reuses());
         let objective = self.objective(&x);
         Ok(Solution {
             duality_gap_bound: if self.num_constraints() == 0 {
@@ -402,6 +417,13 @@ impl SocpProblem {
             duality_gap_bound: self.num_constraints() as f64 / barrier_t,
         })
     }
+}
+
+/// Cached handle for the `solver.workspace_reuse` counter: Newton steps
+/// served entirely from already-sized workspace buffers (no allocation).
+fn workspace_reuse_counter() -> &'static std::sync::Arc<obs::Counter> {
+    static COUNTER: std::sync::OnceLock<std::sync::Arc<obs::Counter>> = std::sync::OnceLock::new();
+    COUNTER.get_or_init(|| obs::Registry::global().counter("solver.workspace_reuse"))
 }
 
 /// Optimality certificate produced by [`SocpProblem::kkt_report`].

@@ -1,0 +1,92 @@
+//! Per-solve scratch for the barrier engine.
+//!
+//! Every Newton step of [`crate::barrier`] needs a gradient, a Hessian, a
+//! Cholesky factor and a line-search trial point. Before this module those
+//! were allocated per step — for a branch-and-bound run that solves one or
+//! two SOCPs per node over thousands of nodes, the allocator traffic was a
+//! measurable slice of the per-node cost (`BENCH_bnb_par.json` reports the
+//! before/after). A [`Workspace`] is created once per solve and threaded
+//! through phase I and phase II, so the steady state allocates nothing.
+//!
+//! Buffers resize on demand: phase I works in `n + 1` variables (the slack
+//! augmentation), phase II in `n`, and `ensure` handles the switch.
+//!
+//! Soundness: every in-place operation used here is the bit-identical twin
+//! of the allocating call it replaces (`copy_scaled_from` vs `scaled`,
+//! `mul_vec_into` vs `mul_vec`, `CholeskyWorkspace` vs `Cholesky`), so
+//! solutions are unchanged whether or not the workspace is reused — tested
+//! in `barrier.rs` and gated by `SolverConfig::reuse_workspace`.
+
+use ldafp_linalg::{CholeskyWorkspace, Matrix};
+
+/// Reusable buffers for one SOCP solve (phase I + phase II).
+#[derive(Debug)]
+pub struct Workspace {
+    /// Gradient of `t·f + φ`.
+    pub(crate) grad: Vec<f64>,
+    /// Negated gradient (the Newton right-hand side).
+    pub(crate) neg_grad: Vec<f64>,
+    /// Newton direction.
+    pub(crate) delta: Vec<f64>,
+    /// Line-search trial point.
+    pub(crate) cand: Vec<f64>,
+    /// Hessian assembly buffer.
+    pub(crate) hess: Matrix,
+    /// Ridge-retry shifted-Hessian buffer.
+    pub(crate) shifted: Matrix,
+    /// Factorization scratch (factor + substitution intermediate).
+    pub(crate) chol: CholeskyWorkspace,
+    /// Newton steps served from already-sized buffers (no allocation).
+    pub(crate) newton_reuses: u64,
+}
+
+impl Default for Workspace {
+    fn default() -> Self {
+        Workspace::new()
+    }
+}
+
+impl Workspace {
+    /// An empty workspace; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Workspace {
+            grad: Vec::new(),
+            neg_grad: Vec::new(),
+            delta: Vec::new(),
+            cand: Vec::new(),
+            hess: Matrix::zeros(0, 0),
+            shifted: Matrix::zeros(0, 0),
+            chol: CholeskyWorkspace::new(),
+            newton_reuses: 0,
+        }
+    }
+
+    /// Sizes the Hessian buffer for `n` variables, reporting whether the
+    /// buffers were already the right size (a "reuse" in the
+    /// `solver.workspace_reuse` sense). Vector buffers are cleared and
+    /// refilled by the consumers each step; only the matrix shape matters.
+    pub(crate) fn ensure(&mut self, n: usize) -> bool {
+        let ready = self.hess.dims() == (n, n);
+        if !ready {
+            self.hess = Matrix::zeros(n, n);
+        }
+        ready
+    }
+
+    /// Drops and re-creates every buffer — used when
+    /// `SolverConfig::reuse_workspace` is off to faithfully reproduce the
+    /// historical allocate-per-step cost profile (the benchmark baseline).
+    pub(crate) fn reset(&mut self) {
+        *self = Workspace {
+            newton_reuses: self.newton_reuses,
+            ..Workspace::new()
+        };
+    }
+
+    /// Newton steps that ran entirely on reused buffers.
+    #[must_use]
+    pub fn newton_reuses(&self) -> u64 {
+        self.newton_reuses
+    }
+}

@@ -56,5 +56,14 @@ grep -q 'bnb.solves' "$obs_tmp/train.err" \
     || { echo "--metrics-summary printed no registry" >&2; exit 1; }
 cargo run --release -q -p ldafp-bench --bin obs_bench -- --quick > /dev/null
 
+# Parallel search layer: bit-identity proptests, worker-span obs contract
+# and fault-injected degradation parity run as part of the suites above;
+# here the whole workspace test suite is repeated once with a 4-thread
+# solver pool (results must be bit-identical, so everything still passes),
+# then the speedup gate: bnb_par_bench exits nonzero when the 4-thread
+# latency-sim search fails to reach 1.5x over serial.
+LDAFP_SOLVER_THREADS=4 cargo test -q
+cargo run --release -q -p ldafp-bench --bin bnb_par_bench -- --quick > /dev/null
+
 # Whole-workspace lint, warnings promoted to errors.
 cargo clippy --workspace --all-targets -- -D warnings

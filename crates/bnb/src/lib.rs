@@ -48,17 +48,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 #[cfg(feature = "fault-injection")]
 mod fault;
 mod node;
 mod parallel;
 mod search;
 
+pub use checkpoint::{
+    decode_snapshot, encode_snapshot, load_snapshot, snapshot_fingerprint, write_snapshot,
+    CheckpointPolicy, FrontierEntry, LoadOutcome, SearchSnapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
 #[cfg(feature = "fault-injection")]
 pub use fault::{FaultKind, FaultPlan, FaultyProblem, SharedFaultyProblem};
 pub use node::BoxNode;
 pub use parallel::{
-    solve_parallel, solve_parallel_with_incumbent, AtomicIncumbent, SharedBoundingProblem,
+    solve_parallel, solve_parallel_checkpointed, solve_parallel_with_incumbent, AtomicIncumbent,
+    SharedBoundingProblem,
 };
 pub use search::{
     solve, solve_with_incumbent, BnbConfig, BnbOutcome, BnbStats, BoundingProblem,

@@ -43,7 +43,8 @@
 //! `fault_for(index)` lookups — and therefore the injected degradations —
 //! match the serial run one-for-one.
 
-use crate::search::{run_search, AssessmentSource, HeapNode};
+use crate::checkpoint::{self, CheckpointPolicy, LoadOutcome};
+use crate::search::{run_search, run_search_from, AssessmentSource, HeapNode, SearchStart, SerialSource};
 use crate::{BnbConfig, BnbOutcome, BoundingProblem, BoxNode, NodeAssessment};
 use ldafp_obs as obs;
 use std::cmp::Ordering as CmpOrdering;
@@ -536,6 +537,103 @@ pub fn solve_parallel_with_incumbent<P: SharedBoundingProblem>(
         outcome = Some(result);
     });
     outcome.expect("coordinator ran to completion")
+}
+
+/// Crash-safe [`solve_parallel_with_incumbent`]: periodically snapshots the
+/// search per `policy`, resumes from a valid snapshot at `policy.path` when
+/// one exists, and honors the policy's cooperative interrupt flag.
+///
+/// # Guarantees
+///
+/// Resuming from *any* snapshot this function wrote — after a crash, a
+/// `SIGKILL`, or a cooperative interrupt — and running to completion yields
+/// a [`BnbOutcome`] bit-identical (incumbent vector and cost bits, bound
+/// bits, certificate, all statistics) to the uninterrupted run, for every
+/// `threads` value on either side of the interruption. A rejected snapshot
+/// (newer version, bad checksum, foreign fingerprint) degrades to a clean
+/// cold start with a `resume.cold_start` event — never a panic, and a cold
+/// start replays to the identical outcome anyway.
+///
+/// On non-interrupted completion the snapshot file is removed, so a later
+/// call with the same path starts fresh rather than replaying a finished
+/// search. When the outcome reports `interrupted = true`, the final
+/// flushed snapshot stays on disk for the next call to resume.
+pub fn solve_parallel_checkpointed<P: SharedBoundingProblem>(
+    problem: &P,
+    root: BoxNode,
+    config: &BnbConfig,
+    seed: Option<(Vec<f64>, f64)>,
+    threads: usize,
+    policy: &CheckpointPolicy,
+) -> BnbOutcome {
+    let start = match checkpoint::load_snapshot(&policy.path, policy.fingerprint) {
+        LoadOutcome::Loaded(snapshot) if snapshot.order == config.search_order => {
+            checkpoint::note_resume(&snapshot);
+            SearchStart::Resumed(snapshot)
+        }
+        LoadOutcome::Loaded(_) => {
+            checkpoint::note_cold_start("search-order-mismatch");
+            SearchStart::Root(root)
+        }
+        LoadOutcome::Missing => SearchStart::Root(root),
+        LoadOutcome::Rejected(reason) => {
+            checkpoint::note_cold_start(&reason);
+            SearchStart::Root(root)
+        }
+    };
+    // The serial-index invariant: at every loop boundary the next
+    // assessment index equals `stats.nodes_assessed`, so a resumed source
+    // — serial adapter or parallel pool — picks up exact indexing (fault
+    // plans included) by starting its counter there.
+    let resume_index = match &start {
+        SearchStart::Resumed(s) => s.stats.nodes_assessed,
+        SearchStart::Root(_) => 0,
+    };
+
+    let threads = threads.max(1);
+    let outcome = if threads == 1 {
+        let mut adapter = SerialAdapter {
+            problem,
+            next_index: resume_index,
+        };
+        run_search_from(
+            &mut SerialSource(&mut adapter),
+            start,
+            config,
+            seed,
+            Some(policy),
+        )
+    } else {
+        let pool = Pool::new(config.absolute_gap);
+        let spec_enabled = !problem.exact_indexing();
+        let mut outcome = None;
+        std::thread::scope(|scope| {
+            for worker_id in 0..threads - 1 {
+                let pool = &pool;
+                scope.spawn(move || worker_loop(pool, problem, worker_id));
+            }
+            let mut source = ParallelSource {
+                problem,
+                pool: &pool,
+                next_index: resume_index,
+                spec_enabled,
+                spec_width: 2 * threads,
+                spec_seen: HashSet::new(),
+            };
+            let result = run_search_from(&mut source, start, config, seed, Some(policy));
+            pool.state.lock().expect("pool lock poisoned").shutdown = true;
+            pool.work_ready.notify_all();
+            outcome = Some(result);
+        });
+        outcome.expect("coordinator ran to completion")
+    };
+
+    if !outcome.interrupted {
+        // Finished (certified or budget-exhausted): drop the snapshot so a
+        // later call with this path starts fresh.
+        let _ = std::fs::remove_file(&policy.path);
+    }
+    outcome
 }
 
 #[cfg(test)]

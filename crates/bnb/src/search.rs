@@ -1,3 +1,4 @@
+use crate::checkpoint::{CheckpointDriver, CheckpointPolicy, FrontierEntry, SearchSnapshot};
 use crate::BoxNode;
 use ldafp_obs as obs;
 use serde::{Deserialize, Serialize};
@@ -251,8 +252,13 @@ pub struct BnbOutcome {
     pub certified: bool,
     /// Search statistics.
     pub stats: BnbStats,
-    /// Wall-clock time spent.
+    /// Wall-clock time spent (including time before a resume, when the
+    /// search was restored from a checkpoint).
     pub elapsed: Duration,
+    /// `true` when the search stopped at a cooperative interrupt after
+    /// flushing a final checkpoint — the run is resumable, and the rest of
+    /// the outcome is a partial result, not a certificate.
+    pub interrupted: bool,
 }
 
 /// Heap entry whose ordering realizes the configured [`SearchOrder`].
@@ -262,6 +268,13 @@ pub(crate) struct HeapNode {
     pub(crate) lower_bound: f64,
     pub(crate) node: BoxNode,
     pub(crate) order: SearchOrder,
+    /// Push sequence number: a strictly increasing tie-break that makes
+    /// the heap order *total*. Without it, pop order among equal keys
+    /// would depend on the heap's internal array layout — fine for one
+    /// uninterrupted run, but a checkpoint rebuilds the heap by pushing
+    /// entries, so resumed runs need an order determined by the entries
+    /// alone. Earlier pushes pop first.
+    pub(crate) seq: u64,
 }
 
 impl PartialEq for HeapNode {
@@ -287,13 +300,15 @@ impl Ord for HeapNode {
                 .partial_cmp(&self.lower_bound)
                 .unwrap_or(Ordering::Equal)
         };
+        let by_seq = || other.seq.cmp(&self.seq);
         match self.order {
-            SearchOrder::BestFirst => by_bound(),
+            SearchOrder::BestFirst => by_bound().then_with(by_seq),
             SearchOrder::DepthFirst => self
                 .node
                 .depth
                 .cmp(&other.node.depth)
-                .then_with(by_bound),
+                .then_with(by_bound)
+                .then_with(by_seq),
         }
     }
 }
@@ -372,6 +387,9 @@ fn publish_outcome(outcome: BnbOutcome) -> BnbOutcome {
         }
         if !s.degradation.is_clean() {
             e = e.with("degraded_assessments", s.degradation.degraded_assessments());
+        }
+        if outcome.interrupted {
+            e = e.with("interrupted", true);
         }
         obs::emit(e);
     }
@@ -468,6 +486,45 @@ fn with_worker(e: obs::Event, worker: Option<usize>) -> obs::Event {
     }
 }
 
+/// Where a search begins: fresh from a root box, or restored from a
+/// checkpoint snapshot taken at a loop boundary of an earlier run.
+pub(crate) enum SearchStart {
+    /// Cold start: assess `root` and search from scratch.
+    Root(BoxNode),
+    /// Resume: adopt the snapshot's heap, incumbent and stats verbatim
+    /// (the `seed` argument is ignored — the snapshot's incumbent already
+    /// absorbed any seed the original run was given).
+    Resumed(SearchSnapshot),
+}
+
+/// Builds the serializable snapshot of the current loop state. Only called
+/// at loop boundaries, where `heap`/`stats`/`incumbent` are consistent and
+/// `next_index == stats.nodes_assessed` holds for every source.
+fn snapshot_state(
+    heap: &BinaryHeap<HeapNode>,
+    stats: &BnbStats,
+    incumbent: &Option<(Vec<f64>, f64)>,
+    next_seq: u64,
+    elapsed: Duration,
+    order: SearchOrder,
+) -> SearchSnapshot {
+    SearchSnapshot {
+        order,
+        next_seq,
+        elapsed_us: u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+        incumbent: incumbent.clone(),
+        stats: stats.clone(),
+        frontier: heap
+            .iter()
+            .map(|h| FrontierEntry {
+                lower_bound: h.lower_bound,
+                seq: h.seq,
+                node: h.node.clone(),
+            })
+            .collect(),
+    }
+}
+
 /// The branch-and-bound decision loop, generic over the assessment supply.
 ///
 /// Every statement that touches `heap`, `stats` or `incumbent` is identical
@@ -479,60 +536,140 @@ pub(crate) fn run_search<S: AssessmentSource>(
     config: &BnbConfig,
     seed: Option<(Vec<f64>, f64)>,
 ) -> BnbOutcome {
-    let start = Instant::now();
-    let mut stats = BnbStats::default();
-    let mut incumbent: Option<(Vec<f64>, f64)> = seed;
-    if let Some((_, cost)) = &incumbent {
-        source.publish_incumbent(*cost);
-        if obs::enabled() {
-            // The seed is the zeroth incumbent: tracing it gives the gap
-            // trajectory its starting point even when no node improves it.
-            obs::emit(
-                obs::Event::new("bnb.incumbent")
-                    .with("cost", *cost)
-                    .with("update", 0usize)
-                    .with("seed", true),
-            );
-        }
-    }
-    let mut heap: BinaryHeap<HeapNode> = BinaryHeap::new();
+    run_search_from(source, SearchStart::Root(root), config, seed, None)
+}
 
-    let (root_raw, root_worker) = source.assess_next(&root);
-    let root_assessment = sanitize(root_raw, &mut stats);
-    stats.nodes_assessed += 1;
-    if adopt_candidate(&mut incumbent, root_assessment.candidate, &mut stats, root_worker) {
-        source.publish_incumbent(incumbent.as_ref().expect("just adopted").1);
-    }
-    match root_assessment.lower_bound {
-        None => {
-            stats.pruned_infeasible += 1;
-            if obs::enabled() {
-                obs::emit(with_worker(
-                    obs::Event::new("bnb.prune")
-                        .with("reason", "infeasible")
-                        .with("depth", 0usize),
-                    root_worker,
-                ));
+/// [`run_search`] with an explicit start state and an optional checkpoint
+/// policy. Checkpoints (and the cooperative interrupt check) happen only
+/// at loop boundaries — between expansions — which is exactly where the
+/// deterministic-replay state is consistent for serial and parallel
+/// sources alike.
+pub(crate) fn run_search_from<S: AssessmentSource>(
+    source: &mut S,
+    start_state: SearchStart,
+    config: &BnbConfig,
+    seed: Option<(Vec<f64>, f64)>,
+    ckpt: Option<&CheckpointPolicy>,
+) -> BnbOutcome {
+    let start = Instant::now();
+    let mut stats;
+    let mut incumbent: Option<(Vec<f64>, f64)>;
+    let mut heap: BinaryHeap<HeapNode> = BinaryHeap::new();
+    let mut next_seq: u64 = 0;
+    let mut elapsed_offset = Duration::ZERO;
+
+    match start_state {
+        SearchStart::Root(root) => {
+            stats = BnbStats::default();
+            incumbent = seed;
+            if let Some((_, cost)) = &incumbent {
+                source.publish_incumbent(*cost);
+                if obs::enabled() {
+                    // The seed is the zeroth incumbent: tracing it gives the
+                    // gap trajectory its starting point even when no node
+                    // improves it.
+                    obs::emit(
+                        obs::Event::new("bnb.incumbent")
+                            .with("cost", *cost)
+                            .with("update", 0usize)
+                            .with("seed", true),
+                    );
+                }
             }
-            let certified = stats.degradation.is_clean();
-            return publish_outcome(BnbOutcome {
-                incumbent,
-                best_lower_bound: f64::INFINITY,
-                certified,
-                stats,
-                elapsed: start.elapsed(),
-            });
+
+            let (root_raw, root_worker) = source.assess_next(&root);
+            let root_assessment = sanitize(root_raw, &mut stats);
+            stats.nodes_assessed += 1;
+            if adopt_candidate(&mut incumbent, root_assessment.candidate, &mut stats, root_worker) {
+                source.publish_incumbent(incumbent.as_ref().expect("just adopted").1);
+            }
+            match root_assessment.lower_bound {
+                None => {
+                    stats.pruned_infeasible += 1;
+                    if obs::enabled() {
+                        obs::emit(with_worker(
+                            obs::Event::new("bnb.prune")
+                                .with("reason", "infeasible")
+                                .with("depth", 0usize),
+                            root_worker,
+                        ));
+                    }
+                    let certified = stats.degradation.is_clean();
+                    return publish_outcome(BnbOutcome {
+                        incumbent,
+                        best_lower_bound: f64::INFINITY,
+                        certified,
+                        stats,
+                        elapsed: start.elapsed(),
+                        interrupted: false,
+                    });
+                }
+                Some(lb) => {
+                    let seq = next_seq;
+                    next_seq += 1;
+                    heap.push(HeapNode {
+                        lower_bound: lb,
+                        node: root,
+                        order: config.search_order,
+                        seq,
+                    });
+                }
+            }
         }
-        Some(lb) => heap.push(HeapNode {
-            lower_bound: lb,
-            node: root,
-            order: config.search_order,
-        }),
+        SearchStart::Resumed(snapshot) => {
+            stats = snapshot.stats;
+            incumbent = snapshot.incumbent;
+            next_seq = snapshot.next_seq;
+            elapsed_offset = Duration::from_micros(snapshot.elapsed_us);
+            for entry in snapshot.frontier {
+                heap.push(HeapNode {
+                    lower_bound: entry.lower_bound,
+                    node: entry.node,
+                    order: config.search_order,
+                    seq: entry.seq,
+                });
+            }
+            if let Some((_, cost)) = &incumbent {
+                source.publish_incumbent(*cost);
+            }
+        }
     }
     source.after_expansion(&heap);
 
+    let mut driver = ckpt.map(CheckpointDriver::new);
     let mut certified = true;
-    while let Some(HeapNode { lower_bound, node, .. }) = heap.pop() {
+    let mut interrupted = false;
+    loop {
+        if let Some(driver) = driver.as_mut() {
+            if driver.interrupted() {
+                let snapshot = snapshot_state(
+                    &heap,
+                    &stats,
+                    &incumbent,
+                    next_seq,
+                    start.elapsed() + elapsed_offset,
+                    config.search_order,
+                );
+                driver.write(&snapshot);
+                certified = false;
+                interrupted = true;
+                break;
+            }
+            if driver.due(&stats) {
+                let snapshot = snapshot_state(
+                    &heap,
+                    &stats,
+                    &incumbent,
+                    next_seq,
+                    start.elapsed() + elapsed_offset,
+                    config.search_order,
+                );
+                driver.write(&snapshot);
+            }
+        }
+        let Some(HeapNode { lower_bound, node, seq, .. }) = heap.pop() else {
+            break;
+        };
         // Global optimality test against the incumbent. Under best-first
         // ordering the popped bound is the global minimum over open boxes;
         // under depth-first it is not, so the gap is checked against the
@@ -553,26 +690,31 @@ pub(crate) fn run_search<S: AssessmentSource>(
                     best_lower_bound: frontier_bound,
                     certified,
                     stats,
-                    elapsed: start.elapsed(),
+                    elapsed: start.elapsed() + elapsed_offset,
+                    interrupted: false,
                 });
             }
         }
         if stats.nodes_assessed >= config.max_nodes {
             certified = false;
+            // Push-back reuses the popped seq so the budget cutoff leaves
+            // the heap exactly as it was before the pop.
             heap.push(HeapNode {
                 lower_bound,
                 node,
                 order: config.search_order,
+                seq,
             });
             break;
         }
         if let Some(budget) = config.time_budget {
-            if start.elapsed() >= budget {
+            if start.elapsed() + elapsed_offset >= budget {
                 certified = false;
                 heap.push(HeapNode {
                     lower_bound,
                     node,
                     order: config.search_order,
+                    seq,
                 });
                 break;
             }
@@ -648,10 +790,13 @@ pub(crate) fn run_search<S: AssessmentSource>(
                             ));
                         }
                     } else {
+                        let child_seq = next_seq;
+                        next_seq += 1;
                         heap.push(HeapNode {
                             lower_bound: lb,
                             node: child,
                             order: config.search_order,
+                            seq: child_seq,
                         });
                     }
                 }
@@ -674,7 +819,8 @@ pub(crate) fn run_search<S: AssessmentSource>(
         best_lower_bound,
         certified,
         stats,
-        elapsed: start.elapsed(),
+        elapsed: start.elapsed() + elapsed_offset,
+        interrupted,
     })
 }
 

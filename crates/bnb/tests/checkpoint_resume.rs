@@ -1,0 +1,327 @@
+//! Crash-safe checkpointing: resuming a search from any snapshot, at any
+//! interrupt point, with any thread count on either side of the interruption,
+//! must produce a `BnbOutcome` bit-identical to the uninterrupted solve —
+//! same weights, same cost bits, same bound bits, same certificate, same
+//! statistics.
+//!
+//! These are property tests driven by a hand-rolled deterministic PRNG (no
+//! external dependency) so the sweep over problems × interrupt points ×
+//! thread counts is reproducible byte-for-byte.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use ldafp_bnb::{
+    snapshot_fingerprint, solve_parallel, solve_parallel_checkpointed, BnbConfig, BnbOutcome,
+    BoxNode, CheckpointPolicy, NodeAssessment, SharedBoundingProblem,
+};
+
+/// xorshift64* — deterministic test-case generator.
+struct Prng(u64);
+
+impl Prng {
+    fn new(seed: u64) -> Self {
+        Prng(seed.wrapping_mul(2685821657736338717).wrapping_add(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(2685821657736338717)
+    }
+
+    /// Uniform in `[0, n)`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// Uniform-ish in `[-3, 3]` with plenty of non-representable values.
+    fn coord(&mut self) -> f64 {
+        (self.below(6001) as f64) / 1000.0 - 3.0
+    }
+}
+
+/// Minimize Σ (xᵢ − cᵢ)² over integer grid points inside the box.
+#[derive(Clone)]
+struct GridQuadratic {
+    target: Vec<f64>,
+}
+
+impl GridQuadratic {
+    fn cost(&self, x: &[f64]) -> f64 {
+        x.iter()
+            .zip(&self.target)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+
+    fn assess_box(&self, node: &BoxNode) -> NodeAssessment {
+        let proj: Vec<f64> = self
+            .target
+            .iter()
+            .zip(node.lower.iter().zip(&node.upper))
+            .map(|(&t, (&l, &u))| t.clamp(l, u))
+            .collect();
+        let lb = self.cost(&proj);
+        let mut cand = Vec::with_capacity(self.target.len());
+        for ((&t, &l), &u) in self.target.iter().zip(&node.lower).zip(&node.upper) {
+            let lo = l.ceil();
+            let hi = u.floor();
+            if lo > hi {
+                return if node.max_width() < 1.0 {
+                    NodeAssessment::infeasible()
+                } else {
+                    NodeAssessment::feasible(lb, None)
+                };
+            }
+            cand.push(t.round().clamp(lo, hi));
+        }
+        let c = self.cost(&cand);
+        NodeAssessment::feasible(lb, Some((cand, c)))
+    }
+}
+
+impl SharedBoundingProblem for GridQuadratic {
+    fn assess_node(&self, node: &BoxNode, _index: usize) -> NodeAssessment {
+        self.assess_box(node)
+    }
+
+    fn is_terminal(&self, node: &BoxNode) -> bool {
+        node.max_width() <= 1.0
+    }
+}
+
+/// Wrapper that raises the cooperative-interrupt flag after `limit` node
+/// assessments, emulating a SIGINT landing at an arbitrary point mid-solve.
+struct InterruptAfter {
+    inner: GridQuadratic,
+    calls: AtomicUsize,
+    limit: usize,
+    flag: Arc<AtomicBool>,
+}
+
+impl SharedBoundingProblem for InterruptAfter {
+    fn assess_node(&self, node: &BoxNode, index: usize) -> NodeAssessment {
+        let n = self.calls.fetch_add(1, Ordering::SeqCst) + 1;
+        if n >= self.limit {
+            self.flag.store(true, Ordering::SeqCst);
+        }
+        self.inner.assess_node(node, index)
+    }
+
+    fn is_terminal(&self, node: &BoxNode) -> bool {
+        self.inner.is_terminal(node)
+    }
+}
+
+static DIR_COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+fn scratch_path(tag: &str) -> PathBuf {
+    let n = DIR_COUNTER.fetch_add(1, Ordering::SeqCst);
+    let dir = std::env::temp_dir().join(format!(
+        "ldafp-ckpt-test-{}-{tag}-{n}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir.join("search.ckpt")
+}
+
+fn assert_bit_identical(expected: &BnbOutcome, got: &BnbOutcome, label: &str) {
+    match (&expected.incumbent, &got.incumbent) {
+        (None, None) => {}
+        (Some((ex, ec)), Some((gx, gc))) => {
+            assert_eq!(ex.len(), gx.len(), "{label}: weight dimension differs");
+            for (i, (a, b)) in ex.iter().zip(gx).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{label}: weight[{i}] bits differ ({a} vs {b})"
+                );
+            }
+            assert_eq!(
+                ec.to_bits(),
+                gc.to_bits(),
+                "{label}: incumbent cost bits differ ({ec} vs {gc})"
+            );
+        }
+        (e, g) => panic!("{label}: incumbent presence differs ({e:?} vs {g:?})"),
+    }
+    assert_eq!(
+        expected.best_lower_bound.to_bits(),
+        got.best_lower_bound.to_bits(),
+        "{label}: lower bound bits differ"
+    );
+    assert_eq!(expected.certified, got.certified, "{label}: certificate differs");
+    assert_eq!(expected.stats, got.stats, "{label}: stats differ");
+    assert!(!got.interrupted, "{label}: final outcome still interrupted");
+}
+
+fn random_problem(rng: &mut Prng) -> (GridQuadratic, BoxNode, BnbConfig) {
+    let dim = 1 + rng.below(3) as usize;
+    let target: Vec<f64> = (0..dim).map(|_| rng.coord()).collect();
+    let problem = GridQuadratic { target };
+    let root = BoxNode::new(vec![-4.0; dim], vec![4.0; dim]).unwrap();
+    let config = BnbConfig::default();
+    (problem, root, config)
+}
+
+/// The tentpole property: random problems, random interrupt points (possibly
+/// several in a row), random thread counts on every leg — the final resumed
+/// outcome is bit-identical to the uninterrupted solve, and the snapshot file
+/// is cleaned up once the solve completes.
+#[test]
+fn resume_is_bit_identical_across_interrupts_and_threads() {
+    for case in 0..12u64 {
+        let mut rng = Prng::new(0xC0FFEE ^ case);
+        let (problem, root, config) = random_problem(&mut rng);
+        let baseline_threads = 1 + rng.below(3) as usize;
+        let baseline = solve_parallel(&problem, root.clone(), &config, baseline_threads);
+        let total_nodes = baseline.stats.nodes_assessed.max(1);
+
+        let path = scratch_path("prop");
+        let fingerprint = snapshot_fingerprint(format!("case-{case}").as_bytes());
+        let rounds = 1 + rng.below(3);
+        let mut finished: Option<BnbOutcome> = None;
+        for round in 0..=rounds {
+            let last = round == rounds;
+            let flag = Arc::new(AtomicBool::new(false));
+            let every = 1 + rng.below(8) as usize;
+            let mut policy = CheckpointPolicy::every_nodes(path.clone(), every, fingerprint);
+            let wrapped = InterruptAfter {
+                inner: problem.clone(),
+                calls: AtomicUsize::new(0),
+                // Interrupt somewhere inside the remaining work; the final
+                // round never interrupts and must run to completion.
+                limit: if last {
+                    usize::MAX
+                } else {
+                    1 + rng.below(total_nodes as u64) as usize
+                },
+                flag: flag.clone(),
+            };
+            if !last {
+                policy = policy.with_interrupt(flag.clone());
+            }
+            let threads = 1 + rng.below(3) as usize;
+            let outcome =
+                solve_parallel_checkpointed(&wrapped, root.clone(), &config, None, threads, &policy);
+            if last {
+                finished = Some(outcome);
+            } else if outcome.interrupted {
+                assert!(
+                    path.exists(),
+                    "case {case} round {round}: interrupted run left no snapshot"
+                );
+            } else {
+                // The interrupt landed after the search finished; the solve
+                // completed normally and already matches the baseline.
+                assert_bit_identical(&baseline, &outcome, &format!("case {case} early-finish"));
+                finished = Some(outcome);
+                break;
+            }
+        }
+
+        let finished = finished.expect("final round always completes");
+        assert_bit_identical(&baseline, &finished, &format!("case {case}"));
+        assert!(
+            !path.exists(),
+            "case {case}: completed solve must remove its snapshot"
+        );
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+}
+
+/// A corrupt, truncated, or wrong-problem snapshot must degrade to a clean
+/// cold start that still matches the uninterrupted solve — never a panic.
+#[test]
+fn corrupt_or_foreign_snapshots_cold_start_identically() {
+    let mut rng = Prng::new(0xBAD5EED);
+    let (problem, root, config) = random_problem(&mut rng);
+    let baseline = solve_parallel(&problem, root.clone(), &config, 2);
+    let fingerprint = snapshot_fingerprint(b"cold-start-case");
+
+    let run = |path: &PathBuf| {
+        let policy = CheckpointPolicy::every_nodes(path.clone(), 4, fingerprint);
+        solve_parallel_checkpointed(&problem, root.clone(), &config, None, 2, &policy)
+    };
+
+    // Garbage bytes in place of a snapshot.
+    let path = scratch_path("garbage");
+    std::fs::write(&path, b"not a snapshot at all").unwrap();
+    assert_bit_identical(&baseline, &run(&path), "garbage snapshot");
+
+    // A valid snapshot truncated mid-payload.
+    let path2 = scratch_path("trunc");
+    let flag = Arc::new(AtomicBool::new(false));
+    let wrapped = InterruptAfter {
+        inner: problem.clone(),
+        calls: AtomicUsize::new(0),
+        limit: 2,
+        flag: flag.clone(),
+    };
+    let policy = CheckpointPolicy::every_nodes(path2.clone(), 1, fingerprint).with_interrupt(flag);
+    let interrupted =
+        solve_parallel_checkpointed(&wrapped, root.clone(), &config, None, 1, &policy);
+    assert!(interrupted.interrupted, "setup: expected an interrupted run");
+    let bytes = std::fs::read(&path2).unwrap();
+    std::fs::write(&path2, &bytes[..bytes.len() / 2]).unwrap();
+    assert_bit_identical(&baseline, &run(&path2), "truncated snapshot");
+
+    // A healthy snapshot for a *different* problem (fingerprint mismatch).
+    let path3 = scratch_path("foreign");
+    let flag = Arc::new(AtomicBool::new(false));
+    let wrapped = InterruptAfter {
+        inner: problem.clone(),
+        calls: AtomicUsize::new(0),
+        limit: 2,
+        flag: flag.clone(),
+    };
+    let other_fp = snapshot_fingerprint(b"some-other-problem");
+    let policy = CheckpointPolicy::every_nodes(path3.clone(), 1, other_fp).with_interrupt(flag);
+    let interrupted =
+        solve_parallel_checkpointed(&wrapped, root.clone(), &config, None, 1, &policy);
+    assert!(interrupted.interrupted, "setup: expected an interrupted run");
+    assert_bit_identical(&baseline, &run(&path3), "foreign snapshot");
+
+    for p in [&path, &path2, &path3] {
+        let _ = std::fs::remove_dir_all(p.parent().unwrap());
+    }
+}
+
+/// Serial ↔ parallel hand-off: a snapshot written by a single-threaded solve
+/// resumes bit-identically on a multi-threaded pool, and vice versa.
+#[test]
+fn snapshots_are_portable_across_thread_counts() {
+    for (a, b) in [(1usize, 3usize), (3, 1), (2, 2)] {
+        let mut rng = Prng::new(0x5EED ^ ((a as u64) << 8) ^ b as u64);
+        let (problem, root, config) = random_problem(&mut rng);
+        let baseline = solve_parallel(&problem, root.clone(), &config, 1);
+        let total = baseline.stats.nodes_assessed.max(2);
+
+        let path = scratch_path("portable");
+        let fingerprint = snapshot_fingerprint(b"portable-case");
+        let flag = Arc::new(AtomicBool::new(false));
+        let wrapped = InterruptAfter {
+            inner: problem.clone(),
+            calls: AtomicUsize::new(0),
+            limit: total / 2,
+            flag: flag.clone(),
+        };
+        let policy =
+            CheckpointPolicy::every_nodes(path.clone(), 2, fingerprint).with_interrupt(flag);
+        let first = solve_parallel_checkpointed(&wrapped, root.clone(), &config, None, a, &policy);
+
+        let resumed = if first.interrupted {
+            let policy = CheckpointPolicy::every_nodes(path.clone(), 2, fingerprint);
+            solve_parallel_checkpointed(&problem, root.clone(), &config, None, b, &policy)
+        } else {
+            first
+        };
+        assert_bit_identical(&baseline, &resumed, &format!("threads {a}->{b}"));
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+}

@@ -146,10 +146,18 @@ pub fn degradation_summary(d: &DegradationStats) -> Option<String> {
     Some(line)
 }
 
+/// The checkpoint/resume event vocabulary the durability layer emits; a
+/// `checkpoint.*` or `resume.*` event outside this set is a typo or a
+/// version skew between the tracer and this validator, and fails the check.
+const CHECKPOINT_EVENTS: &[&str] = &["checkpoint.write", "checkpoint.load"];
+const RESUME_EVENTS: &[&str] = &["resume.loaded", "resume.cold_start", "resume.skipped"];
+
 /// `ldafp trace-check --input <ndjson>` — validates a `--trace` capture
 /// line by line: every line must parse as a JSON object with a string
-/// `event` and numeric `t_us`. Reports a per-event-name tally, so CI can
-/// assert that the expected instrumentation points actually fired.
+/// `event` and numeric `t_us`, and events in the `checkpoint.*` /
+/// `resume.*` families must use the known durability vocabulary. Reports a
+/// per-event-name tally plus family subtotals, so CI can assert that the
+/// expected instrumentation points actually fired.
 ///
 /// # Errors
 ///
@@ -173,7 +181,19 @@ pub fn trace_check(text: &str) -> Result<String> {
                 let has_time = value.get("t_us").and_then(ldafp_serve::json::Value::as_f64);
                 match (name, has_time) {
                     (Some(name), Some(_)) => {
-                        *tally.entry(name.to_string()).or_insert(0) += 1;
+                        let unknown_family_member = (name.starts_with("checkpoint.")
+                            && !CHECKPOINT_EVENTS.contains(&name))
+                            || (name.starts_with("resume.") && !RESUME_EVENTS.contains(&name));
+                        if unknown_family_member {
+                            bad.push(format!(
+                                "line {lineno}: unknown checkpoint/resume event `{name}` \
+                                 (known: {}, {})",
+                                CHECKPOINT_EVENTS.join(", "),
+                                RESUME_EVENTS.join(", ")
+                            ));
+                        } else {
+                            *tally.entry(name.to_string()).or_insert(0) += 1;
+                        }
                     }
                     (None, _) => bad.push(format!("line {lineno}: missing string `event` key")),
                     (_, None) => bad.push(format!("line {lineno}: missing numeric `t_us` key")),
@@ -192,6 +212,16 @@ pub fn trace_check(text: &str) -> Result<String> {
     let mut out = format!("trace ok: {total} event line(s)\n");
     for (name, count) in &tally {
         out.push_str(&format!("  {name:<20} {count}\n"));
+    }
+    for (family, prefix) in [("checkpoint.*", "checkpoint."), ("resume.*", "resume.")] {
+        let count: usize = tally
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .map(|(_, n)| n)
+            .sum();
+        if count > 0 {
+            out.push_str(&format!("  {family:<20} {count} (family total)\n"));
+        }
     }
     Ok(out)
 }
@@ -462,6 +492,7 @@ pub fn wordlength(args: &ParsedArgs, csv_text: &str) -> Result<String> {
         warm_start: true,
         cache_dir: None,
         trainer: cfg,
+        ..ExploreConfig::default()
     })
     .run(&data, &data, &grid)
     .map_err(|e| CliError(e.to_string()))?;
@@ -527,21 +558,37 @@ no word length in {}..={} reaches {:.2}% error
 /// `ldafp explore [--data <csv>] [--holdout f] [--min-bits n] [--max-bits n]
 /// [--k n] [--rho p[,p...]] [--rounding mode[,mode...]] [--threads n]
 /// [--budget-secs n] [--cache-dir dir] [--no-cache is implied without
-/// --cache-dir] [--cold] [--json report.json] [--quick]` — sweeps the
-/// design space, reports every point plus the (error, power) Pareto
-/// frontier as Markdown, and optionally writes the JSON report.
+/// --cache-dir] [--cold] [--json report.json] [--quick] [--resume dir]
+/// [--checkpoint-nodes n] [--pareto report.md]` — sweeps the design
+/// space, reports every point plus the (error, power) Pareto frontier as
+/// Markdown, and optionally writes the JSON report.
 ///
 /// Without `--data` the sweep runs on the deterministic demo2d
 /// rounding-sensitive workload, so `ldafp explore` works out of the box.
 ///
+/// `--resume <dir>` makes the sweep crash-safe: the directory holds a
+/// durable journal, per-point branch-and-bound checkpoints (snapshotted
+/// every `--checkpoint-nodes` nodes, default 256), and — unless
+/// `--cache-dir` overrides it — the result cache at `<dir>/cache`.
+/// Re-running the identical command after a crash or ^C skips completed
+/// points via the cache and continues in-flight solves from their
+/// snapshots, bit-identically. `--pareto <file>` writes the deterministic
+/// frontier report (no timings or cache flags) that resumed and
+/// uninterrupted runs render byte-identically.
+///
 /// Returns the report and an exit code from the training-outcome
 /// contract, keyed by the most accurate frontier point: `0` certified,
-/// `2` budget-exhausted/degraded, `3` fallback or an empty frontier.
+/// `2` budget-exhausted/degraded, `3` fallback or an empty frontier,
+/// `4` interrupted by SIGINT with checkpoints flushed (resumable).
 ///
 /// # Errors
 ///
 /// Propagates CSV, argument, grid and cache-directory failures.
-pub fn explore(args: &ParsedArgs, csv_text: Option<&str>) -> Result<(String, u8)> {
+pub fn explore(
+    args: &ParsedArgs,
+    csv_text: Option<&str>,
+    interrupt: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+) -> Result<(String, u8)> {
     use ldafp_explore::grid::rounding_from_name;
     use ldafp_explore::{
         holdout_split, json_report, markdown_report, ExploreConfig, ExploreGrid, Explorer,
@@ -610,22 +657,49 @@ pub fn explore(args: &ParsedArgs, csv_text: Option<&str>) -> Result<(String, u8)
     }
     apply_recovery_args(args, &mut trainer)?;
 
+    let state_dir = args.get("resume").map(std::path::PathBuf::from);
     let cache_dir = if args.has_flag("no-cache") {
+        if state_dir.is_some() {
+            // --resume skips completed points through the cache; without it
+            // a resumed sweep would re-solve everything already finished.
+            return Err(CliError(
+                "--resume needs the result cache; drop --no-cache".to_string(),
+            ));
+        }
         None
     } else {
-        args.get("cache-dir").map(std::path::PathBuf::from)
+        args.get("cache-dir")
+            .map(std::path::PathBuf::from)
+            .or_else(|| state_dir.as_ref().map(|d| d.join("cache")))
     };
-    let summary = Explorer::new(ExploreConfig {
+    let summary = match Explorer::new(ExploreConfig {
         threads: args.get_parsed("threads", 0usize)?,
         warm_start: !args.has_flag("cold"),
         cache_dir,
         trainer,
+        state_dir,
+        checkpoint_nodes: args.get_parsed("checkpoint-nodes", 256usize)?,
+        interrupt,
     })
     .run(&train, &validation, &grid)
-    .map_err(|e| CliError(e.to_string()))?;
+    {
+        Ok(summary) => summary,
+        Err(ldafp_explore::ExploreError::Interrupted) => {
+            return Ok((
+                "sweep interrupted; checkpoints flushed — re-run with the same \
+                 --resume directory to continue\n"
+                    .to_string(),
+                4,
+            ));
+        }
+        Err(e) => return Err(CliError(e.to_string())),
+    };
 
     if let Some(path) = args.get("json") {
         std::fs::write(path, json_report(&summary).to_pretty_string())?;
+    }
+    if let Some(path) = args.get("pareto") {
+        std::fs::write(path, ldafp_explore::pareto_report(&summary))?;
     }
 
     // Exit-code contract, keyed by the frontier's most accurate point.
@@ -674,7 +748,7 @@ mod tests {
                 "data", "bits", "k", "rho", "budget-secs", "max-solver-retries", "module",
                 "model", "out", "target", "min-bits", "max-bits", "save-model", "input",
                 "addr", "threads", "solver-threads", "holdout", "rounding", "cache-dir",
-                "json", "trace",
+                "json", "trace", "resume", "pareto", "checkpoint-nodes",
             ],
             &["baseline", "quick", "testbench", "cold", "no-cache", "metrics-summary"],
         )
@@ -953,6 +1027,7 @@ mod tests {
         let (report, code) = explore(
             &parsed(&["--min-bits", "3", "--max-bits", "5", "--quick", "--threads", "1"]),
             Some(&easy_csv()),
+            None,
         )
         .unwrap();
         assert!(report.contains("Pareto frontier"), "{report}");
@@ -980,7 +1055,7 @@ mod tests {
             "--json",
             json_path.to_str().unwrap(),
         ];
-        let (report, _) = explore(&parsed(&args), None).unwrap();
+        let (report, _) = explore(&parsed(&args), None, None).unwrap();
         assert!(report.contains("design-space exploration"), "{report}");
         assert!(cache.is_dir(), "cache directory must be created");
         let json_text = std::fs::read_to_string(&json_path).unwrap();
@@ -991,7 +1066,7 @@ mod tests {
         );
 
         // Second run over the same grid hits the cache for every point.
-        let (report2, _) = explore(&parsed(&args), None).unwrap();
+        let (report2, _) = explore(&parsed(&args), None, None).unwrap();
         let points = parsed_json
             .get("points")
             .and_then(ldafp_serve::json::Value::as_i64)
@@ -1004,9 +1079,104 @@ mod tests {
 
     #[test]
     fn explore_rejects_bad_rounding_and_holdout() {
-        let err = explore(&parsed(&["--rounding", "sideways"]), Some(&easy_csv())).unwrap_err();
+        let err =
+            explore(&parsed(&["--rounding", "sideways"]), Some(&easy_csv()), None).unwrap_err();
         assert!(err.0.contains("--rounding"), "{}", err.0);
-        let err = explore(&parsed(&["--holdout", "2.0"]), Some(&easy_csv())).unwrap_err();
+        let err = explore(&parsed(&["--holdout", "2.0"]), Some(&easy_csv()), None).unwrap_err();
         assert!(err.0.contains("holdout"), "{}", err.0);
+        let err = explore(
+            &parsed(&["--resume", "/tmp/x", "--no-cache"]),
+            Some(&easy_csv()),
+            None,
+        )
+        .unwrap_err();
+        assert!(err.0.contains("--resume"), "{}", err.0);
+    }
+
+    #[test]
+    fn explore_resume_writes_state_and_deterministic_pareto() {
+        let dir = std::env::temp_dir().join(format!(
+            "ldafp-cli-explore-resume-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let state = dir.join("state");
+        let pareto_a = dir.join("a.md");
+        let pareto_b = dir.join("b.md");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = [
+            "--min-bits",
+            "3",
+            "--max-bits",
+            "4",
+            "--quick",
+            "--threads",
+            "1",
+            "--resume",
+            state.to_str().unwrap(),
+        ];
+        let mut args_a: Vec<&str> = base.to_vec();
+        args_a.extend(["--pareto", pareto_a.to_str().unwrap()]);
+        let (_, code) = explore(&parsed(&args_a), Some(&easy_csv()), None).unwrap();
+        assert!(code == 0 || code == 2, "unexpected exit code {code}");
+        assert!(
+            state.join(ldafp_explore::JOURNAL_FILE).is_file(),
+            "resume dir must hold the sweep journal"
+        );
+        assert!(
+            state.join("cache").is_dir(),
+            "--resume defaults the cache under the state dir"
+        );
+
+        // A second identical run is a resume: all cache hits, and the
+        // deterministic Pareto report must come out byte-identical.
+        let mut args_b: Vec<&str> = base.to_vec();
+        args_b.extend(["--pareto", pareto_b.to_str().unwrap()]);
+        let (report2, _) = explore(&parsed(&args_b), Some(&easy_csv()), None).unwrap();
+        assert!(report2.contains("cache hit(s)"), "{report2}");
+        assert_eq!(
+            std::fs::read(&pareto_a).unwrap(),
+            std::fs::read(&pareto_b).unwrap(),
+            "pareto report must be byte-identical across resume"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn explore_interrupt_flag_yields_resumable_exit_code() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        // A pre-tripped flag: workers stop before claiming any point.
+        let flag = Arc::new(AtomicBool::new(true));
+        let (msg, code) = explore(
+            &parsed(&["--min-bits", "3", "--max-bits", "4", "--quick", "--threads", "1"]),
+            Some(&easy_csv()),
+            Some(flag),
+        )
+        .unwrap();
+        assert_eq!(code, 4, "interrupted sweeps exit with the resumable code");
+        assert!(msg.contains("interrupted"), "{msg}");
+    }
+
+    #[test]
+    fn trace_check_validates_checkpoint_and_resume_families() {
+        let good = "{\"event\":\"checkpoint.write\",\"t_us\":1}\n\
+                    {\"event\":\"checkpoint.write\",\"t_us\":2}\n\
+                    {\"event\":\"resume.loaded\",\"t_us\":3}\n\
+                    {\"event\":\"resume.skipped\",\"t_us\":4}\n\
+                    {\"event\":\"bnb.expand\",\"t_us\":5}\n";
+        let report = trace_check(good).unwrap();
+        assert!(report.contains("trace ok: 5 event line(s)"), "{report}");
+        assert!(report.contains("checkpoint.write"), "{report}");
+        assert!(report.contains("checkpoint.*"), "{report}");
+        assert!(report.contains("resume.*"), "{report}");
+        assert!(report.contains("(family total)"), "{report}");
+
+        let err = trace_check("{\"event\":\"resume.sideways\",\"t_us\":1}\n").unwrap_err();
+        assert!(err.0.contains("unknown checkpoint/resume event"), "{}", err.0);
+        assert!(err.0.contains("resume.sideways"), "{}", err.0);
+        let err = trace_check("{\"event\":\"checkpoint.wrote\",\"t_us\":1}\n").unwrap_err();
+        assert!(err.0.contains("checkpoint.wrote"), "{}", err.0);
     }
 }

@@ -15,6 +15,7 @@
 //!                  [--k 2] [--rho 0.9,0.99] [--rounding nearest-even,floor]
 //!                  [--threads 4] [--budget-secs 30] [--cache-dir .ldafp-cache]
 //!                  [--no-cache] [--cold] [--json report.json] [--quick]
+//!                  [--resume state-dir] [--checkpoint-nodes 256] [--pareto report.md]
 //! ldafp demo       [--bits 6]
 //! ldafp trace-check --input trace.ndjson
 //! ```
@@ -31,7 +32,9 @@
 //! Exit codes: `0` success (for `train`: certified optimum), `1` hard
 //! error, `2` training finished but degraded or budget-exhausted (the
 //! model is usable, the optimality proof is not), `3` training deployed
-//! the rounded float-LDA fallback because the search found no incumbent.
+//! the rounded float-LDA fallback because the search found no incumbent,
+//! `4` the sweep was interrupted (SIGINT) with all checkpoints flushed —
+//! re-run with the same `--resume <dir>` to continue losslessly.
 
 use ldafp_cli::args::ParsedArgs;
 use ldafp_cli::{commands, CliError};
@@ -54,7 +57,10 @@ commands:
   explore     [--data <csv>] [--holdout f] [--min-bits n] [--max-bits n] [--k n]
               [--rho p,...] [--rounding mode,...] [--threads n] [--solver-threads n]
               [--budget-secs n] [--cache-dir dir] [--no-cache] [--cold]
-              [--json report.json] [--quick]
+              [--json report.json] [--quick] [--resume dir]
+              [--checkpoint-nodes n] [--pareto report.md]
+              (^C interrupts cooperatively: checkpoints flush, exit code 4,
+               re-running with the same --resume dir continues losslessly)
   demo        [--bits n]
   trace-check --input <trace.ndjson>
 
@@ -85,7 +91,7 @@ fn run() -> ldafp_cli::Result<(String, u8)> {
             "data", "bits", "k", "rho", "budget-secs", "max-solver-retries", "module",
             "model", "out", "target", "min-bits", "max-bits", "save-model", "input",
             "addr", "threads", "solver-threads", "holdout", "rounding", "cache-dir",
-            "json", "trace",
+            "json", "trace", "resume", "pareto", "checkpoint-nodes",
         ],
         &["baseline", "quick", "testbench", "cold", "no-cache", "metrics-summary"],
     )?;
@@ -184,7 +190,12 @@ fn run() -> ldafp_cli::Result<(String, u8)> {
                 Some(path) => Some(std::fs::read_to_string(path)?),
                 None => None,
             };
-            let (report, explore_code) = commands::explore(&args, csv_text.as_deref())?;
+            // Cooperative SIGINT: the first ^C raises a flag that the sweep
+            // polls at safe boundaries — in-flight solves flush a final
+            // checkpoint and the command exits with code 4 (resumable).
+            let interrupt = sigint::install();
+            let (report, explore_code) =
+                commands::explore(&args, csv_text.as_deref(), Some(interrupt))?;
             code = explore_code;
             report
         }
@@ -228,4 +239,56 @@ fn read_required_for(args: &ParsedArgs, cmd: &str, key: &str) -> ldafp_cli::Resu
         ))
     })?;
     Ok(std::fs::read_to_string(path)?)
+}
+
+/// Cooperative SIGINT handling for long sweeps.
+///
+/// The handler only flips an `AtomicBool` (async-signal-safe); the sweep
+/// polls it at point boundaries and inside the branch-and-bound coordinator
+/// loop, flushes a final checkpoint, and unwinds with exit code 4. A second
+/// ^C while the flush is still running behaves like the first — the flag is
+/// already set — so the default disposition is never restored and the
+/// process always exits through the resumable path.
+#[cfg(unix)]
+mod sigint {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::{Arc, OnceLock};
+
+    static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+    extern "C" fn on_sigint(_signum: i32) {
+        if let Some(flag) = FLAG.get() {
+            flag.store(true, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+
+    /// Installs the handler (idempotent) and returns the shared flag.
+    pub fn install() -> Arc<AtomicBool> {
+        let flag = Arc::clone(FLAG.get_or_init(|| Arc::new(AtomicBool::new(false))));
+        // SAFETY: `signal` with a function pointer whose body is a lone
+        // relaxed/SeqCst atomic store is async-signal-safe; no allocation,
+        // locking or FFI state is touched inside the handler.
+        unsafe {
+            signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+        }
+        flag
+    }
+}
+
+/// Non-unix fallback: no handler is installed; ^C keeps its default
+/// terminate-the-process behavior and the flag simply never trips.
+#[cfg(not(unix))]
+mod sigint {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    pub fn install() -> Arc<AtomicBool> {
+        Arc::new(AtomicBool::new(false))
+    }
 }

@@ -30,6 +30,10 @@ pub enum CoreError {
     /// A fixed-point operation failed (format mismatches are programming
     /// errors surfaced as errors, never silently re-aligned).
     FixedPoint(ldafp_fixedpoint::FixedPointError),
+    /// Training was cooperatively interrupted mid-search. The final search
+    /// snapshot was flushed to the checkpoint path, so a later call with the
+    /// same checkpoint policy resumes bit-identically; no model is returned.
+    Interrupted,
 }
 
 impl fmt::Display for CoreError {
@@ -52,6 +56,9 @@ impl fmt::Display for CoreError {
             CoreError::Solver(e) => write!(f, "solver failure: {e}"),
             CoreError::Stats(e) => write!(f, "statistics failure: {e}"),
             CoreError::FixedPoint(e) => write!(f, "fixed-point failure: {e}"),
+            CoreError::Interrupted => {
+                write!(f, "training interrupted; checkpoint flushed, resumable")
+            }
         }
     }
 }

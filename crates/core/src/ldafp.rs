@@ -2,7 +2,8 @@ use crate::{CoreError, FixedPointClassifier, LdaModel, Result, TrainingProblem};
 #[cfg(feature = "fault-injection")]
 use ldafp_bnb::{FaultKind, FaultPlan};
 use ldafp_bnb::{
-    BnbConfig, BnbStats, BoxNode, NodeAssessment, NodeDegradation, SharedBoundingProblem,
+    BnbConfig, BnbStats, BoxNode, CheckpointPolicy, NodeAssessment, NodeDegradation,
+    SharedBoundingProblem,
 };
 use ldafp_datasets::BinaryDataset;
 use ldafp_fixedpoint::{QFormat, RoundingMode};
@@ -411,6 +412,33 @@ impl LdaFpTrainer {
         format: QFormat,
         seeds: &[Vec<f64>],
     ) -> Result<LdaFpModel> {
+        self.train_seeded_checkpointed(data, format, seeds, None)
+    }
+
+    /// [`Self::train_seeded`] with crash-safe checkpointing of the
+    /// branch-and-bound search.
+    ///
+    /// With a [`CheckpointPolicy`], the search periodically snapshots its
+    /// full state to the policy's path, resumes from a valid snapshot when
+    /// one exists, and honors the policy's cooperative interrupt flag. A
+    /// resumed run replays to a model bit-identical to the uninterrupted
+    /// one **provided the same `data`, `format` and `seeds` are passed**
+    /// (the snapshot carries the search state, not the training inputs —
+    /// callers bind them together via [`ldafp_bnb::snapshot_fingerprint`]).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Self::train`], plus
+    /// [`CoreError::Interrupted`] when the cooperative interrupt flag stops
+    /// the search: the final snapshot is flushed first, so the next call
+    /// resumes where this one stopped.
+    pub fn train_seeded_checkpointed(
+        &self,
+        data: &BinaryDataset,
+        format: QFormat,
+        seeds: &[Vec<f64>],
+        ckpt: Option<&CheckpointPolicy>,
+    ) -> Result<LdaFpModel> {
         let start = Instant::now();
         let tp = TrainingProblem::from_dataset(data, format, self.config.rho, self.config.rounding)?;
         if obs::enabled() {
@@ -464,13 +492,29 @@ impl LdaFpTrainer {
             #[cfg(feature = "fault-injection")]
             fault: self.fault.clone(),
         };
-        let outcome = ldafp_bnb::solve_parallel_with_incumbent(
-            &node_problem,
-            root,
-            &self.config.bnb,
-            best.clone(),
-            self.config.resolved_solver_threads(),
-        );
+        let outcome = match ckpt {
+            Some(policy) => ldafp_bnb::solve_parallel_checkpointed(
+                &node_problem,
+                root,
+                &self.config.bnb,
+                best.clone(),
+                self.config.resolved_solver_threads(),
+                policy,
+            ),
+            None => ldafp_bnb::solve_parallel_with_incumbent(
+                &node_problem,
+                root,
+                &self.config.bnb,
+                best.clone(),
+                self.config.resolved_solver_threads(),
+            ),
+        };
+        if outcome.interrupted {
+            // The final snapshot is already on disk (flushed before the
+            // search loop exited); surface the interruption instead of a
+            // partial model.
+            return Err(CoreError::Interrupted);
+        }
         if let Some((w, _)) = outcome.incumbent.clone() {
             self.consider(&tp, &w, &mut best);
         }

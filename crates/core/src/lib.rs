@@ -66,7 +66,9 @@ pub use error::CoreError;
 // `LdaFpConfig.bnb` is part of this crate's public configuration surface;
 // re-export its types so downstream crates (explore, bench, CLI) can set
 // search order and budgets without a direct `ldafp-bnb` dependency.
-pub use ldafp_bnb::{BnbConfig, DegradationStats, SearchOrder};
+pub use ldafp_bnb::{
+    snapshot_fingerprint, BnbConfig, CheckpointPolicy, DegradationStats, SearchOrder,
+};
 pub use lda::LdaModel;
 pub use ldafp::{FormatPolicy, LdaFpConfig, LdaFpModel, LdaFpTrainer, TrainingOutcome};
 pub use problem::TrainingProblem;

@@ -181,7 +181,16 @@ impl ResultCache {
             path: path.clone(),
             detail: e.to_string(),
         };
-        fs::write(&tmp, envelope.to_pretty_string()).map_err(io_err)?;
+        // Write + fsync the temp file *before* the rename: without the
+        // fsync, a crash after the rename can surface a torn-but-renamed
+        // envelope on filesystems that reorder data behind metadata.
+        {
+            use std::io::Write as _;
+            let mut file = fs::File::create(&tmp).map_err(io_err)?;
+            file.write_all(envelope.to_pretty_string().as_bytes())
+                .map_err(io_err)?;
+            file.sync_all().map_err(io_err)?;
+        }
         fs::rename(&tmp, &path).map_err(io_err)
     }
 
@@ -278,6 +287,37 @@ mod tests {
 
         // Restored original → hit again.
         fs::write(&path, &good).unwrap();
+        assert_eq!(cache.load(&key), Some(payload));
+    }
+
+    #[test]
+    fn torn_renamed_envelope_is_a_miss_and_recoverable() {
+        // Simulates the failure the fsync-before-rename guards against: an
+        // envelope that made it past the rename with only a prefix of its
+        // bytes on disk (torn write surfaced after a crash).
+        let cache = ResultCache::open(temp_dir("torn")).unwrap();
+        let key = problem_key(11, 12, &point(), 13);
+        let payload = Value::object([("y", Value::from(42.0))]);
+        cache.store(&key, &payload).unwrap();
+
+        let path = cache.entry_path(&key);
+        let good = fs::read(&path).unwrap();
+        for cut in [1, good.len() / 4, good.len() - 2] {
+            fs::write(&path, &good[..cut]).unwrap();
+            assert!(
+                cache.load(&key).is_none(),
+                "torn envelope (cut at {cut}) must be a miss, not a crash"
+            );
+            // The miss is recoverable: a fresh store overwrites the wreck.
+            cache.store(&key, &payload).unwrap();
+            assert_eq!(cache.load(&key), Some(payload.clone()));
+        }
+
+        // A leftover temp file from a crash mid-store is inert: it is not
+        // counted as an entry and never shadows the real one.
+        let tmp = path.with_extension("json.tmp");
+        fs::write(&tmp, b"{half an envel").unwrap();
+        assert_eq!(cache.entry_count(), 1);
         assert_eq!(cache.load(&key), Some(payload));
     }
 

@@ -29,15 +29,19 @@
 use crate::cache::{config_digest, dataset_digest, problem_key, ResultCache};
 use crate::error::ExploreError;
 use crate::grid::{are_neighbors, rounding_from_name, rounding_name, DesignPoint, ExploreGrid};
+use crate::journal::SweepJournal;
 use crate::pareto::pareto_frontier;
 use crate::Result;
-use ldafp_core::{eval, LdaFpConfig, LdaFpTrainer};
+use ldafp_core::{
+    eval, snapshot_fingerprint, CheckpointPolicy, CoreError, LdaFpConfig, LdaFpTrainer,
+};
 use ldafp_datasets::BinaryDataset;
 use ldafp_hwmodel::power::MacPowerModel;
 use ldafp_obs as obs;
 use ldafp_serve::json::Value;
 use std::collections::VecDeque;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -51,6 +55,18 @@ pub struct ExploreConfig {
     pub warm_start: bool,
     /// Persistent result cache directory (`None` = no caching).
     pub cache_dir: Option<PathBuf>,
+    /// Durable sweep state directory — the fsync'd journal plus per-point
+    /// branch-and-bound checkpoints live here. `None` disables
+    /// checkpointing and resume.
+    pub state_dir: Option<PathBuf>,
+    /// Snapshot an in-flight search every this many assessed nodes (only
+    /// meaningful with `state_dir`; `0` keeps just the final flush that a
+    /// cooperative interrupt forces).
+    pub checkpoint_nodes: usize,
+    /// Cooperative interrupt flag. When set, workers stop claiming points,
+    /// the in-flight solves flush a final checkpoint, and
+    /// [`Explorer::run`] returns [`ExploreError::Interrupted`].
+    pub interrupt: Option<Arc<AtomicBool>>,
     /// Trainer configuration; its `rho` and `rounding` are overridden per
     /// design point.
     pub trainer: LdaFpConfig,
@@ -62,6 +78,9 @@ impl Default for ExploreConfig {
             threads: 0,
             warm_start: true,
             cache_dir: None,
+            state_dir: None,
+            checkpoint_nodes: 256,
+            interrupt: None,
             trainer: LdaFpConfig::fast(),
         }
     }
@@ -292,6 +311,7 @@ struct SweepMetrics {
     cache_misses: Arc<obs::Counter>,
     warm_seeded: Arc<obs::Counter>,
     failures: Arc<obs::Counter>,
+    resume_skipped: Arc<obs::Counter>,
     point_us: Arc<obs::Histogram>,
 }
 
@@ -305,6 +325,7 @@ fn sweep_metrics() -> &'static SweepMetrics {
             cache_misses: r.counter("explore.cache_misses"),
             warm_seeded: r.counter("explore.warm_seeded_points"),
             failures: r.counter("explore.failed_points"),
+            resume_skipped: r.counter("explore.resume_skipped"),
             point_us: r.histogram("explore.point_us"),
         }
     })
@@ -368,6 +389,26 @@ fn clamp_solver_threads(requested: usize, intra_budget: usize) -> usize {
     match requested {
         0 => intra_budget,
         n => n.min(intra_budget),
+    }
+}
+
+/// Durable state of a checkpointed sweep: the shared journal plus the
+/// directory holding per-point branch-and-bound snapshots.
+struct SweepState {
+    journal: Mutex<SweepJournal>,
+    ckpt_dir: PathBuf,
+    /// The journal predates this run — completed points will be served by
+    /// the cache and counted as `resume.skipped`.
+    resumed: bool,
+}
+
+impl SweepState {
+    /// Journal appends are advisory: a failed append costs visibility,
+    /// never correctness (resume rides on the cache and the checkpoints).
+    fn record(&self, event: &Value) {
+        if let Ok(mut journal) = self.journal.lock() {
+            let _ = journal.record(event);
+        }
     }
 }
 
@@ -448,7 +489,9 @@ impl Explorer {
     ///
     /// # Errors
     ///
-    /// Grid validation errors and cache-directory creation failures.
+    /// Grid validation errors, cache/state-directory creation failures, and
+    /// [`ExploreError::Interrupted`] when the configured interrupt flag
+    /// stops the sweep (after flushing every in-flight checkpoint).
     pub fn run(
         &self,
         train: &BinaryDataset,
@@ -458,6 +501,27 @@ impl Explorer {
         let points = grid.design_points()?;
         let cache = match &self.config.cache_dir {
             Some(dir) => Some(ResultCache::open(dir.clone())?),
+            None => None,
+        };
+        let state = match &self.config.state_dir {
+            Some(dir) => {
+                let state_err = |e: std::io::Error| ExploreError::Cache {
+                    path: dir.clone(),
+                    detail: e.to_string(),
+                };
+                let journal = SweepJournal::open(dir).map_err(state_err)?;
+                let ckpt_dir = dir.join("ckpt");
+                std::fs::create_dir_all(&ckpt_dir).map_err(state_err)?;
+                let resumed = journal.resumed();
+                if resumed {
+                    obs::Registry::global().counter("explore.resumed_sweeps").inc();
+                }
+                Some(SweepState {
+                    journal: Mutex::new(journal),
+                    ckpt_dir,
+                    resumed,
+                })
+            }
             None => None,
         };
         let threads = match self.config.threads {
@@ -489,17 +553,37 @@ impl Explorer {
                 .push_back(i);
         }
 
+        if let Some(state) = &state {
+            state.record(&Value::object([
+                ("event", Value::from("sweep.start")),
+                ("points", Value::from(points.len())),
+                ("threads", Value::from(threads)),
+                ("resumed", Value::from(state.resumed)),
+            ]));
+        }
+
         let worker = |me: usize| {
-            while let Some(index) = shared.next_point(me) {
-                let outcome = self.solve_point(
+            loop {
+                if self.interrupted() {
+                    break;
+                }
+                let Some(index) = shared.next_point(me) else {
+                    break;
+                };
+                let Some(outcome) = self.solve_point(
                     &points[index],
                     train,
                     validation,
                     train_digest,
                     validation_digest,
                     cache.as_ref(),
+                    state.as_ref(),
                     &shared,
-                );
+                ) else {
+                    // Interrupted mid-solve; the final checkpoint is
+                    // flushed, so stop claiming work.
+                    break;
+                };
                 shared.publish(index, outcome);
             }
         };
@@ -515,13 +599,32 @@ impl Explorer {
             });
         }
 
-        let outcomes: Vec<DesignOutcome> = shared
+        let results: Vec<Option<DesignOutcome>> = shared
             .results
             .into_inner()
-            .unwrap_or_else(|e| e.into_inner())
+            .unwrap_or_else(|e| e.into_inner());
+        if results.iter().any(Option::is_none) {
+            if let Some(state) = &state {
+                state.record(&Value::object([
+                    ("event", Value::from("sweep.interrupt")),
+                    (
+                        "completed",
+                        Value::from(results.iter().filter(|r| r.is_some()).count()),
+                    ),
+                ]));
+            }
+            return Err(ExploreError::Interrupted);
+        }
+        let outcomes: Vec<DesignOutcome> = results
             .into_iter()
-            .map(|slot| slot.expect("every queued point publishes an outcome"))
+            .map(|slot| slot.expect("checked above"))
             .collect();
+        if let Some(state) = &state {
+            state.record(&Value::object([
+                ("event", Value::from("sweep.finish")),
+                ("points", Value::from(outcomes.len())),
+            ]));
+        }
         let pareto = pareto_frontier(&outcomes);
         let total_nodes = outcomes.iter().map(|o| o.nodes_assessed).sum();
         let cache_hits = outcomes.iter().filter(|o| o.from_cache).count();
@@ -537,6 +640,17 @@ impl Explorer {
         })
     }
 
+    /// Whether the configured cooperative-interrupt flag is raised.
+    fn interrupted(&self) -> bool {
+        self.config
+            .interrupt
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::SeqCst))
+    }
+
+    /// Solves (or serves from cache) one grid point. Returns `None` only
+    /// when the solve was cooperatively interrupted — its checkpoint is
+    /// flushed and nothing is cached or published.
     #[allow(clippy::too_many_arguments)]
     fn solve_point(
         &self,
@@ -546,8 +660,9 @@ impl Explorer {
         train_digest: u64,
         validation_digest: u64,
         cache: Option<&ResultCache>,
+        state: Option<&SweepState>,
         shared: &SweepShared<'_>,
-    ) -> DesignOutcome {
+    ) -> Option<DesignOutcome> {
         let mut trainer_config = self.config.trainer.clone();
         trainer_config.rho = point.rho;
         trainer_config.rounding = point.rounding;
@@ -559,9 +674,32 @@ impl Explorer {
             point,
             config_digest(&trainer_config),
         );
+        // Snapshot path and fingerprint are both derived from the content
+        // key, so a checkpoint can never be resumed against a different
+        // dataset, design point or trainer configuration.
+        let ckpt_path = state.map(|s| {
+            let tail = key.rsplit(':').next().unwrap_or(&key);
+            s.ckpt_dir.join(format!("{tail}.ckpt"))
+        });
         if let Some(cache) = cache {
             if let Some(hit) = cache.load(&key).as_ref().and_then(DesignOutcome::from_value) {
                 if hit.point == *point {
+                    if let (Some(state), Some(path)) = (state, &ckpt_path) {
+                        if state.resumed {
+                            sweep_metrics().resume_skipped.inc();
+                            if obs::enabled() {
+                                obs::emit(
+                                    obs::Event::new("resume.skipped")
+                                        .with("k", point.k)
+                                        .with("f", point.f)
+                                        .with("key", key.as_str()),
+                                );
+                            }
+                        }
+                        // Any snapshot left for this point is stale now —
+                        // the cache already holds its finished outcome.
+                        let _ = std::fs::remove_file(path);
+                    }
                     let outcome = DesignOutcome {
                         from_cache: true,
                         elapsed_ms: 0.0,
@@ -569,7 +707,7 @@ impl Explorer {
                         ..hit
                     };
                     record_point(&outcome);
-                    return outcome;
+                    return Some(outcome);
                 }
             }
         }
@@ -582,14 +720,41 @@ impl Explorer {
         };
         let warm_seeded = !seeds.is_empty();
         let trainer = LdaFpTrainer::new(trainer_config);
-        let outcome = match point
-            .format()
-            .map_err(|e| e.to_string())
-            .and_then(|format| {
-                trainer
-                    .train_seeded(train, format, &seeds)
-                    .map_err(|e| e.to_string())
-            }) {
+        let policy = ckpt_path.as_ref().map(|path| {
+            let mut policy = CheckpointPolicy::every_nodes(
+                path.clone(),
+                self.config.checkpoint_nodes,
+                snapshot_fingerprint(key.as_bytes()),
+            );
+            if let Some(flag) = &self.config.interrupt {
+                policy = policy.with_interrupt(flag.clone());
+            }
+            policy
+        });
+        if let Some(state) = state {
+            state.record(&Value::object([
+                ("event", Value::from("point.start")),
+                ("k", Value::from(point.k)),
+                ("f", Value::from(point.f)),
+                ("key", Value::from(key.as_str())),
+                (
+                    "ckpt",
+                    ckpt_path
+                        .as_ref()
+                        .map_or(Value::Null, |p| Value::from(p.display().to_string())),
+                ),
+            ]));
+        }
+        let trained = match point.format() {
+            Err(e) => Err(e.to_string()),
+            Ok(format) => {
+                match trainer.train_seeded_checkpointed(train, format, &seeds, policy.as_ref()) {
+                    Err(CoreError::Interrupted) => return None,
+                    other => other.map_err(|e| e.to_string()),
+                }
+            }
+        };
+        let outcome = match trained {
             Ok(model) => {
                 let power_model = MacPowerModel::default();
                 let bits = point.word_length();
@@ -630,8 +795,17 @@ impl Explorer {
             // A failed store costs a future re-solve, nothing else.
             let _ = cache.store(&key, &outcome.to_value());
         }
+        if let Some(state) = state {
+            state.record(&Value::object([
+                ("event", Value::from("point.finish")),
+                ("k", Value::from(point.k)),
+                ("f", Value::from(point.f)),
+                ("key", Value::from(key.as_str())),
+                ("trained", Value::from(outcome.metrics.is_some())),
+            ]));
+        }
         record_point(&outcome);
-        outcome
+        Some(outcome)
     }
 }
 

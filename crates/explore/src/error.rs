@@ -30,6 +30,11 @@ pub enum ExploreError {
         /// Underlying error text.
         detail: String,
     },
+    /// The sweep was cooperatively interrupted. Every in-flight solve
+    /// flushed its branch-and-bound checkpoint and the journal records
+    /// where the sweep stopped, so a re-run with the same state directory
+    /// resumes losslessly.
+    Interrupted,
 }
 
 impl fmt::Display for ExploreError {
@@ -45,6 +50,9 @@ impl fmt::Display for ExploreError {
                 write!(f, "result cache at {}: {detail}", path.display())
             }
             ExploreError::Dataset { detail } => write!(f, "dataset error: {detail}"),
+            ExploreError::Interrupted => {
+                write!(f, "sweep interrupted; checkpoints flushed, resumable")
+            }
         }
     }
 }

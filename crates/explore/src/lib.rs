@@ -31,6 +31,7 @@ pub mod cache;
 pub mod engine;
 pub mod error;
 pub mod grid;
+pub mod journal;
 pub mod pareto;
 pub mod report;
 
@@ -40,8 +41,9 @@ pub use engine::{
 };
 pub use error::ExploreError;
 pub use grid::{DesignPoint, ExploreGrid};
+pub use journal::{read_journal, SweepJournal, JOURNAL_FILE};
 pub use pareto::pareto_frontier;
-pub use report::{json_report, markdown_report};
+pub use report::{json_report, markdown_report, pareto_report};
 
 /// Crate-local result alias.
 pub type Result<T> = std::result::Result<T, ExploreError>;

@@ -122,6 +122,71 @@ pub fn markdown_report(summary: &ExploreSummary) -> String {
     out
 }
 
+/// A **deterministic** Markdown Pareto report: only run-independent fields
+/// — no timings, node counts, cache/warm flags or thread counts — so two
+/// sweeps over the same problem render byte-identical reports, whether one
+/// of them was crashed and resumed or not. This is the artifact the
+/// kill–resume chaos gate byte-compares.
+#[must_use]
+pub fn pareto_report(summary: &ExploreSummary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# LDA-FP Pareto frontier\n");
+    let _ = writeln!(out, "## Frontier (error vs power)\n");
+    if summary.pareto.is_empty() {
+        let _ = writeln!(out, "No point trained successfully; the frontier is empty.");
+    } else {
+        let _ = writeln!(
+            out,
+            "| point | bits | val err | train err | fisher | power | energy/class | outcome |"
+        );
+        let _ = writeln!(out, "|---|---:|---:|---:|---:|---:|---:|---|");
+        for &i in &summary.pareto {
+            let o = &summary.outcomes[i];
+            let m = o.metrics.as_ref().expect("frontier points are trained");
+            let _ = writeln!(
+                out,
+                "| {} | {} | {:.6} | {:.6} | {:.6e} | {} | {:.3e} J | {} |",
+                o.point.label(),
+                o.point.word_length(),
+                m.validation_error,
+                m.training_error,
+                m.fisher_cost,
+                si_power(m.power),
+                m.energy,
+                m.outcome,
+            );
+        }
+    }
+
+    let _ = writeln!(out, "\n## All points\n");
+    let _ = writeln!(out, "| point | bits | val err | outcome |");
+    let _ = writeln!(out, "|---|---:|---:|---|");
+    for o in &summary.outcomes {
+        match &o.metrics {
+            Some(m) => {
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {:.6} | {} |",
+                    o.point.label(),
+                    o.point.word_length(),
+                    m.validation_error,
+                    m.outcome,
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | - | failed: {} |",
+                    o.point.label(),
+                    o.point.word_length(),
+                    o.failure.as_deref().unwrap_or("unknown"),
+                );
+            }
+        }
+    }
+    out
+}
+
 /// The machine-readable JSON document mirroring [`markdown_report`].
 #[must_use]
 pub fn json_report(summary: &ExploreSummary) -> Value {

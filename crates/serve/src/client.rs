@@ -6,8 +6,64 @@ use crate::error::{Result, ServeError};
 use crate::json::Value;
 use crate::metrics::MetricsSnapshot;
 use crate::wire::{self, Request};
+use ldafp_obs as obs;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// Bounded retry policy for [`Client::connect_with_retry`].
+///
+/// Only transport-level failures ([`ServeError::Io`]: refused, unreachable,
+/// timed-out connects) are retried — a server that *answers* wrongly is a
+/// [`ServeError::Protocol`] and retrying would just repeat the conversation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total connection attempts, including the first (`>= 1`; `1` means
+    /// no retries at all).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per attempt thereafter.
+    pub base_delay: Duration,
+    /// Ceiling on any single backoff delay.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(25),
+            max_delay: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before 1-based attempt `attempt` (the first attempt is
+    /// immediate): exponential doubling from `base_delay`, capped at
+    /// `max_delay`, scaled by a jitter factor in `[0.75, 1.25)` derived by
+    /// hashing `(addr, attempt)`. The crate carries no RNG dependency;
+    /// hash-derived jitter still de-synchronizes thundering-herd clients
+    /// (distinct addresses/attempts land on distinct offsets) while
+    /// keeping every test run reproducible.
+    #[must_use]
+    pub fn delay_before(&self, attempt: u32, addr: &str) -> Duration {
+        if attempt <= 1 {
+            return Duration::ZERO;
+        }
+        let doublings = attempt.saturating_sub(2).min(20);
+        let raw = self
+            .base_delay
+            .saturating_mul(1u32 << doublings)
+            .min(self.max_delay);
+        // FNV-1a over (addr, attempt) → jitter in [0.75, 1.25).
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in addr.bytes().chain(attempt.to_le_bytes()) {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let jitter = 0.75 + (h >> 11) as f64 / (1u64 << 53) as f64 * 0.5;
+        raw.mul_f64(jitter).min(self.max_delay)
+    }
+}
 
 /// One prediction as reported over the wire.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +126,47 @@ impl Client {
             stream,
             max_frame: wire::DEFAULT_MAX_FRAME,
         })
+    }
+
+    /// [`Client::connect`] with bounded, jittered exponential backoff.
+    ///
+    /// Transport failures ([`ServeError::Io`]) are retried up to
+    /// `policy.max_attempts` total attempts; each retry increments the
+    /// global `client.retry` counter and emits a `client.retry` event.
+    /// Any other error aborts immediately.
+    ///
+    /// # Errors
+    ///
+    /// The last attempt's [`ServeError::Io`] once the budget is spent.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs + std::fmt::Display,
+        timeout: Duration,
+        policy: &RetryPolicy,
+    ) -> Result<Self> {
+        let attempts = policy.max_attempts.max(1);
+        let target = addr.to_string();
+        let mut attempt = 1u32;
+        loop {
+            match Self::connect(&addr, timeout) {
+                Ok(client) => return Ok(client),
+                Err(err @ ServeError::Io { .. }) if attempt < attempts => {
+                    attempt += 1;
+                    let delay = policy.delay_before(attempt, &target);
+                    obs::Registry::global().counter("client.retry").inc();
+                    if obs::enabled() {
+                        obs::emit(
+                            obs::Event::new("client.retry")
+                                .with("target", target.clone())
+                                .with("attempt", attempt)
+                                .with("delay_ms", delay.as_secs_f64() * 1e3)
+                                .with("error", err.to_string()),
+                        );
+                    }
+                    std::thread::sleep(delay);
+                }
+                Err(err) => return Err(err),
+            }
+        }
     }
 
     /// Classifies a batch of rows.
@@ -184,4 +281,100 @@ fn peer_of(stream: &TcpStream) -> String {
     stream
         .peer_addr()
         .map_or_else(|_| "peer".to_string(), |a| a.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// The retry tests share the global `client.retry` counter; serialize
+    /// them so their before/after deltas don't interleave.
+    static COUNTER_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn quick_policy(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(80),
+        }
+    }
+
+    /// Reserves a local port that is (momentarily) not listening.
+    fn free_addr() -> std::net::SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap()
+    }
+
+    #[test]
+    fn backoff_doubles_caps_and_jitters_deterministically() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(100),
+            max_delay: Duration::from_millis(450),
+        };
+        assert_eq!(policy.delay_before(1, "a:1"), Duration::ZERO);
+        let d2 = policy.delay_before(2, "a:1");
+        let d3 = policy.delay_before(3, "a:1");
+        let d8 = policy.delay_before(8, "a:1");
+        // Jitter keeps each delay within ±25% of the nominal rung.
+        assert!(d2 >= Duration::from_millis(75) && d2 < Duration::from_millis(125), "{d2:?}");
+        assert!(d3 >= Duration::from_millis(150) && d3 < Duration::from_millis(250), "{d3:?}");
+        // Deep attempts stay under the cap even after jitter.
+        assert!(d8 <= Duration::from_millis(450), "{d8:?}");
+        // Deterministic: same (addr, attempt) → same delay; different
+        // addresses de-synchronize.
+        assert_eq!(d2, policy.delay_before(2, "a:1"));
+        assert_ne!(
+            policy.delay_before(2, "a:1"),
+            policy.delay_before(2, "b:2"),
+            "distinct clients should land on distinct jitter offsets"
+        );
+    }
+
+    #[test]
+    fn retry_exhausts_budget_against_a_dead_port_and_counts_attempts() {
+        let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let addr = free_addr(); // listener dropped: connects are refused
+        let counter = obs::Registry::global().counter("client.retry");
+        let before = counter.get();
+        let err = Client::connect_with_retry(addr, Duration::from_millis(200), &quick_policy(3))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Io { .. }), "{err}");
+        assert_eq!(
+            counter.get() - before,
+            2,
+            "3 attempts = 2 retries on the global client.retry counter"
+        );
+    }
+
+    #[test]
+    fn retry_succeeds_once_a_flaky_listener_comes_up() {
+        let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let addr = free_addr();
+        // Flaky server: the port stays dead through the first attempts,
+        // then a listener appears and serves one connection.
+        let server = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            let listener = TcpListener::bind(addr).expect("rebind reserved port");
+            let (_stream, _) = listener.accept().unwrap();
+            // Hold the connection briefly so the client's connect completes.
+            std::thread::sleep(Duration::from_millis(50));
+        });
+        let client = Client::connect_with_retry(addr, Duration::from_millis(500), &quick_policy(10));
+        server.join().unwrap();
+        assert!(client.is_ok(), "{:?}", client.err().map(|e| e.to_string()));
+    }
+
+    #[test]
+    fn single_attempt_policy_never_retries() {
+        let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let addr = free_addr();
+        let counter = obs::Registry::global().counter("client.retry");
+        let before = counter.get();
+        let err = Client::connect_with_retry(addr, Duration::from_millis(100), &quick_policy(1))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Io { .. }), "{err}");
+        assert_eq!(counter.get(), before, "max_attempts=1 must not retry");
+    }
 }

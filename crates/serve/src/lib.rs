@@ -39,7 +39,7 @@ pub mod server;
 pub mod wire;
 
 pub use artifact::{ModelArtifact, ServedModel, TrainingInfo, FORMAT_VERSION};
-pub use client::{Client, PredictReply, RemotePrediction};
+pub use client::{Client, PredictReply, RemotePrediction, RetryPolicy};
 pub use engine::{BatchOutput, BatchStats, InferenceEngine, Prediction};
 pub use error::{Result, ServeError};
 pub use metrics::{Metrics, MetricsSnapshot};

@@ -65,5 +65,45 @@ cargo run --release -q -p ldafp-bench --bin obs_bench -- --quick > /dev/null
 LDAFP_SOLVER_THREADS=4 cargo test -q
 cargo run --release -q -p ldafp-bench --bin bnb_par_bench -- --quick > /dev/null
 
+# Checkpoint/resume layer: snapshot codec + bit-identical-resume property
+# tests run in the suites above; the in-process kill–resume chaos harness
+# (fixed seeds) drives the real binary through SIGKILL-style aborts and a
+# cooperative SIGINT.
+cargo test -q -p ldafp-cli --test chaos_resume
+
+# Then the explicit chaos gate: crash a sweep right after its first
+# durable snapshot write, resume it with tracing on, and require (a) the
+# resumed run to load a mid-solve snapshot (`resume.loaded`), (b) a third
+# pass to come back entirely from the cache (`resume.skipped`, no
+# re-solving), and (c) the deterministic Pareto report to be byte-equal
+# to a never-crashed baseline's.
+chaos_tmp="$(mktemp -d)"
+trap 'rm -rf "$obs_tmp" "$chaos_tmp"' EXIT
+explore_args=(explore --quick --threads 1 --min-bits 3 --max-bits 5 --checkpoint-nodes 4)
+cargo run --release -q -p ldafp-cli -- "${explore_args[@]}" \
+    --resume "$chaos_tmp/base" --pareto "$chaos_tmp/base.md" > /dev/null || true
+crash_status=0
+LDAFP_CRASH_AFTER_CHECKPOINTS=1 cargo run --release -q -p ldafp-cli -- \
+    "${explore_args[@]}" --resume "$chaos_tmp/chaos" \
+    --pareto "$chaos_tmp/chaos.md" > /dev/null 2>&1 || crash_status=$?
+[ "$crash_status" -ne 0 ] || { echo "chaos run did not crash" >&2; exit 1; }
+cargo run --release -q -p ldafp-cli -- "${explore_args[@]}" \
+    --resume "$chaos_tmp/chaos" --pareto "$chaos_tmp/chaos.md" \
+    --trace "$chaos_tmp/resume.ndjson" > /dev/null || true
+grep -q '"event":"resume.loaded"' "$chaos_tmp/resume.ndjson" \
+    || { echo "resumed run loaded no snapshot" >&2; exit 1; }
+cmp "$chaos_tmp/base.md" "$chaos_tmp/chaos.md" \
+    || { echo "resumed pareto report differs from baseline" >&2; exit 1; }
+cargo run --release -q -p ldafp-cli -- "${explore_args[@]}" \
+    --resume "$chaos_tmp/chaos" --pareto "$chaos_tmp/chaos.md" \
+    --trace "$chaos_tmp/rerun.ndjson" > /dev/null || true
+grep -q '"event":"resume.skipped"' "$chaos_tmp/rerun.ndjson" \
+    || { echo "rerun re-solved cached points" >&2; exit 1; }
+grep -q '"event":"checkpoint.write"' "$chaos_tmp/rerun.ndjson" \
+    && { echo "rerun re-solved (wrote checkpoints)" >&2; exit 1; }
+cargo run --release -q -p ldafp-cli -- trace-check --input "$chaos_tmp/resume.ndjson" > /dev/null
+cmp "$chaos_tmp/base.md" "$chaos_tmp/chaos.md" \
+    || { echo "rerun changed the pareto report" >&2; exit 1; }
+
 # Whole-workspace lint, warnings promoted to errors.
 cargo clippy --workspace --all-targets -- -D warnings

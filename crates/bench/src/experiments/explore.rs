@@ -214,6 +214,7 @@ pub fn run_explore_bench(config: &ExploreBenchConfig) -> ExploreBenchReport {
         max_k: config.max_k,
         rhos: vec![0.99],
         roundings: vec![RoundingMode::NearestEven],
+        ..ExploreGrid::default()
     };
 
     let explorer = |warm_start| {

@@ -11,6 +11,7 @@ use ldafp_core::{
 };
 use ldafp_datasets::BinaryDataset;
 use ldafp_hwmodel::power::MacPowerModel;
+use ldafp_models::ModelFamily;
 use ldafp_hwmodel::rtl::{generate_verilog, RtlConfig};
 use ldafp_serve::{InferenceEngine, ModelArtifact, TrainingInfo};
 use serde::{Deserialize, Serialize};
@@ -50,12 +51,14 @@ pub fn exit_code(outcome: &TrainingOutcome) -> u8 {
     }
 }
 
-/// `ldafp train --data <csv> --bits <n> [--k <n>] [--rho <p>] [--baseline]
+/// `ldafp train --data <csv> --bits <n> [--family lda|naive-bayes|os-elm]
+/// [--k <n>] [--rho <p>] [--baseline]
 /// [--budget-secs <n>] [--max-solver-retries <n>] [--solver-threads <n>]
 /// [--quick]` — trains a
 /// classifier and returns the model document as JSON plus the training
 /// outcome and the search's degradation counters (both `None` for the
-/// baseline, which involves no search).
+/// baseline, which involves no search). Non-LDA families return the
+/// serving artifact JSON instead — see [`train_family`].
 ///
 /// # Errors
 ///
@@ -71,6 +74,15 @@ pub fn train(
     let budget_secs: u64 = args.get_parsed("budget-secs", 30)?;
     if bits == 0 || bits > 31 {
         return Err(CliError(format!("--bits must be in 1..=31, got {bits}")));
+    }
+
+    // `--family naive-bayes|os-elm` routes to the pluggable-family path:
+    // those models serialize directly as serving artifacts (their
+    // parameters are quantized tables, not an LDA weight vector), so the
+    // model-document machinery below is LDA-only by design.
+    let family = parse_family(args)?;
+    if family != ModelFamily::Lda {
+        return train_family(family, args, &data, bits, max_k, rho);
     }
 
     let (algorithm, classifier, fisher_cost, outcome, degradation) = if args.has_flag("baseline") {
@@ -112,6 +124,91 @@ pub fn train(
     }
 
     Ok((model_json::to_json_string(&doc), outcome, degradation))
+}
+
+/// Parses `--family` into a [`ModelFamily`] (default `lda`).
+fn parse_family(args: &ParsedArgs) -> Result<ModelFamily> {
+    match args.get("family") {
+        None => Ok(ModelFamily::Lda),
+        Some(name) => ModelFamily::from_name(name.trim()).ok_or_else(|| {
+            CliError(format!(
+                "--family expects lda|naive-bayes|os-elm, got {name:?}"
+            ))
+        }),
+    }
+}
+
+/// `ldafp train --family naive-bayes|os-elm` — trains a non-LDA model
+/// family and returns the serving artifact JSON directly (these families
+/// have no intermediate model document). `--bits` fixes the word length;
+/// for naive Bayes `--k` fixes the integer-bit split, while OS-ELM derives
+/// its split from the wrap-free output bound ([`ldafp_models::choose_format`]).
+/// `--rounding` takes a single mode (default nearest-even). `--save-model`
+/// writes the same artifact to disk.
+///
+/// No training outcome or degradation stats are returned — there is no
+/// branch-and-bound search to certify. Certification status lands in the
+/// artifact's `training.outcome` field instead: `"certified"` for naive
+/// Bayes (wrap-free by construction) and for OS-ELM models that pass the
+/// eq. 18 output-layer check, `"uncertified"` otherwise.
+fn train_family(
+    family: ModelFamily,
+    args: &ParsedArgs,
+    data: &BinaryDataset,
+    bits: u32,
+    k: u32,
+    rho: f64,
+) -> Result<(String, Option<TrainingOutcome>, Option<DegradationStats>)> {
+    use ldafp_models::{choose_format, NaiveBayesTrainer, OsElmConfig, OsElmTrainer};
+
+    let rounding = match args.get("rounding") {
+        None => ldafp_fixedpoint::RoundingMode::NearestEven,
+        Some(name) => ldafp_explore::grid::rounding_from_name(name.trim()).ok_or_else(|| {
+            CliError(format!(
+                "--rounding expects nearest-even|nearest-away|floor|ceil|toward-zero, got {name:?}"
+            ))
+        })?,
+    };
+    let (mut artifact, training_error, label) = match family {
+        ModelFamily::NaiveBayes => {
+            // `--k` is the exact integer-bit count here (the LDA trainer
+            // treats it as a search ceiling); clamp it into the word.
+            let int_bits = k.clamp(1, bits.saturating_sub(1).max(1));
+            let format = ldafp_fixedpoint::QFormat::new(int_bits, bits - int_bits)
+                .map_err(|e| CliError(e.to_string()))?;
+            let model = NaiveBayesTrainer::new(format, rounding, rho)
+                .train(data)
+                .map_err(|e| CliError(e.to_string()))?;
+            let err = model.error_rate(data);
+            (ModelArtifact::naive_bayes(model), err, "certified")
+        }
+        ModelFamily::OsElm => {
+            let format = choose_format(bits, OsElmConfig::default().hidden_units)
+                .map_err(|e| CliError(e.to_string()))?;
+            let mut trainer = OsElmTrainer::new(format, rounding);
+            trainer.config.rho = rho;
+            let model = trainer.train(data).map_err(|e| CliError(e.to_string()))?;
+            let err = model.error_rate(data);
+            let label = if trainer.certify_output_layer(&model, data) {
+                "certified"
+            } else {
+                "uncertified"
+            };
+            (ModelArtifact::os_elm(model), err, label)
+        }
+        ModelFamily::Lda => unreachable!("LDA takes the model-document path"),
+    };
+    artifact.training = TrainingInfo {
+        algorithm: Some(family.name().to_string()),
+        outcome: Some(label.to_string()),
+        training_error: Some(training_error),
+        ..TrainingInfo::default()
+    };
+    let json = artifact.to_json_string();
+    if let Some(path) = args.get("save-model") {
+        std::fs::write(path, &json)?;
+    }
+    Ok((json, None, None))
 }
 
 /// One human-readable line summarizing non-clean [`DegradationStats`],
@@ -486,6 +583,7 @@ pub fn wordlength(args: &ParsedArgs, csv_text: &str) -> Result<String> {
         max_k: search.max_k,
         rhos: vec![cfg.rho],
         roundings: vec![cfg.rounding],
+        ..ExploreGrid::default()
     };
     let summary = Explorer::new(ExploreConfig {
         threads: args.get_parsed("threads", 0usize)?,
@@ -556,7 +654,8 @@ no word length in {}..={} reaches {:.2}% error
 }
 
 /// `ldafp explore [--data <csv>] [--holdout f] [--min-bits n] [--max-bits n]
-/// [--k n] [--rho p[,p...]] [--rounding mode[,mode...]] [--threads n]
+/// [--k n] [--rho p[,p...]] [--rounding mode[,mode...]]
+/// [--family name[,name...]] [--threads n]
 /// [--budget-secs n] [--cache-dir dir] [--no-cache is implied without
 /// --cache-dir] [--cold] [--json report.json] [--quick] [--resume dir]
 /// [--checkpoint-nodes n] [--pareto report.md]` — sweeps the design
@@ -636,12 +735,26 @@ pub fn explore(
             })
             .collect::<Result<_>>()?,
     };
+    let families: Vec<ModelFamily> = match args.get("family") {
+        None => vec![ModelFamily::Lda],
+        Some(spec) => spec
+            .split(',')
+            .map(|s| {
+                ModelFamily::from_name(s.trim()).ok_or_else(|| {
+                    CliError(format!(
+                        "--family expects lda|naive-bayes|os-elm, got {s:?}"
+                    ))
+                })
+            })
+            .collect::<Result<_>>()?,
+    };
     let grid = ExploreGrid {
         min_bits: args.get_parsed("min-bits", 3u32)?,
         max_bits: args.get_parsed("max-bits", 8u32)?,
         max_k: args.get_parsed("k", 2u32)?,
         rhos,
         roundings,
+        families,
     };
 
     let mut trainer = if args.has_flag("quick") {
@@ -748,7 +861,7 @@ mod tests {
                 "data", "bits", "k", "rho", "budget-secs", "max-solver-retries", "module",
                 "model", "out", "target", "min-bits", "max-bits", "save-model", "input",
                 "addr", "threads", "solver-threads", "holdout", "rounding", "cache-dir",
-                "json", "trace", "resume", "pareto", "checkpoint-nodes",
+                "json", "trace", "resume", "pareto", "checkpoint-nodes", "family",
             ],
             &["baseline", "quick", "testbench", "cold", "no-cache", "metrics-summary"],
         )
@@ -1140,6 +1253,94 @@ mod tests {
             "pareto report must be byte-identical across resume"
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn train_family_naive_bayes_roundtrips_through_predict() {
+        let dir = std::env::temp_dir().join(format!(
+            "ldafp-cli-family-nb-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("nb.ldafp.json");
+        let csv_text = easy_csv();
+        let (json, outcome, degradation) = train(
+            &parsed(&[
+                "--bits",
+                "8",
+                "--k",
+                "3",
+                "--family",
+                "naive-bayes",
+                "--save-model",
+                path.to_str().unwrap(),
+            ]),
+            &csv_text,
+        )
+        .unwrap();
+        assert!(outcome.is_none(), "family training runs no LDA search");
+        assert!(degradation.is_none());
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), json);
+
+        let artifact = ModelArtifact::from_json_str(&json).unwrap();
+        assert_eq!(artifact.model.family(), ModelFamily::NaiveBayes);
+        assert_eq!(artifact.training.algorithm.as_deref(), Some("naive-bayes"));
+        assert_eq!(artifact.training.outcome.as_deref(), Some("certified"));
+
+        // The saved artifact predicts through the stock predict pipeline.
+        let out = predict(&json, &csv_text).unwrap();
+        assert!(out.starts_with("row,class,label,score\n"), "{out}");
+        assert!(out.contains("rows: 40"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn train_family_os_elm_emits_artifact_with_certification_label() {
+        let (json, outcome, _) =
+            train(&parsed(&["--bits", "10", "--family", "os-elm"]), &easy_csv()).unwrap();
+        assert!(outcome.is_none());
+        let artifact = ModelArtifact::from_json_str(&json).unwrap();
+        assert_eq!(artifact.model.family(), ModelFamily::OsElm);
+        let label = artifact.training.outcome.as_deref().unwrap();
+        assert!(
+            label == "certified" || label == "uncertified",
+            "unexpected certification label {label:?}"
+        );
+        let out = predict(&json, &easy_csv()).unwrap();
+        assert!(out.contains("rows: 40"), "{out}");
+    }
+
+    #[test]
+    fn train_rejects_unknown_family() {
+        let err = train(&parsed(&["--bits", "6", "--family", "perceptron"]), &easy_csv())
+            .unwrap_err();
+        assert!(err.0.contains("--family"), "{}", err.0);
+        assert!(err.0.contains("perceptron"), "{}", err.0);
+    }
+
+    #[test]
+    fn explore_sweeps_family_grid_without_bnb_nodes() {
+        let (report, code) = explore(
+            &parsed(&[
+                "--min-bits",
+                "6",
+                "--max-bits",
+                "8",
+                "--family",
+                "naive-bayes",
+                "--threads",
+                "1",
+            ]),
+            Some(&easy_csv()),
+            None,
+        )
+        .unwrap();
+        assert!(report.contains("naive-bayes"), "{report}");
+        assert!(report.contains("0 B&B node(s)"), "{report}");
+        assert_eq!(code, 0, "wrap-free naive Bayes points certify\n{report}");
+
+        let err = explore(&parsed(&["--family", "svm"]), Some(&easy_csv()), None).unwrap_err();
+        assert!(err.0.contains("--family"), "{}", err.0);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! `ldafp` — train, evaluate and export fixed-point LDA classifiers.
 //!
 //! ```text
-//! ldafp train      --data train.csv --bits 6 [--k 4] [--rho 0.99]
+//! ldafp train      --data train.csv --bits 6 [--family lda|naive-bayes|os-elm]
+//!                  [--k 4] [--rho 0.99]
 //!                  [--baseline] [--quick] [--budget-secs 30]
 //!                  [--max-solver-retries 3] [--out model.json]
 //!                  [--save-model model.ldafp.json]
@@ -13,6 +14,7 @@
 //! ldafp wordlength --data train.csv --target 0.2 [--min-bits 3] [--max-bits 16]
 //! ldafp explore    [--data train.csv] [--holdout 0.25] [--min-bits 3] [--max-bits 8]
 //!                  [--k 2] [--rho 0.9,0.99] [--rounding nearest-even,floor]
+//!                  [--family lda,naive-bayes,os-elm]
 //!                  [--threads 4] [--budget-secs 30] [--cache-dir .ldafp-cache]
 //!                  [--no-cache] [--cold] [--json report.json] [--quick]
 //!                  [--resume state-dir] [--checkpoint-nodes 256] [--pareto report.md]
@@ -45,9 +47,13 @@ use std::sync::Arc;
 const USAGE: &str = "usage: ldafp <command> [options]
 
 commands:
-  train       --data <csv> --bits <n> [--k n] [--rho p] [--baseline] [--quick]
+  train       --data <csv> --bits <n> [--family lda|naive-bayes|os-elm]
+              [--k n] [--rho p] [--baseline] [--quick]
               [--budget-secs n] [--max-solver-retries n] [--solver-threads n]
               [--out model.json] [--save-model model.ldafp.json]
+              (non-LDA families write the serving artifact directly; exit 0
+               on success, 1 on error; LDA exits by training outcome: 0
+               certified, 2 budget-exhausted/degraded, 3 fallback-rounded)
   eval        --model <model.json> --data <csv>
   predict     --model <model.ldafp.json> --input <csv>
   serve       --model <model.ldafp.json> --addr <host:port> [--threads n]
@@ -55,7 +61,8 @@ commands:
   export-rtl  --model <model.json> [--module name] [--testbench] [--out clf.v]
   wordlength  --data <csv> --target <error> [--min-bits n] [--max-bits n]
   explore     [--data <csv>] [--holdout f] [--min-bits n] [--max-bits n] [--k n]
-              [--rho p,...] [--rounding mode,...] [--threads n] [--solver-threads n]
+              [--rho p,...] [--rounding mode,...] [--family name,...]
+              [--threads n] [--solver-threads n]
               [--budget-secs n] [--cache-dir dir] [--no-cache] [--cold]
               [--json report.json] [--quick] [--resume dir]
               [--checkpoint-nodes n] [--pareto report.md]
@@ -67,6 +74,14 @@ commands:
 observability (any command):
   --trace <file>     stream solver/server events as NDJSON while running
   --metrics-summary  print the metrics registry to stderr on exit
+
+exit codes:
+  0  success (train/explore: the result is certified)
+  1  hard error (bad arguments, I/O, malformed input)
+  2  trained but degraded or budget-exhausted (model usable, proof is not)
+  3  fallback: rounded float-LDA deployed, or an empty explore frontier
+  4  interrupted (SIGINT) with checkpoints flushed — resumable: re-run
+     with the same --resume <dir> to continue losslessly
 
 run `ldafp help` or see the crate docs for details";
 
@@ -91,7 +106,7 @@ fn run() -> ldafp_cli::Result<(String, u8)> {
             "data", "bits", "k", "rho", "budget-secs", "max-solver-retries", "module",
             "model", "out", "target", "min-bits", "max-bits", "save-model", "input",
             "addr", "threads", "solver-threads", "holdout", "rounding", "cache-dir",
-            "json", "trace", "resume", "pareto", "checkpoint-nodes",
+            "json", "trace", "resume", "pareto", "checkpoint-nodes", "family",
         ],
         &["baseline", "quick", "testbench", "cold", "no-cache", "metrics-summary"],
     )?;

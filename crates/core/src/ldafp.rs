@@ -445,6 +445,7 @@ impl LdaFpTrainer {
             let (na, nb) = data.class_sizes();
             obs::emit(
                 obs::Event::new("train.start")
+                    .with("family", "lda")
                     .with("format", format.to_string())
                     .with("features", tp.num_features())
                     .with("rows", na + nb)
@@ -582,6 +583,7 @@ impl LdaFpTrainer {
         if obs::enabled() {
             obs::emit(
                 obs::Event::new("train.done")
+                    .with("family", "lda")
                     .with("outcome", training_outcome.label())
                     .with("fisher_cost", fisher_cost)
                     .with("nodes_assessed", outcome.stats.nodes_assessed)

@@ -34,7 +34,8 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 /// Envelope format version; bump on any incompatible payload change.
-pub const CACHE_FORMAT_VERSION: i64 = 2;
+/// v3 added the model-family axis to keys and payloads.
+pub const CACHE_FORMAT_VERSION: i64 = 3;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -97,7 +98,8 @@ pub fn problem_key(
     config_digest: u64,
 ) -> String {
     let canonical = format!(
-        "ldafp-explore/v{CACHE_FORMAT_VERSION}|train={train_digest:016x}|val={validation_digest:016x}|k={}|f={}|rho={}|rounding={}|config={config_digest:016x}",
+        "ldafp-explore/v{CACHE_FORMAT_VERSION}|train={train_digest:016x}|val={validation_digest:016x}|family={}|k={}|f={}|rho={}|rounding={}|config={config_digest:016x}",
+        point.family.name(),
         point.k,
         point.f,
         point.rho,
@@ -223,6 +225,7 @@ mod tests {
 
     fn point() -> DesignPoint {
         DesignPoint {
+            family: ldafp_models::ModelFamily::Lda,
             k: 2,
             f: 4,
             rho: 0.99,
@@ -332,6 +335,13 @@ mod tests {
         let mut p3 = point();
         p3.rounding = RoundingMode::Floor;
         assert_ne!(base, problem_key(1, 2, &p3, 3));
+        let mut p4 = point();
+        p4.family = ldafp_models::ModelFamily::NaiveBayes;
+        assert_ne!(
+            base,
+            problem_key(1, 2, &p4, 3),
+            "family must separate cache entries"
+        );
         assert_eq!(base, problem_key(1, 2, &point(), 3), "keys are deterministic");
     }
 }

@@ -37,6 +37,7 @@ use ldafp_core::{
 };
 use ldafp_datasets::BinaryDataset;
 use ldafp_hwmodel::power::MacPowerModel;
+use ldafp_models::{ModelFamily, NaiveBayesTrainer, OsElmTrainer};
 use ldafp_obs as obs;
 use ldafp_serve::json::Value;
 use std::collections::VecDeque;
@@ -160,6 +161,7 @@ impl DesignOutcome {
             ]),
         };
         Value::object([
+            ("family", Value::from(self.point.family.name())),
             ("k", Value::from(self.point.k)),
             ("f", Value::from(self.point.f)),
             ("rho", Value::from(self.point.rho)),
@@ -186,6 +188,7 @@ impl DesignOutcome {
     #[must_use]
     pub fn from_value(v: &Value) -> Option<DesignOutcome> {
         let point = DesignPoint {
+            family: ModelFamily::from_name(v.get("family")?.as_str()?)?,
             k: u32::try_from(v.get("k")?.as_i64()?).ok()?,
             f: u32::try_from(v.get("f")?.as_i64()?).ok()?,
             rho: v.get("rho")?.as_f64()?,
@@ -351,6 +354,7 @@ fn record_point(outcome: &DesignOutcome) {
     }
     if obs::enabled() {
         let mut e = obs::Event::new("explore.point")
+            .with("family", outcome.point.family.name())
             .with("k", outcome.point.k)
             .with("f", outcome.point.f)
             .with("rho", outcome.point.rho)
@@ -457,11 +461,15 @@ impl SweepShared<'_> {
     }
 
     fn publish(&self, index: usize, outcome: DesignOutcome) {
+        // Family points carry no LDA weight vector; an empty seed would be
+        // meaningless to re-round, so only real optima reach the board.
         if let Some(m) = &outcome.metrics {
-            self.solved
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .push((index, m.search_weights.clone()));
+            if !m.search_weights.is_empty() {
+                self.solved
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push((index, m.search_weights.clone()));
+            }
         }
         self.results.lock().unwrap_or_else(|e| e.into_inner())[index] = Some(outcome);
     }
@@ -713,27 +721,10 @@ impl Explorer {
         }
 
         let started = Instant::now();
-        let seeds = if self.config.warm_start {
-            shared.neighbor_seeds(point)
-        } else {
-            Vec::new()
-        };
-        let warm_seeded = !seeds.is_empty();
-        let trainer = LdaFpTrainer::new(trainer_config);
-        let policy = ckpt_path.as_ref().map(|path| {
-            let mut policy = CheckpointPolicy::every_nodes(
-                path.clone(),
-                self.config.checkpoint_nodes,
-                snapshot_fingerprint(key.as_bytes()),
-            );
-            if let Some(flag) = &self.config.interrupt {
-                policy = policy.with_interrupt(flag.clone());
-            }
-            policy
-        });
         if let Some(state) = state {
             state.record(&Value::object([
                 ("event", Value::from("point.start")),
+                ("family", Value::from(point.family.name())),
                 ("k", Value::from(point.k)),
                 ("f", Value::from(point.f)),
                 ("key", Value::from(key.as_str())),
@@ -745,50 +736,73 @@ impl Explorer {
                 ),
             ]));
         }
-        let trained = match point.format() {
-            Err(e) => Err(e.to_string()),
-            Ok(format) => {
-                match trainer.train_seeded_checkpointed(train, format, &seeds, policy.as_ref()) {
-                    Err(CoreError::Interrupted) => return None,
-                    other => other.map_err(|e| e.to_string()),
+        let outcome = if point.family == ModelFamily::Lda {
+            let seeds = if self.config.warm_start {
+                shared.neighbor_seeds(point)
+            } else {
+                Vec::new()
+            };
+            let warm_seeded = !seeds.is_empty();
+            let trainer = LdaFpTrainer::new(trainer_config);
+            let policy = ckpt_path.as_ref().map(|path| {
+                let mut policy = CheckpointPolicy::every_nodes(
+                    path.clone(),
+                    self.config.checkpoint_nodes,
+                    snapshot_fingerprint(key.as_bytes()),
+                );
+                if let Some(flag) = &self.config.interrupt {
+                    policy = policy.with_interrupt(flag.clone());
                 }
-            }
-        };
-        let outcome = match trained {
-            Ok(model) => {
-                let power_model = MacPowerModel::default();
-                let bits = point.word_length();
-                let features = train.num_features();
-                DesignOutcome {
+                policy
+            });
+            let trained = match point.format() {
+                Err(e) => Err(e.to_string()),
+                Ok(format) => {
+                    match trainer.train_seeded_checkpointed(train, format, &seeds, policy.as_ref())
+                    {
+                        Err(CoreError::Interrupted) => return None,
+                        other => other.map_err(|e| e.to_string()),
+                    }
+                }
+            };
+            match trained {
+                Ok(model) => {
+                    let power_model = MacPowerModel::default();
+                    let bits = point.word_length();
+                    let features = train.num_features();
+                    DesignOutcome {
+                        point: *point,
+                        metrics: Some(TrainedPointMetrics {
+                            format: model.classifier().format().to_string(),
+                            weights: model.weights().to_vec(),
+                            search_weights: model.search_weights().to_vec(),
+                            validation_error: eval::error_rate(model.classifier(), validation),
+                            training_error: eval::error_rate(model.classifier(), train),
+                            fisher_cost: model.fisher_cost(),
+                            outcome: model.outcome().label().to_string(),
+                            power: power_model.power(bits, features),
+                            energy: power_model.energy_per_classification(bits, features),
+                            area: power_model.area(bits, features),
+                        }),
+                        failure: None,
+                        nodes_assessed: model.stats().nodes_assessed,
+                        elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
+                        warm_seeded,
+                        from_cache: false,
+                    }
+                }
+                Err(detail) => DesignOutcome {
                     point: *point,
-                    metrics: Some(TrainedPointMetrics {
-                        format: model.classifier().format().to_string(),
-                        weights: model.weights().to_vec(),
-                        search_weights: model.search_weights().to_vec(),
-                        validation_error: eval::error_rate(model.classifier(), validation),
-                        training_error: eval::error_rate(model.classifier(), train),
-                        fisher_cost: model.fisher_cost(),
-                        outcome: model.outcome().label().to_string(),
-                        power: power_model.power(bits, features),
-                        energy: power_model.energy_per_classification(bits, features),
-                        area: power_model.area(bits, features),
-                    }),
-                    failure: None,
-                    nodes_assessed: model.stats().nodes_assessed,
+                    metrics: None,
+                    failure: Some(detail),
+                    nodes_assessed: 0,
                     elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
                     warm_seeded,
                     from_cache: false,
-                }
+                },
             }
-            Err(detail) => DesignOutcome {
-                point: *point,
-                metrics: None,
-                failure: Some(detail),
-                nodes_assessed: 0,
-                elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
-                warm_seeded,
-                from_cache: false,
-            },
+        } else {
+            family_outcome(point, train, validation, started)
         };
 
         if let Some(cache) = cache {
@@ -806,6 +820,95 @@ impl Explorer {
         }
         record_point(&outcome);
         Some(outcome)
+    }
+}
+
+/// Trains one non-LDA family point. No branch-and-bound runs here — family
+/// training is deterministic and cheap, so there is nothing to checkpoint
+/// and resume rides entirely on the result cache. Failures (e.g. a format
+/// too narrow for a wrap-free OS-ELM output layer) are recorded outcomes,
+/// matching the LDA path's treatment of infeasible grids.
+fn family_outcome(
+    point: &DesignPoint,
+    train: &BinaryDataset,
+    validation: &BinaryDataset,
+    started: Instant,
+) -> DesignOutcome {
+    let trained: std::result::Result<(f64, f64, String), String> = match point.format() {
+        Err(e) => Err(e.to_string()),
+        Ok(format) => match point.family {
+            ModelFamily::NaiveBayes => {
+                NaiveBayesTrainer::new(format, point.rounding, point.rho)
+                    .train(train)
+                    .map(|m| {
+                        // Wrap-free by construction: the table scale is
+                        // budgeted so no representable input can overflow.
+                        (
+                            m.error_rate(train),
+                            m.error_rate(validation),
+                            "certified".to_string(),
+                        )
+                    })
+                    .map_err(|e| e.to_string())
+            }
+            ModelFamily::OsElm => {
+                let mut trainer = OsElmTrainer::new(format, point.rounding);
+                trainer.config.rho = point.rho;
+                trainer
+                    .train(train)
+                    .map(|m| {
+                        let label = if trainer.certify_output_layer(&m, train) {
+                            "certified"
+                        } else {
+                            "uncertified"
+                        };
+                        (
+                            m.error_rate(train),
+                            m.error_rate(validation),
+                            label.to_string(),
+                        )
+                    })
+                    .map_err(|e| e.to_string())
+            }
+            ModelFamily::Lda => unreachable!("LDA points take the branch-and-bound path"),
+        },
+    };
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    match trained {
+        Ok((training_error, validation_error, label)) => {
+            let power_model = MacPowerModel::default();
+            let bits = point.word_length();
+            let features = train.num_features();
+            DesignOutcome {
+                point: *point,
+                metrics: Some(TrainedPointMetrics {
+                    format: format!("Q{}.{}", point.k, point.f),
+                    weights: Vec::new(),
+                    search_weights: Vec::new(),
+                    validation_error,
+                    training_error,
+                    fisher_cost: 0.0,
+                    outcome: label,
+                    power: power_model.power(bits, features),
+                    energy: power_model.energy_per_classification(bits, features),
+                    area: power_model.area(bits, features),
+                }),
+                failure: None,
+                nodes_assessed: 0,
+                elapsed_ms,
+                warm_seeded: false,
+                from_cache: false,
+            }
+        }
+        Err(detail) => DesignOutcome {
+            point: *point,
+            metrics: None,
+            failure: Some(detail),
+            nodes_assessed: 0,
+            elapsed_ms,
+            warm_seeded: false,
+            from_cache: false,
+        },
     }
 }
 
@@ -847,6 +950,7 @@ mod tests {
             max_k: 2,
             rhos: vec![0.99],
             roundings: vec![RoundingMode::NearestEven],
+            ..ExploreGrid::default()
         }
     }
 
@@ -944,6 +1048,7 @@ mod tests {
     fn outcome_value_round_trips() {
         let outcome = DesignOutcome {
             point: DesignPoint {
+                family: ModelFamily::Lda,
                 k: 2,
                 f: 3,
                 rho: 0.95,
@@ -971,6 +1076,7 @@ mod tests {
 
         let failed = DesignOutcome {
             point: DesignPoint {
+                family: ModelFamily::NaiveBayes,
                 k: 1,
                 f: 2,
                 rho: 0.99,
@@ -985,6 +1091,48 @@ mod tests {
         };
         assert_eq!(DesignOutcome::from_value(&failed.to_value()), Some(failed));
         assert_eq!(DesignOutcome::from_value(&Value::Null), None);
+    }
+
+    #[test]
+    fn family_sweep_trains_caches_and_reloads_deterministically() {
+        let dir = std::env::temp_dir().join(format!(
+            "ldafp-explore-family-cache-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let train = easy_data(30, 0.5, 9);
+        let validation = easy_data(30, 0.5, 10);
+        let grid = ExploreGrid {
+            min_bits: 6,
+            max_bits: 8,
+            families: vec![ModelFamily::NaiveBayes, ModelFamily::OsElm],
+            ..ExploreGrid::default()
+        };
+        let explorer = Explorer::new(ExploreConfig {
+            threads: 1,
+            cache_dir: Some(dir.clone()),
+            ..ExploreConfig::default()
+        });
+        let first = explorer.run(&train, &validation, &grid).unwrap();
+        assert_eq!(first.outcomes.len(), grid.len());
+        assert_eq!(first.total_nodes, 0, "family points never run B&B");
+        assert!(
+            first
+                .outcomes
+                .iter()
+                .filter(|o| o.point.family == ModelFamily::NaiveBayes)
+                .all(|o| o.metrics.is_some()),
+            "naive Bayes trains at every swept width"
+        );
+        assert!(first.trained() > 0);
+        // Every hit on the second run reproduces the first bit-for-bit.
+        let second = explorer.run(&train, &validation, &grid).unwrap();
+        assert_eq!(second.cache_hits, second.outcomes.len());
+        for (a, b) in first.outcomes.iter().zip(&second.outcomes) {
+            assert_eq!(a.point, b.point);
+            assert_eq!(a.metrics, b.metrics);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,17 +1,23 @@
-//! The design space: `(K, F, ρ, rounding mode)` grids.
+//! The design space: `(family, K, F, ρ, rounding mode)` grids.
 
 use crate::error::ExploreError;
 use crate::Result;
 use ldafp_fixedpoint::{QFormat, RoundingMode};
+use ldafp_models::ModelFamily;
 
 /// One candidate hardware/algorithm configuration.
 ///
-/// `K` integer bits and `F` fraction bits fix the `QK.F` weight grid (and
-/// therefore the datapath word length `K + F`); `ρ` is the paper's
-/// confidence parameter in the chance-constrained Fisher objective; the
-/// rounding mode is the datapath's quantizer.
+/// The family picks the classifier datapath (LDA, naive Bayes tables, or
+/// OS-ELM); `K` integer bits and `F` fraction bits fix the `QK.F` weight
+/// grid (and therefore the datapath word length `K + F`); `ρ` is the
+/// paper's confidence parameter in the chance-constrained Fisher objective
+/// (repurposed as the wrap-budget fraction for naive Bayes and as the
+/// certification confidence for OS-ELM); the rounding mode is the
+/// datapath's quantizer.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DesignPoint {
+    /// Model family to train at this point.
+    pub family: ModelFamily,
     /// Integer bits (including sign).
     pub k: u32,
     /// Fraction bits.
@@ -38,11 +44,19 @@ impl DesignPoint {
         QFormat::new(self.k, self.f)
     }
 
-    /// Stable display label, e.g. `Q2.4 rho=0.99 nearest-even`.
+    /// Stable display label, e.g. `Q2.4 rho=0.99 nearest-even` for LDA
+    /// points and `naive-bayes Q2.4 rho=0.99 nearest-even` for the other
+    /// families (LDA stays unprefixed so single-family reports read as
+    /// before).
     #[must_use]
     pub fn label(&self) -> String {
+        let prefix = match self.family {
+            ModelFamily::Lda => String::new(),
+            other => format!("{} ", other.name()),
+        };
         format!(
-            "Q{}.{} rho={} {}",
+            "{}Q{}.{} rho={} {}",
+            prefix,
             self.k,
             self.f,
             self.rho,
@@ -90,6 +104,8 @@ pub struct ExploreGrid {
     pub rhos: Vec<f64>,
     /// Rounding modes to cross with every format.
     pub roundings: Vec<RoundingMode>,
+    /// Model families to cross with every format.
+    pub families: Vec<ModelFamily>,
 }
 
 impl Default for ExploreGrid {
@@ -100,6 +116,7 @@ impl Default for ExploreGrid {
             max_k: 2,
             rhos: vec![0.99],
             roundings: vec![RoundingMode::NearestEven],
+            families: vec![ModelFamily::Lda],
         }
     }
 }
@@ -140,6 +157,12 @@ impl ExploreGrid {
                 });
             }
         }
+        if self.families.is_empty() {
+            return Err(ExploreError::InvalidParameter {
+                name: "families",
+                detail: "need at least one model family".to_string(),
+            });
+        }
         let mut points = Vec::new();
         for bits in self.min_bits..=self.max_bits {
             for k in 1..=self.max_k.min(bits.saturating_sub(1)) {
@@ -149,7 +172,15 @@ impl ExploreGrid {
                 }
                 for &rho in &self.rhos {
                     for &rounding in &self.roundings {
-                        points.push(DesignPoint { k, f, rho, rounding });
+                        for &family in &self.families {
+                            points.push(DesignPoint {
+                                family,
+                                k,
+                                f,
+                                rho,
+                                rounding,
+                            });
+                        }
                     }
                 }
             }
@@ -182,15 +213,17 @@ impl ExploreGrid {
     }
 }
 
-/// Whether two points are warm-start neighbors: same ρ and rounding, and
-/// within Chebyshev distance 1 in the `(K, F)` plane. A neighbor's optimum
-/// lives on an adjacent grid, so re-rounding it onto this point's grid is
-/// the cheapest high-quality incumbent probe available.
+/// Whether two points are warm-start neighbors: same family, ρ and
+/// rounding, and within Chebyshev distance 1 in the `(K, F)` plane. A
+/// neighbor's optimum lives on an adjacent grid, so re-rounding it onto
+/// this point's grid is the cheapest high-quality incumbent probe
+/// available. Cross-family points never seed each other — their raw words
+/// mean different things.
 #[must_use]
 pub fn are_neighbors(a: &DesignPoint, b: &DesignPoint) -> bool {
     let dk = a.k.abs_diff(b.k);
     let df = a.f.abs_diff(b.f);
-    a.rho == b.rho && a.rounding == b.rounding && dk.max(df) == 1
+    a.family == b.family && a.rho == b.rho && a.rounding == b.rounding && dk.max(df) == 1
 }
 
 #[cfg(test)]
@@ -216,9 +249,36 @@ mod tests {
             max_k: 2,
             rhos: vec![0.9, 0.99],
             roundings: vec![RoundingMode::NearestEven, RoundingMode::Floor],
+            ..ExploreGrid::default()
         };
-        // 2 formats (Q1.3, Q2.2) × 2 rhos × 2 roundings.
+        // 2 formats (Q1.3, Q2.2) × 2 rhos × 2 roundings × 1 family.
         assert_eq!(grid.design_points().unwrap().len(), 8);
+    }
+
+    #[test]
+    fn grid_crosses_families() {
+        let grid = ExploreGrid {
+            min_bits: 4,
+            max_bits: 4,
+            max_k: 1,
+            families: vec![ModelFamily::Lda, ModelFamily::NaiveBayes],
+            ..ExploreGrid::default()
+        };
+        let points = grid.design_points().unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].family, ModelFamily::Lda);
+        assert_eq!(points[1].family, ModelFamily::NaiveBayes);
+        let empty = ExploreGrid {
+            families: vec![],
+            ..ExploreGrid::default()
+        };
+        assert!(matches!(
+            empty.design_points(),
+            Err(ExploreError::InvalidParameter {
+                name: "families",
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -244,6 +304,7 @@ mod tests {
     #[test]
     fn neighborhood_is_chebyshev_one_with_matching_hyperparams() {
         let p = |k, f| DesignPoint {
+            family: ModelFamily::Lda,
             k,
             f,
             rho: 0.99,
@@ -256,6 +317,12 @@ mod tests {
         let mut q = p(2, 5);
         q.rho = 0.9;
         assert!(!are_neighbors(&p(2, 4), &q), "different rho breaks adjacency");
+        let mut r = p(2, 5);
+        r.family = ModelFamily::NaiveBayes;
+        assert!(
+            !are_neighbors(&p(2, 4), &r),
+            "different family breaks adjacency"
+        );
     }
 
     #[test]

@@ -53,6 +53,7 @@ mod tests {
     fn outcome(error: f64, power: f64) -> DesignOutcome {
         DesignOutcome {
             point: DesignPoint {
+                family: ldafp_models::ModelFamily::Lda,
                 k: 2,
                 f: 4,
                 rho: 0.99,

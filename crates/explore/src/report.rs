@@ -3,7 +3,6 @@
 //! presentation.
 
 use crate::engine::ExploreSummary;
-use crate::grid::rounding_name;
 use ldafp_serve::json::Value;
 use std::fmt::Write as _;
 
@@ -63,10 +62,8 @@ pub fn markdown_report(summary: &ExploreSummary) -> String {
             Some(m) => {
                 let _ = writeln!(
                     out,
-                    "| {} {} {} | {} | {:.4} | {:.4} | {} | {:.3e} J | {} | {} | {:.1} | {} |",
-                    m.format,
-                    format_args!("rho={}", o.point.rho),
-                    rounding_name(o.point.rounding),
+                    "| {} | {} | {:.4} | {:.4} | {} | {:.3e} J | {} | {} | {:.1} | {} |",
+                    o.point.label(),
                     o.point.word_length(),
                     m.validation_error,
                     m.training_error,
@@ -223,6 +220,7 @@ mod tests {
         let outcomes = vec![
             DesignOutcome {
                 point: DesignPoint {
+                    family: ldafp_models::ModelFamily::Lda,
                     k: 1,
                     f: 2,
                     rho: 0.99,
@@ -237,6 +235,7 @@ mod tests {
             },
             DesignOutcome {
                 point: DesignPoint {
+                    family: ldafp_models::ModelFamily::Lda,
                     k: 2,
                     f: 4,
                     rho: 0.99,

@@ -28,6 +28,7 @@ fn grid() -> ExploreGrid {
         max_k: 2,
         rhos: vec![0.99],
         roundings: vec![RoundingMode::NearestEven],
+        ..ExploreGrid::default()
     }
 }
 

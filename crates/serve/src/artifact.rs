@@ -25,7 +25,8 @@
 //!   "created_by": "ldafp-serve 0.1.0",
 //!   "checksum": "fnv1a64:89abcdef01234567",
 //!   "payload": {
-//!     "kind": "binary" | "one-vs-rest",
+//!     "family": "lda" | "naive-bayes" | "os-elm",   // absent ⇒ "lda"
+//!     "kind": "binary" | "one-vs-rest" | "naive-bayes" | "os-elm",
 //!     "qformat": {"k": 2, "f": 6},
 //!     "rounding": "nearest-even",
 //!     "class_labels": ["A", "B"],
@@ -34,16 +35,27 @@
 //!     "binary": {"weights": [-3, 17, ...], "threshold": 5},
 //!     // or, for one-vs-rest:
 //!     "heads": [{"weights": [...], "threshold": ...}, ...],
-//!     "margin_scales": [0.71, ...]
+//!     "margin_scales": [0.71, ...],
+//!     // or, for naive-bayes:
+//!     "naive_bayes": {"index_bits": 6, "priors": [...], "tables": [[[...]]]},
+//!     // or, for os-elm:
+//!     "os_elm": {"seed": "24235…", "lr_shift": 3, "weight_bound": 255,
+//!                "input_weights": [[...]], "output_weights": [[...]]}
 //!   }
 //! }
 //! ```
+//!
+//! The `family` field is the forward-compatibility gate for model
+//! families: artifacts written before it existed are read as `"lda"`, an
+//! unknown family is rejected positionally (`payload.family`), and a
+//! family/kind mismatch is rejected rather than guessed around.
 
 use crate::error::{Result, ServeError};
 use crate::json::{self, Value};
 use ldafp_core::multiclass::OneVsRestClassifier;
 use ldafp_core::{FixedPointClassifier, TrainingOutcome};
 use ldafp_fixedpoint::{QFormat, RoundingMode};
+use ldafp_models::{FixedPointModel, ModelError, ModelFamily, NaiveBayesModel, OsElmModel};
 use std::path::Path;
 
 /// Newest artifact format version this runtime reads and writes.
@@ -59,6 +71,10 @@ pub enum ServedModel {
     Binary(FixedPointClassifier),
     /// A one-vs-rest multiclass ensemble sharing one datapath.
     OneVsRest(OneVsRestClassifier),
+    /// A fixed-point Gaussian naive Bayes table classifier.
+    NaiveBayes(NaiveBayesModel),
+    /// An online OS-ELM-style sequential learner.
+    OsElm(OsElmModel),
 }
 
 impl ServedModel {
@@ -67,6 +83,8 @@ impl ServedModel {
         match self {
             ServedModel::Binary(clf) => clf.num_features(),
             ServedModel::OneVsRest(clf) => clf.num_features(),
+            ServedModel::NaiveBayes(m) => m.num_features(),
+            ServedModel::OsElm(m) => m.num_features(),
         }
     }
 
@@ -75,6 +93,8 @@ impl ServedModel {
         match self {
             ServedModel::Binary(clf) => clf.format(),
             ServedModel::OneVsRest(clf) => clf.heads()[0].format(),
+            ServedModel::NaiveBayes(m) => m.format(),
+            ServedModel::OsElm(m) => m.format(),
         }
     }
 
@@ -83,6 +103,28 @@ impl ServedModel {
         match self {
             ServedModel::Binary(_) => 2,
             ServedModel::OneVsRest(clf) => clf.num_classes(),
+            ServedModel::NaiveBayes(m) => m.num_classes(),
+            ServedModel::OsElm(m) => m.num_classes(),
+        }
+    }
+
+    /// The model family this model belongs to.
+    pub fn family(&self) -> ModelFamily {
+        match self {
+            ServedModel::Binary(_) | ServedModel::OneVsRest(_) => ModelFamily::Lda,
+            ServedModel::NaiveBayes(_) => ModelFamily::NaiveBayes,
+            ServedModel::OsElm(_) => ModelFamily::OsElm,
+        }
+    }
+
+    /// The stable `kind` string stored in artifacts and reported by the
+    /// server's `health` route.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            ServedModel::Binary(_) => "binary",
+            ServedModel::OneVsRest(_) => "one-vs-rest",
+            ServedModel::NaiveBayes(_) => "naive-bayes",
+            ServedModel::OsElm(_) => "os-elm",
         }
     }
 }
@@ -157,6 +199,30 @@ impl ModelArtifact {
             .collect();
         ModelArtifact {
             model: ServedModel::OneVsRest(classifier),
+            class_labels,
+            input_scale: vec![1.0],
+            training: TrainingInfo::default(),
+        }
+    }
+
+    /// Wraps a naive Bayes table classifier with default labels (binary:
+    /// `A`/`B`, otherwise class indices) and unit input scaling.
+    pub fn naive_bayes(model: NaiveBayesModel) -> Self {
+        let class_labels = default_labels(model.num_classes());
+        ModelArtifact {
+            model: ServedModel::NaiveBayes(model),
+            class_labels,
+            input_scale: vec![1.0],
+            training: TrainingInfo::default(),
+        }
+    }
+
+    /// Wraps an OS-ELM learner with default labels (binary: `A`/`B`,
+    /// otherwise class indices) and unit input scaling.
+    pub fn os_elm(model: OsElmModel) -> Self {
+        let class_labels = default_labels(model.num_classes());
+        ModelArtifact {
+            model: ServedModel::OsElm(model),
             class_labels,
             input_scale: vec![1.0],
             training: TrainingInfo::default(),
@@ -338,14 +404,14 @@ impl ModelArtifact {
                 ]),
             ));
         }
+        fields.push(("family", Value::from(self.model.family().name())));
+        fields.push(("kind", Value::from(self.model.kind_name())));
         match &self.model {
             ServedModel::Binary(clf) => {
-                fields.push(("kind", Value::from("binary")));
                 fields.push(("rounding", Value::from(rounding_name(clf.rounding()))));
                 fields.push(("binary", head_json(clf)));
             }
             ServedModel::OneVsRest(clf) => {
-                fields.push(("kind", Value::from("one-vs-rest")));
                 fields.push((
                     "rounding",
                     Value::from(rounding_name(clf.heads()[0].rounding())),
@@ -357,6 +423,47 @@ impl ModelArtifact {
                 fields.push((
                     "margin_scales",
                     Value::from(clf.margin_scales().to_vec()),
+                ));
+            }
+            ServedModel::NaiveBayes(m) => {
+                fields.push(("rounding", Value::from(rounding_name(m.rounding()))));
+                fields.push((
+                    "naive_bayes",
+                    Value::object([
+                        ("index_bits", Value::from(m.index_bits())),
+                        ("priors", raw_array(m.priors_raw())),
+                        (
+                            "tables",
+                            Value::Array(
+                                m.tables_raw()
+                                    .iter()
+                                    .map(|class| {
+                                        Value::Array(
+                                            class
+                                                .iter()
+                                                .map(|feature| raw_array(feature))
+                                                .collect(),
+                                        )
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ]),
+                ));
+            }
+            ServedModel::OsElm(m) => {
+                fields.push(("rounding", Value::from(rounding_name(m.rounding()))));
+                fields.push((
+                    "os_elm",
+                    Value::object([
+                        // u64 seeds exceed the f64-exact integer range, so
+                        // the seed travels as a decimal string.
+                        ("seed", Value::from(m.seed().to_string())),
+                        ("lr_shift", Value::from(m.lr_shift())),
+                        ("weight_bound", Value::from(m.weight_bound_raw())),
+                        ("input_weights", raw_matrix(&m.input_weights_raw())),
+                        ("output_weights", raw_matrix(&m.output_weights_raw())),
+                    ]),
                 ));
             }
         }
@@ -394,6 +501,41 @@ impl ModelArtifact {
         };
 
         let kind = require_str(payload, "kind")?;
+        // Family forward-compat gate: absent means a pre-family (v1 LDA)
+        // artifact; anything unknown stops here with a positional
+        // diagnostic rather than a misread model.
+        let family = match payload.get("family") {
+            None => ModelFamily::Lda,
+            Some(v) => {
+                let name = v.as_str().ok_or_else(|| ServeError::Schema {
+                    context: "payload.family".to_string(),
+                    message: "expected a string".to_string(),
+                })?;
+                ModelFamily::from_name(name).ok_or_else(|| ServeError::Schema {
+                    context: "payload.family".to_string(),
+                    message: format!(
+                        "unknown model family '{name}' (known: lda, naive-bayes, os-elm)"
+                    ),
+                })?
+            }
+        };
+        let kind_family = match kind {
+            "binary" | "one-vs-rest" => ModelFamily::Lda,
+            "naive-bayes" => ModelFamily::NaiveBayes,
+            "os-elm" => ModelFamily::OsElm,
+            other => {
+                return Err(ServeError::Schema {
+                    context: "payload.kind".to_string(),
+                    message: format!("unknown model kind '{other}'"),
+                })
+            }
+        };
+        if family != kind_family {
+            return Err(ServeError::Schema {
+                context: "payload.family".to_string(),
+                message: format!("family '{family}' does not match kind '{kind}'"),
+            });
+        }
         let model = match kind {
             "binary" => {
                 let head = payload.get("binary").ok_or_else(|| ServeError::Schema {
@@ -413,12 +555,71 @@ impl ModelArtifact {
                 let margin_scales = f64_array(payload, "margin_scales")?;
                 ServedModel::OneVsRest(OneVsRestClassifier::from_parts(heads, margin_scales)?)
             }
-            other => {
-                return Err(ServeError::Schema {
-                    context: "payload.kind".to_string(),
-                    message: format!("unknown model kind '{other}'"),
-                })
+            "naive-bayes" => {
+                let body = payload.get("naive_bayes").ok_or_else(|| ServeError::Schema {
+                    context: "payload.naive_bayes".to_string(),
+                    message: "missing for kind 'naive-bayes'".to_string(),
+                })?;
+                let ctx = "payload.naive_bayes";
+                let index_bits = require_u32_in(body, ctx, "index_bits")?;
+                let priors = i64_array_in(body, ctx, "priors")?;
+                let tables = require_key(body, ctx, "tables")?
+                    .as_array()
+                    .ok_or_else(|| schema_err(&format!("{ctx}.tables"), "expected an array"))?
+                    .iter()
+                    .enumerate()
+                    .map(|(c, class)| {
+                        class
+                            .as_array()
+                            .ok_or_else(|| {
+                                schema_err(&format!("{ctx}.tables[{c}]"), "expected an array")
+                            })?
+                            .iter()
+                            .enumerate()
+                            .map(|(j, feature)| {
+                                i64_elems(feature, &format!("{ctx}.tables[{c}][{j}]"))
+                            })
+                            .collect::<Result<Vec<Vec<i64>>>>()
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                let model =
+                    NaiveBayesModel::from_raw_parts(format, rounding, index_bits, tables, priors)
+                        .map_err(|e| model_schema_err(ctx, e))?;
+                ServedModel::NaiveBayes(model)
             }
+            "os-elm" => {
+                let body = payload.get("os_elm").ok_or_else(|| ServeError::Schema {
+                    context: "payload.os_elm".to_string(),
+                    message: "missing for kind 'os-elm'".to_string(),
+                })?;
+                let ctx = "payload.os_elm";
+                let seed_text = require_key(body, ctx, "seed")?
+                    .as_str()
+                    .ok_or_else(|| schema_err(&format!("{ctx}.seed"), "expected a string"))?;
+                let seed: u64 = seed_text.parse().map_err(|_| {
+                    schema_err(&format!("{ctx}.seed"), "expected a decimal u64 string")
+                })?;
+                let lr_shift = require_u32_in(body, ctx, "lr_shift")?;
+                let weight_bound = require_key(body, ctx, "weight_bound")?
+                    .as_i64()
+                    .ok_or_else(|| {
+                        schema_err(&format!("{ctx}.weight_bound"), "expected a raw integer")
+                    })?;
+                let input_weights = i64_matrix_in(body, ctx, "input_weights")?;
+                let output_weights = i64_matrix_in(body, ctx, "output_weights")?;
+                let model = OsElmModel::from_raw_parts(
+                    format,
+                    rounding,
+                    seed,
+                    lr_shift,
+                    weight_bound,
+                    input_weights,
+                    output_weights,
+                )
+                .map_err(|e| model_schema_err(ctx, e))?;
+                ServedModel::OsElm(model)
+            }
+            _ => unreachable!("kind validated above"),
         };
         Ok(ModelArtifact {
             model,
@@ -471,6 +672,78 @@ fn head_from_json(
     Ok(FixedPointClassifier::from_raw_parts(
         format, &weights, threshold, rounding,
     )?)
+}
+
+/// Default class labels: `A`/`B` for binary models, class indices
+/// otherwise — the same convention the LDA constructors use.
+fn default_labels(n: usize) -> Vec<String> {
+    if n == 2 {
+        vec!["A".to_string(), "B".to_string()]
+    } else {
+        (0..n).map(|c| c.to_string()).collect()
+    }
+}
+
+fn raw_array(raws: &[i64]) -> Value {
+    Value::Array(raws.iter().map(|r| Value::from(*r)).collect())
+}
+
+fn raw_matrix(rows: &[Vec<i64>]) -> Value {
+    Value::Array(rows.iter().map(|row| raw_array(row)).collect())
+}
+
+fn require_key<'a>(v: &'a Value, ctx: &str, key: &str) -> Result<&'a Value> {
+    v.get(key)
+        .ok_or_else(|| schema_err(&format!("{ctx}.{key}"), "missing"))
+}
+
+fn require_u32_in(v: &Value, ctx: &str, key: &str) -> Result<u32> {
+    require_key(v, ctx, key)?
+        .as_i64()
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or_else(|| schema_err(&format!("{ctx}.{key}"), "expected a non-negative integer"))
+}
+
+fn i64_elems(v: &Value, ctx: &str) -> Result<Vec<i64>> {
+    v.as_array()
+        .ok_or_else(|| schema_err(ctx, "expected an array of raw integers"))?
+        .iter()
+        .enumerate()
+        .map(|(i, x)| {
+            x.as_i64()
+                .ok_or_else(|| schema_err(&format!("{ctx}[{i}]"), "expected a raw integer"))
+        })
+        .collect()
+}
+
+fn i64_array_in(v: &Value, ctx: &str, key: &str) -> Result<Vec<i64>> {
+    i64_elems(require_key(v, ctx, key)?, &format!("{ctx}.{key}"))
+}
+
+fn i64_matrix_in(v: &Value, ctx: &str, key: &str) -> Result<Vec<Vec<i64>>> {
+    let ctx = format!("{ctx}.{key}");
+    v.get(key)
+        .and_then(Value::as_array)
+        .ok_or_else(|| schema_err(&ctx, "expected an array of raw-integer rows"))?
+        .iter()
+        .enumerate()
+        .map(|(i, row)| i64_elems(row, &format!("{ctx}[{i}]")))
+        .collect()
+}
+
+/// Maps a model-layer rejection of raw parts onto the artifact's
+/// positional schema diagnostics (`payload.<kind>.<parameter>`).
+fn model_schema_err(ctx: &str, e: ModelError) -> ServeError {
+    match e {
+        ModelError::InvalidParameter { context, message } => ServeError::Schema {
+            context: format!("{ctx}.{context}"),
+            message,
+        },
+        other => ServeError::Schema {
+            context: ctx.to_string(),
+            message: other.to_string(),
+        },
+    }
 }
 
 /// Stable on-disk name of a rounding mode.
@@ -721,5 +994,139 @@ mod tests {
             ModelArtifact::load("/nonexistent/ldafp/model.json"),
             Err(ServeError::Io { .. })
         ));
+    }
+
+    fn toy_dataset() -> ldafp_datasets::BinaryDataset {
+        use ldafp_linalg::Matrix;
+        let a = Matrix::from_rows(&[&[-0.5, 0.3], &[-0.4, 0.2], &[-0.6, 0.25]]).unwrap();
+        let b = Matrix::from_rows(&[&[0.5, -0.3], &[0.45, -0.2], &[0.55, -0.35]]).unwrap();
+        ldafp_datasets::BinaryDataset::new(a, b).unwrap()
+    }
+
+    fn sample_naive_bayes() -> ModelArtifact {
+        let format = QFormat::new(2, 6).unwrap();
+        let trainer =
+            ldafp_models::NaiveBayesTrainer::new(format, RoundingMode::NearestEven, 0.95);
+        ModelArtifact::naive_bayes(trainer.train(&toy_dataset()).unwrap())
+    }
+
+    fn sample_os_elm() -> ModelArtifact {
+        let format = ldafp_models::choose_format(10, 4).unwrap();
+        let mut trainer = ldafp_models::OsElmTrainer::new(format, RoundingMode::Floor);
+        trainer.config.hidden_units = 4;
+        ModelArtifact::os_elm(trainer.train(&toy_dataset()).unwrap())
+    }
+
+    #[test]
+    fn naive_bayes_roundtrip_is_bit_identical() {
+        let artifact = sample_naive_bayes();
+        let back = ModelArtifact::from_json_str(&artifact.to_json_string()).unwrap();
+        assert_eq!(back, artifact);
+        assert_eq!(back.model.family(), ModelFamily::NaiveBayes);
+    }
+
+    #[test]
+    fn os_elm_roundtrip_is_bit_identical() {
+        let artifact = sample_os_elm();
+        let back = ModelArtifact::from_json_str(&artifact.to_json_string()).unwrap();
+        assert_eq!(back, artifact);
+        assert_eq!(back.model.family(), ModelFamily::OsElm);
+    }
+
+    /// Rewrites an artifact's payload through `edit`, restoring checksum
+    /// consistency, so schema-gate tests exercise the gate itself rather
+    /// than the checksum.
+    fn with_edited_payload(artifact: &ModelArtifact, edit: impl FnOnce(&mut Value)) -> String {
+        let mut payload = artifact.payload_json();
+        edit(&mut payload);
+        let checksum = checksum_of(&payload);
+        Value::object([
+            ("format", Value::from(FORMAT_MAGIC)),
+            ("format_version", Value::from(FORMAT_VERSION)),
+            ("checksum", Value::from(checksum)),
+            ("payload", payload),
+        ])
+        .to_pretty_string()
+    }
+
+    #[test]
+    fn unknown_family_rejected_positionally_not_a_panic() {
+        // Mirrors the version-gate tests: a family from a future release
+        // must stop at `payload.family` with a readable diagnostic.
+        let text = with_edited_payload(&sample_naive_bayes(), |payload| {
+            if let Value::Object(map) = payload {
+                map.insert("family".to_string(), Value::from("quantum-forest"));
+            }
+        });
+        match ModelArtifact::from_json_str(&text) {
+            Err(ServeError::Schema { context, message }) => {
+                assert_eq!(context, "payload.family");
+                assert!(message.contains("quantum-forest"), "{message}");
+                assert!(message.contains("known:"), "{message}");
+            }
+            other => panic!("expected Schema error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn family_kind_mismatch_rejected() {
+        let text = with_edited_payload(&sample_naive_bayes(), |payload| {
+            if let Value::Object(map) = payload {
+                map.insert("family".to_string(), Value::from("os-elm"));
+            }
+        });
+        match ModelArtifact::from_json_str(&text) {
+            Err(ServeError::Schema { context, message }) => {
+                assert_eq!(context, "payload.family");
+                assert!(message.contains("does not match kind"), "{message}");
+            }
+            other => panic!("expected Schema error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_family_defaults_to_lda_for_old_artifacts() {
+        // Pre-family artifacts (PR 2 era) carry no `family` field; they
+        // must keep loading as LDA.
+        let artifact = sample_binary();
+        let text = with_edited_payload(&artifact, |payload| {
+            if let Value::Object(map) = payload {
+                map.remove("family");
+            }
+        });
+        let back = ModelArtifact::from_json_str(&text).unwrap();
+        assert_eq!(back.model.family(), ModelFamily::Lda);
+        assert_eq!(back.model, artifact.model);
+    }
+
+    #[test]
+    fn corrupt_family_payload_reports_inner_position() {
+        // A raw table word pushed out of range must surface the model
+        // layer's positional context under payload.naive_bayes.
+        let artifact = sample_naive_bayes();
+        let format = artifact.model.format();
+        let text = with_edited_payload(&artifact, |payload| {
+            if let Value::Object(map) = payload {
+                let Some(Value::Object(nb)) = map.get_mut("naive_bayes") else {
+                    panic!("naive_bayes body missing");
+                };
+                let Some(Value::Array(tables)) = nb.get_mut("tables") else {
+                    panic!("tables missing");
+                };
+                let Some(Value::Array(class0)) = tables.get_mut(0) else {
+                    panic!("class 0 missing");
+                };
+                let Some(Value::Array(feature0)) = class0.get_mut(0) else {
+                    panic!("feature 0 missing");
+                };
+                feature0[2] = Value::from(format.max_raw() + 1);
+            }
+        });
+        match ModelArtifact::from_json_str(&text) {
+            Err(ServeError::Schema { context, .. }) => {
+                assert_eq!(context, "payload.naive_bayes.tables[0][0][2]");
+            }
+            other => panic!("expected Schema error, got {other:?}"),
+        }
     }
 }

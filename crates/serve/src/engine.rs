@@ -23,6 +23,7 @@ use crate::pool::WorkerPool;
 use ldafp_core::multiclass::OneVsRestClassifier;
 use ldafp_core::FixedPointClassifier;
 use ldafp_fixedpoint::{mac_dot_counted, Fx, QFormat, RoundingMode};
+use ldafp_models::FixedPointModel;
 use std::sync::{Arc, Mutex};
 
 /// Reusable per-row working buffers for the batch path.
@@ -242,6 +243,8 @@ impl InferenceEngine {
         let rounding = match &self.artifact.model {
             ServedModel::Binary(clf) => clf.rounding(),
             ServedModel::OneVsRest(clf) => clf.heads()[0].rounding(),
+            ServedModel::NaiveBayes(m) => m.rounding(),
+            ServedModel::OsElm(m) => m.rounding(),
         };
         let scale = self.artifact.input_scale.as_slice();
         let identity = matches!(scale, [s] if *s == 1.0);
@@ -286,6 +289,8 @@ impl InferenceEngine {
         let (class_index, score, wraps) = match ctx.model {
             ServedModel::Binary(clf) => binary_decision(clf, &scratch.quantized),
             ServedModel::OneVsRest(clf) => one_vs_rest_decision(clf, &scratch.quantized),
+            ServedModel::NaiveBayes(m) => family_decision(m, &scratch.quantized),
+            ServedModel::OsElm(m) => family_decision(m, &scratch.quantized),
         };
         let prediction = Prediction {
             class_index,
@@ -349,6 +354,20 @@ fn one_vs_rest_decision(clf: &OneVsRestClassifier, xq: &[Fx]) -> (usize, f64, u6
         }
     }
     (best_class, best_margin, wraps)
+}
+
+/// Decision for a [`FixedPointModel`] family over an already-quantized row.
+/// The model's own integer datapath decides; the advisory score is the
+/// winning class's raw score converted to value units.
+fn family_decision<M: FixedPointModel>(model: &M, xq: &[Fx]) -> (usize, f64, u64) {
+    let d = model
+        .classify_quantized(xq)
+        .expect("row length and format are validated by the engine");
+    (
+        d.class_index,
+        d.score_raw as f64 * model.format().resolution(),
+        d.accumulator_wraps,
+    )
 }
 
 fn offset_row(e: ServeError, by: usize) -> ServeError {
@@ -449,6 +468,62 @@ mod tests {
             let (p, _) = engine.predict_row(&row).unwrap();
             assert_eq!(p.class_index, usize::from(!clf.classify(&halved)));
         }
+    }
+
+    fn family_dataset() -> ldafp_datasets::BinaryDataset {
+        let a = ldafp_linalg::Matrix::from_rows(&[
+            &[0.6, 0.5, 0.4][..],
+            &[0.5, 0.7, 0.3][..],
+            &[0.7, 0.4, 0.5][..],
+        ])
+        .unwrap();
+        let b = ldafp_linalg::Matrix::from_rows(&[
+            &[-0.5, -0.6, -0.4][..],
+            &[-0.6, -0.4, -0.5][..],
+            &[-0.4, -0.5, -0.6][..],
+        ])
+        .unwrap();
+        ldafp_datasets::BinaryDataset::new(a, b).unwrap()
+    }
+
+    /// Engine predictions for a family model are bit-identical to calling
+    /// the in-process `classify_batch`, wraps and all — the tentpole's
+    /// round-trip contract at the serve layer.
+    #[test]
+    fn naive_bayes_engine_matches_in_memory_model_bit_for_bit() {
+        let format = QFormat::new(3, 6).unwrap();
+        let trainer =
+            ldafp_models::NaiveBayesTrainer::new(format, RoundingMode::NearestEven, 0.95);
+        let model = trainer.train(&family_dataset()).unwrap();
+        let engine = InferenceEngine::new(ModelArtifact::naive_bayes(model.clone())).unwrap();
+        let rows = random_rows(120, 3, 29, 1.5);
+        let served = engine.predict_batch(&rows).unwrap();
+        let direct = model.classify_batch(&rows).unwrap();
+        assert_eq!(served.stats.accumulator_wraps, direct.accumulator_wraps);
+        assert_eq!(served.stats.saturated_inputs, direct.saturated_inputs);
+        for (p, d) in served.predictions.iter().zip(&direct.decisions) {
+            assert_eq!(p.class_index, d.class_index);
+        }
+    }
+
+    #[test]
+    fn os_elm_engine_matches_in_memory_model_bit_for_bit() {
+        let format = ldafp_models::choose_format(10, 4).unwrap();
+        let mut trainer = ldafp_models::OsElmTrainer::new(format, RoundingMode::Floor);
+        trainer.config.hidden_units = 4;
+        let model = trainer.train(&family_dataset()).unwrap();
+        let engine = InferenceEngine::new(ModelArtifact::os_elm(model.clone())).unwrap();
+        let rows = random_rows(120, 3, 31, 1.5);
+        let served = engine.predict_batch(&rows).unwrap();
+        let direct = model.classify_batch(&rows).unwrap();
+        assert_eq!(served.stats.accumulator_wraps, direct.accumulator_wraps);
+        assert_eq!(served.stats.saturated_inputs, direct.saturated_inputs);
+        for (p, d) in served.predictions.iter().zip(&direct.decisions) {
+            assert_eq!(p.class_index, d.class_index);
+        }
+        let pool = WorkerPool::new(3);
+        let parallel = engine.predict_batch_on(&pool, rows).unwrap();
+        assert_eq!(parallel, served);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::json::Value;
 use crate::metrics::Metrics;
 use crate::pool::WorkerPool;
 use crate::wire::{self, Request};
+use ldafp_obs as obs;
 use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -117,11 +118,25 @@ pub fn serve(
     })?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let metrics = Arc::new(Metrics::new());
-    let pool = Arc::new(if config.inference_threads == 0 {
-        WorkerPool::with_default_size()
+    // A one-thread pool costs shard bookkeeping and cross-thread handoffs
+    // for zero parallelism (BENCH_serve.json measured a 0.78x "speedup"),
+    // so single-threaded configs skip the pool entirely and predict on the
+    // connection thread.
+    let threads = if config.inference_threads == 0 {
+        crate::pool::available_parallelism()
     } else {
-        WorkerPool::new(config.inference_threads)
-    });
+        config.inference_threads
+    };
+    let pool = if threads <= 1 {
+        if obs::enabled() {
+            obs::emit(
+                obs::Event::new("serve.pool_bypassed").with("threads", threads as u64),
+            );
+        }
+        None
+    } else {
+        Some(Arc::new(WorkerPool::new(threads)))
+    };
 
     let acceptor = {
         let shutdown = Arc::clone(&shutdown);
@@ -150,7 +165,7 @@ fn accept_loop(
     listener: TcpListener,
     local: SocketAddr,
     engine: InferenceEngine,
-    pool: Arc<WorkerPool>,
+    pool: Option<Arc<WorkerPool>>,
     metrics: Arc<Metrics>,
     shutdown: Arc<AtomicBool>,
     config: ServerConfig,
@@ -166,14 +181,22 @@ fn accept_loop(
         let _ = stream.set_nodelay(true);
         connections.retain(|c| !c.is_finished());
         let engine = engine.clone();
-        let pool = Arc::clone(&pool);
+        let pool = pool.clone();
         let metrics = Arc::clone(&metrics);
         let shutdown = Arc::clone(&shutdown);
         let config = config.clone();
         if let Ok(handle) = thread::Builder::new()
             .name("ldafp-serve-conn".to_string())
             .spawn(move || {
-                handle_connection(stream, local, &engine, &pool, &metrics, &shutdown, &config);
+                handle_connection(
+                    stream,
+                    local,
+                    &engine,
+                    pool.as_deref(),
+                    &metrics,
+                    &shutdown,
+                    &config,
+                );
             })
         {
             connections.push(handle);
@@ -188,7 +211,7 @@ fn handle_connection(
     mut stream: TcpStream,
     local: SocketAddr,
     engine: &InferenceEngine,
-    pool: &WorkerPool,
+    pool: Option<&WorkerPool>,
     metrics: &Metrics,
     shutdown: &AtomicBool,
     config: &ServerConfig,
@@ -223,7 +246,11 @@ fn handle_connection(
             }
             Ok(Request::Predict { rows }) => {
                 let started = Instant::now();
-                match engine.predict_batch_on(pool, rows) {
+                let outcome = match pool {
+                    Some(pool) => engine.predict_batch_on(pool, rows),
+                    None => engine.predict_batch(&rows),
+                };
+                match outcome {
                     Ok(out) => {
                         metrics.record_request(
                             out.stats.rows as u64,
@@ -292,13 +319,8 @@ fn health_response(engine: &InferenceEngine) -> Value {
         (
             "model",
             Value::object([
-                (
-                    "kind",
-                    Value::from(match artifact.model {
-                        crate::artifact::ServedModel::Binary(_) => "binary",
-                        crate::artifact::ServedModel::OneVsRest(_) => "one-vs-rest",
-                    }),
-                ),
+                ("kind", Value::from(artifact.model.kind_name())),
+                ("family", Value::from(artifact.model.family().name())),
                 ("qformat", Value::from(format.to_string())),
                 ("features", Value::from(engine.num_features())),
                 ("classes", Value::from(engine.num_classes())),

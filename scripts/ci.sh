@@ -105,5 +105,52 @@ cargo run --release -q -p ldafp-cli -- trace-check --input "$chaos_tmp/resume.nd
 cmp "$chaos_tmp/base.md" "$chaos_tmp/chaos.md" \
     || { echo "rerun changed the pareto report" >&2; exit 1; }
 
+# Model-family layer: trainer/classify units and proptests for the
+# pluggable families, then a per-family train→save→predict round-trip
+# through the real binary (naive Bayes and OS-ELM exit 0 on success;
+# LDA keys its exit on the training-outcome contract), a family sweep
+# smoke with tracing on (validated by trace-check, and the family-tagged
+# train.start events must actually fire), and a family-sweep resume
+# determinism check: a re-run over the same state dir must come back
+# entirely from the cache and render a byte-identical Pareto report.
+cargo test -q -p ldafp-models
+fam_tmp="$(mktemp -d)"
+trap 'rm -rf "$obs_tmp" "$chaos_tmp" "$fam_tmp"' EXIT
+for family in lda naive-bayes os-elm; do
+    fam_status=0
+    cargo run --release -q -p ldafp-cli -- train --data "$obs_tmp/train.csv" \
+        --bits 8 --quick --family "$family" \
+        --save-model "$fam_tmp/$family.ldafp.json" > /dev/null || fam_status=$?
+    case "$family:$fam_status" in
+        lda:0|lda:2|lda:3|naive-bayes:0|os-elm:0) ;;
+        *) echo "train --family $family failed with status $fam_status" >&2; exit 1 ;;
+    esac
+    cargo run --release -q -p ldafp-cli -- predict \
+        --model "$fam_tmp/$family.ldafp.json" --input "$obs_tmp/train.csv" \
+        | grep -q '^# rows: 40' \
+        || { echo "predict --family $family round-trip failed" >&2; exit 1; }
+done
+fam_args=(explore --threads 1 --min-bits 6 --max-bits 8 --family naive-bayes,os-elm
+          --data "$obs_tmp/train.csv")
+sweep_status=0
+cargo run --release -q -p ldafp-cli -- "${fam_args[@]}" \
+    --resume "$fam_tmp/state" --pareto "$fam_tmp/a.md" \
+    --trace "$fam_tmp/family.ndjson" > /dev/null || sweep_status=$?
+case "$sweep_status" in
+    0|2) ;; # 2 = an uncertified OS-ELM point tops the frontier; not an error
+    *) echo "family sweep failed with status $sweep_status" >&2; exit 1 ;;
+esac
+cargo run --release -q -p ldafp-cli -- trace-check --input "$fam_tmp/family.ndjson" > /dev/null
+grep -q '"event":"train.start".*"family":"naive-bayes"' "$fam_tmp/family.ndjson" \
+    || { echo "family sweep emitted no naive-bayes train.start" >&2; exit 1; }
+cargo run --release -q -p ldafp-cli -- "${fam_args[@]}" \
+    --resume "$fam_tmp/state" --pareto "$fam_tmp/b.md" \
+    --trace "$fam_tmp/family2.ndjson" > /dev/null || true
+grep -q '"event":"resume.skipped"' "$fam_tmp/family2.ndjson" \
+    || { echo "family sweep re-run re-trained cached points" >&2; exit 1; }
+cmp "$fam_tmp/a.md" "$fam_tmp/b.md" \
+    || { echo "family pareto report differs across resume" >&2; exit 1; }
+cargo clippy -p ldafp-models --all-targets -- -D warnings
+
 # Whole-workspace lint, warnings promoted to errors.
 cargo clippy --workspace --all-targets -- -D warnings

@@ -1,0 +1,104 @@
+//! Evented-vs-blocking serving throughput at N concurrent connections,
+//! written to `BENCH_net.json`.
+//!
+//! ```text
+//! cargo run -p ldafp-bench --release --bin net_bench [-- --quick] [-- --clients N]
+//! ```
+//!
+//! Measures the same fixture through three configurations — blocking JSON
+//! (thread per connection), evented JSON (epoll + micro-batching), and
+//! evented binary (compact codec, pipelined clients) — then drives an
+//! overload probe against a tiny inflight budget. Exits nonzero when, at
+//! the full 16-client shape, evented binary fails to reach 2x the
+//! blocking JSON tier, or when the shedder fails to engage / corrupts an
+//! admitted reply. The quick shape keeps the shed checks but skips the
+//! throughput gate (too few clients to pressure the batcher).
+
+use ldafp_bench::experiments::{run_net_throughput, NetBenchConfig};
+use ldafp_bench::{quick_flag, table};
+
+/// Parses `--clients N` from argv; `None` keeps the config default.
+fn clients_flag() -> Option<usize> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--clients" {
+            let value = args.next().unwrap_or_default();
+            match value.parse() {
+                Ok(n) if n > 0 => return Some(n),
+                _ => {
+                    eprintln!("net_bench: --clients expects a positive integer, got {value:?}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn main() {
+    let mut config = NetBenchConfig::default();
+    if quick_flag() {
+        config.clients = 4;
+        config.requests_per_client = 16;
+    }
+    if let Some(clients) = clients_flag() {
+        config.clients = clients;
+    }
+    eprintln!(
+        "net throughput — {} clients × {} requests × {} rows, {} features",
+        config.clients, config.requests_per_client, config.rows_per_request, config.num_features
+    );
+    let report = run_net_throughput(&config);
+
+    let speedup = |rows_per_s: f64| format!("{:.2}x", rows_per_s / report.blocking_json_rows_per_s);
+    let cells = vec![
+        vec![
+            "blocking JSON".to_string(),
+            format!("{:.0}", report.blocking_json_rows_per_s),
+            "1.00x".to_string(),
+        ],
+        vec![
+            "evented JSON".to_string(),
+            format!("{:.0}", report.evented_json_rows_per_s),
+            speedup(report.evented_json_rows_per_s),
+        ],
+        vec![
+            "evented binary".to_string(),
+            format!("{:.0}", report.evented_binary_rows_per_s),
+            speedup(report.evented_binary_rows_per_s),
+        ],
+    ];
+    println!(
+        "{}",
+        table::render(&["mode", "rows/s", "vs blocking JSON"], &cells)
+    );
+    println!(
+        "overload probe: shed engaged = {}, admitted replies correct = {}",
+        report.shed_engaged, report.shed_admitted_correct
+    );
+
+    let out = "BENCH_net.json";
+    std::fs::write(out, report.to_json_string()).expect("write BENCH_net.json");
+    println!("wrote {out}");
+
+    let mut failed = false;
+    if !report.shed_engaged {
+        eprintln!("FAIL: the overload probe never tripped the load-shedder");
+        failed = true;
+    }
+    if !report.shed_admitted_correct {
+        eprintln!("FAIL: an admitted reply diverged from the in-process reference under overload");
+        failed = true;
+    }
+    if report.clients >= 16 && report.evented_vs_blocking() < 2.0 {
+        eprintln!(
+            "FAIL: evented binary is {:.2}x blocking JSON at {} clients (< 2.0x gate)",
+            report.evented_vs_blocking(),
+            report.clients
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -56,7 +56,7 @@ fn main() {
     );
     let report = run_serve_throughput(&config);
 
-    let cells = vec![
+    let mut cells = vec![
         vec![
             "single row".to_string(),
             format!("{:.0}", report.single_row_rows_per_s),
@@ -67,25 +67,30 @@ fn main() {
             format!("{:.0}", report.batched_rows_per_s),
             format!("{:.2}x", report.batch_speedup()),
         ],
-        vec![
-            format!("parallel ({} threads)", report.threads),
-            format!("{:.0}", report.parallel_rows_per_s),
-            format!(
-                "{:.2}x",
-                report.parallel_rows_per_s / report.single_row_rows_per_s
-            ),
-        ],
     ];
+    if let Some(parallel) = report.parallel_rows_per_s {
+        cells.push(vec![
+            format!("parallel ({} threads)", report.threads),
+            format!("{:.0}", parallel),
+            format!("{:.2}x", parallel / report.single_row_rows_per_s),
+        ]);
+    }
     println!(
         "{}",
         table::render(&["mode", "rows/s", "speedup vs single-row"], &cells)
     );
-    println!(
-        "parallel vs batched: {:.2}x on {} worker thread(s) — meaningful only \
-         on multi-core hosts; single-core runs report pool overhead.",
-        report.parallel_speedup(),
-        report.threads
-    );
+    match report.parallel_speedup() {
+        Some(speedup) => println!(
+            "parallel vs batched: {speedup:.2}x on {} worker thread(s)",
+            report.threads
+        ),
+        None => println!(
+            "parallel mode skipped: {} effective thread(s) — the serving \
+             layer bypasses the pool there, so the field is omitted rather \
+             than reporting pool overhead as a speedup.",
+            report.threads
+        ),
+    }
 
     let out = "BENCH_serve.json";
     std::fs::write(out, report.to_json_string()).expect("write BENCH_serve.json");

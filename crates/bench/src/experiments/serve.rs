@@ -49,8 +49,12 @@ pub struct ServeThroughputReport {
     pub single_row_rows_per_s: f64,
     /// One `predict_batch` call for all rows (single-threaded).
     pub batched_rows_per_s: f64,
-    /// `predict_batch_on` across the worker pool.
-    pub parallel_rows_per_s: f64,
+    /// `predict_batch_on` across the worker pool. `None` below two
+    /// effective threads: the serving layer bypasses the pool there (a
+    /// one-thread pool costs handoffs for zero parallelism), so a
+    /// "parallel" number from this regime measures pure overhead — the
+    /// seed's meaningless 0.78× — and is omitted rather than reported.
+    pub parallel_rows_per_s: Option<f64>,
 }
 
 impl ServeThroughputReport {
@@ -60,18 +64,19 @@ impl ServeThroughputReport {
         self.batched_rows_per_s / self.single_row_rows_per_s
     }
 
-    /// Multi-threaded speedup over single-threaded batching. On a
-    /// single-core host this hovers near 1× (pool overhead included);
-    /// the number is reported, not asserted.
+    /// Multi-threaded speedup over single-threaded batching; `None`
+    /// whenever the parallel mode was skipped (see
+    /// [`Self::parallel_rows_per_s`]).
     #[must_use]
-    pub fn parallel_speedup(&self) -> f64 {
-        self.parallel_rows_per_s / self.batched_rows_per_s
+    pub fn parallel_speedup(&self) -> Option<f64> {
+        Some(self.parallel_rows_per_s? / self.batched_rows_per_s)
     }
 
-    /// The `BENCH_serve.json` document.
+    /// The `BENCH_serve.json` document. Parallel fields appear only when
+    /// the parallel mode ran on ≥2 effective threads.
     #[must_use]
     pub fn to_json_string(&self) -> String {
-        Value::object([
+        let mut fields = vec![
             ("bench", Value::from("serve-throughput")),
             ("rows", Value::from(self.rows)),
             ("num_features", Value::from(self.num_features)),
@@ -81,11 +86,14 @@ impl ServeThroughputReport {
                 Value::from(self.single_row_rows_per_s),
             ),
             ("batched_rows_per_s", Value::from(self.batched_rows_per_s)),
-            ("parallel_rows_per_s", Value::from(self.parallel_rows_per_s)),
             ("batch_speedup", Value::from(self.batch_speedup())),
-            ("parallel_speedup", Value::from(self.parallel_speedup())),
-        ])
-        .to_pretty_string()
+        ];
+        if let (Some(parallel), Some(speedup)) = (self.parallel_rows_per_s, self.parallel_speedup())
+        {
+            fields.push(("parallel_rows_per_s", Value::from(parallel)));
+            fields.push(("parallel_speedup", Value::from(speedup)));
+        }
+        Value::object(fields).to_pretty_string()
     }
 }
 
@@ -119,11 +127,15 @@ pub fn serve_fixture(num_features: usize, rows: usize) -> (InferenceEngine, Vec<
 #[must_use]
 pub fn run_serve_throughput(config: &ServeBenchConfig) -> ServeThroughputReport {
     let (engine, rows) = serve_fixture(config.num_features, config.rows);
+    // Mirror the serving layer's pool-bypass policy: below two effective
+    // threads the server predicts on the connection thread, so the bench
+    // skips the parallel mode instead of timing a pool nothing deploys.
     let pool = if config.threads == 0 {
         WorkerPool::with_default_size()
     } else {
         WorkerPool::new(config.threads)
     };
+    let pool = (pool.threads() >= 2).then_some(pool);
 
     let single = || {
         for row in &rows {
@@ -133,9 +145,9 @@ pub fn run_serve_throughput(config: &ServeBenchConfig) -> ServeThroughputReport 
     let batched = || {
         let _ = engine.predict_batch(&rows).expect("fixture rows are valid");
     };
-    let parallel = || {
+    let parallel = |pool: &WorkerPool| {
         let _ = engine
-            .predict_batch_on(&pool, rows.clone())
+            .predict_batch_on(pool, rows.clone())
             .expect("fixture rows are valid");
     };
 
@@ -147,25 +159,27 @@ pub fn run_serve_throughput(config: &ServeBenchConfig) -> ServeThroughputReport 
 
     single();
     batched();
-    parallel();
+    if let Some(p) = &pool {
+        parallel(p);
+    }
 
     let mut best = [f64::INFINITY; 3];
     for _ in 0..config.repeats.max(1) {
         best[0] = best[0].min(timed(&single));
         best[1] = best[1].min(timed(&batched));
-        best[2] = best[2].min(timed(&parallel));
+        if let Some(p) = &pool {
+            best[2] = best[2].min(timed(&|| parallel(p)));
+        }
     }
     let rows_per_s = |s: f64| config.rows as f64 / s;
-    let (single_row_rows_per_s, batched_rows_per_s, parallel_rows_per_s) =
-        (rows_per_s(best[0]), rows_per_s(best[1]), rows_per_s(best[2]));
 
     ServeThroughputReport {
         rows: config.rows,
         num_features: config.num_features,
-        threads: pool.threads(),
-        single_row_rows_per_s,
-        batched_rows_per_s,
-        parallel_rows_per_s,
+        threads: pool.as_ref().map_or(1, WorkerPool::threads),
+        single_row_rows_per_s: rows_per_s(best[0]),
+        batched_rows_per_s: rows_per_s(best[1]),
+        parallel_rows_per_s: pool.is_some().then(|| rows_per_s(best[2])),
     }
 }
 
@@ -183,7 +197,7 @@ mod tests {
         });
         assert!(report.single_row_rows_per_s > 0.0);
         assert!(report.batched_rows_per_s > 0.0);
-        assert!(report.parallel_rows_per_s > 0.0);
+        assert!(report.parallel_rows_per_s.unwrap() > 0.0);
         assert_eq!(report.threads, 2);
         let json = report.to_json_string();
         for needle in [
@@ -193,6 +207,25 @@ mod tests {
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
+    }
+
+    #[test]
+    fn single_thread_runs_omit_the_parallel_fields() {
+        // The serving layer bypasses the pool below two threads; reporting
+        // a "parallel" number from that regime (the seed's 0.78×) would
+        // just measure pool overhead nothing deploys.
+        let report = run_serve_throughput(&ServeBenchConfig {
+            rows: 400,
+            repeats: 1,
+            threads: 1,
+            ..ServeBenchConfig::default()
+        });
+        assert_eq!(report.parallel_rows_per_s, None);
+        assert_eq!(report.parallel_speedup(), None);
+        assert_eq!(report.threads, 1);
+        let json = report.to_json_string();
+        assert!(!json.contains("parallel"), "{json}");
+        assert!(json.contains("\"batch_speedup\""), "{json}");
     }
 
     #[test]

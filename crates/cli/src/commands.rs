@@ -249,6 +249,20 @@ pub fn degradation_summary(d: &DegradationStats) -> Option<String> {
 const CHECKPOINT_EVENTS: &[&str] = &["checkpoint.write", "checkpoint.load"];
 const RESUME_EVENTS: &[&str] = &["resume.loaded", "resume.cold_start", "resume.skipped"];
 
+/// The evented tier's event vocabulary (`ldafp-net`); validated the same
+/// way so a `--trace` capture of `serve --evented` proves which
+/// instrumentation points fired.
+const NET_EVENTS: &[&str] = &[
+    "net.listen",
+    "net.accept",
+    "net.close",
+    "net.deadline_close",
+    "net.batch",
+    "net.shed",
+    "net.reload",
+    "net.shutdown",
+];
+
 /// `ldafp trace-check --input <ndjson>` — validates a `--trace` capture
 /// line by line: every line must parse as a JSON object with a string
 /// `event` and numeric `t_us`, and events in the `checkpoint.*` /
@@ -280,13 +294,15 @@ pub fn trace_check(text: &str) -> Result<String> {
                     (Some(name), Some(_)) => {
                         let unknown_family_member = (name.starts_with("checkpoint.")
                             && !CHECKPOINT_EVENTS.contains(&name))
-                            || (name.starts_with("resume.") && !RESUME_EVENTS.contains(&name));
+                            || (name.starts_with("resume.") && !RESUME_EVENTS.contains(&name))
+                            || (name.starts_with("net.") && !NET_EVENTS.contains(&name));
                         if unknown_family_member {
                             bad.push(format!(
-                                "line {lineno}: unknown checkpoint/resume event `{name}` \
-                                 (known: {}, {})",
+                                "line {lineno}: unknown checkpoint/resume/net event `{name}` \
+                                 (known: {}, {}, {})",
                                 CHECKPOINT_EVENTS.join(", "),
-                                RESUME_EVENTS.join(", ")
+                                RESUME_EVENTS.join(", "),
+                                NET_EVENTS.join(", ")
                             ));
                         } else {
                             *tally.entry(name.to_string()).or_insert(0) += 1;
@@ -310,7 +326,11 @@ pub fn trace_check(text: &str) -> Result<String> {
     for (name, count) in &tally {
         out.push_str(&format!("  {name:<20} {count}\n"));
     }
-    for (family, prefix) in [("checkpoint.*", "checkpoint."), ("resume.*", "resume.")] {
+    for (family, prefix) in [
+        ("checkpoint.*", "checkpoint."),
+        ("resume.*", "resume."),
+        ("net.*", "net."),
+    ] {
         let count: usize = tally
             .iter()
             .filter(|(name, _)| name.starts_with(prefix))
@@ -390,6 +410,139 @@ pub fn serve_start(
         ..ldafp_serve::ServerConfig::default()
     };
     Ok(ldafp_serve::serve(engine, addr, config)?)
+}
+
+/// `ldafp serve --evented --model <artifact> --addr <host:port>
+/// [--models name=path,...] [--batch-rows n] [--batch-deadline-us n]
+/// [--max-inflight n] [--max-pending-rows n] [--read-deadline-ms n]` —
+/// starts the epoll-based evented server (`ldafp-net`): one port, both
+/// codecs (JSON and binary, negotiated per frame), cross-connection
+/// micro-batching, and a hot-reloadable model registry seeded with the
+/// `--model` artifact as `default` plus any `--models name=path` extras.
+///
+/// # Errors
+///
+/// Propagates artifact parse/validation failures, malformed `--models`
+/// entries, bind errors, and [`ldafp_net::NetError::Unsupported`] on
+/// platforms without the epoll shim.
+pub fn serve_evented_start(
+    args: &ParsedArgs,
+    artifact_json: &str,
+    addr: &str,
+) -> Result<ldafp_net::EventedHandle> {
+    let engine = InferenceEngine::new(ModelArtifact::from_json_str(artifact_json)?)?;
+    let registry = ldafp_serve::ModelRegistry::with_default(engine);
+    if let Some(spec) = args.get("models") {
+        for entry in spec.split(',').filter(|e| !e.is_empty()) {
+            let (name, path) = entry.split_once('=').ok_or_else(|| {
+                CliError(format!("--models expects name=path entries, got '{entry}'"))
+            })?;
+            let text = std::fs::read_to_string(path)?;
+            let engine = InferenceEngine::new(ModelArtifact::from_json_str(&text)?)?;
+            registry.install(name, engine);
+        }
+    }
+    let defaults = ldafp_net::EventedConfig::default();
+    let config = ldafp_net::EventedConfig {
+        batch_max_rows: args.get_parsed("batch-rows", defaults.batch_max_rows)?,
+        batch_deadline: Duration::from_micros(args.get_parsed(
+            "batch-deadline-us",
+            u64::try_from(defaults.batch_deadline.as_micros()).unwrap_or(u64::MAX),
+        )?),
+        max_inflight_per_conn: args.get_parsed("max-inflight", defaults.max_inflight_per_conn)?,
+        max_pending_rows: args.get_parsed("max-pending-rows", defaults.max_pending_rows)?,
+        read_deadline: Duration::from_millis(args.get_parsed(
+            "read-deadline-ms",
+            u64::try_from(defaults.read_deadline.as_millis()).unwrap_or(u64::MAX),
+        )?),
+        ..defaults
+    };
+    Ok(ldafp_net::serve_evented(registry, addr, config)?)
+}
+
+/// How a remote command talks to the server: the compact binary protocol
+/// (default — it is what the evented tier is for) or the JSON framing
+/// both tiers accept.
+fn wire_choice(args: &ParsedArgs) -> Result<&str> {
+    match args.get("wire").unwrap_or("binary") {
+        w @ ("binary" | "json") => Ok(w),
+        other => Err(CliError(format!(
+            "--wire must be 'binary' or 'json', got '{other}'"
+        ))),
+    }
+}
+
+const REMOTE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// `ldafp reload --addr <host:port> --model <artifact> [--name <model>]
+/// [--wire binary|json]` — atomically installs (or replaces) a model in a
+/// running evented server's registry. Requests already queued keep the
+/// engine they were admitted under; only later requests see the swap.
+///
+/// # Errors
+///
+/// Transport failures, or the server's typed rejection when the artifact
+/// fails validation.
+pub fn reload_cmd(args: &ParsedArgs, artifact_json: &str, addr: &str) -> Result<String> {
+    let name = args.get("name").unwrap_or(ldafp_serve::DEFAULT_MODEL_NAME);
+    let reply = match wire_choice(args)? {
+        "binary" => {
+            ldafp_net::NetClient::connect(addr, REMOTE_TIMEOUT)?.reload(name, artifact_json)?
+        }
+        _ => ldafp_serve::Client::connect(addr, REMOTE_TIMEOUT)?.reload(name, artifact_json)?,
+    };
+    let field = |key: &str| match reply.get(key) {
+        Some(v) => v
+            .as_str()
+            .map_or_else(|| v.to_compact_string(), str::to_string),
+        None => "?".to_string(),
+    };
+    Ok(format!(
+        "reloaded model {} (family {}, replaced {}, registry generation {})\n",
+        field("model"),
+        field("family"),
+        field("replaced"),
+        field("generation"),
+    ))
+}
+
+/// `ldafp predict --addr <host:port> --input <csv> [--name <model>]
+/// [--wire binary|json]` — remote batch inference against a running
+/// server, emitting the exact CSV [`predict`] emits locally (the
+/// differential tests rely on the three paths agreeing byte-for-byte).
+/// `--name` routes to a registry model (evented tier only).
+///
+/// # Errors
+///
+/// Transport failures and the server's typed rejections (shape mismatch,
+/// unknown route, overload).
+pub fn predict_remote(args: &ParsedArgs, csv_text: &str, addr: &str) -> Result<String> {
+    let rows = csv::parse_features(csv_text)?;
+    let model = args.get("name");
+    let mut text = String::from("row,class,label,score\n");
+    let (wraps, saturated) = match wire_choice(args)? {
+        "binary" => {
+            let mut client = ldafp_net::NetClient::connect(addr, REMOTE_TIMEOUT)?;
+            let reply = client.predict_rows(model, &rows)?;
+            for (i, (class, score)) in reply.classes.iter().zip(&reply.scores).enumerate() {
+                text.push_str(&format!("{i},{class},{},{score}\n", reply.label(i)));
+            }
+            (reply.accumulator_wraps, reply.saturated_inputs)
+        }
+        _ => {
+            let mut client = ldafp_serve::Client::connect(addr, REMOTE_TIMEOUT)?;
+            let reply = client.predict_routed(model, &rows)?;
+            for (i, p) in reply.predictions.iter().enumerate() {
+                text.push_str(&format!("{i},{},{},{}\n", p.class_index, p.label, p.score));
+            }
+            (reply.accumulator_wraps, reply.saturated_inputs)
+        }
+    };
+    text.push_str(&format!(
+        "# rows: {}, accumulator wraps: {wraps}, saturated inputs: {saturated}\n",
+        rows.len()
+    ));
+    Ok(text)
 }
 
 /// Threads `--max-solver-retries` into the recovery schedule (`0` disables

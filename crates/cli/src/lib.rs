@@ -62,5 +62,11 @@ impl From<ldafp_serve::ServeError> for CliError {
     }
 }
 
+impl From<ldafp_net::NetError> for CliError {
+    fn from(e: ldafp_net::NetError) -> Self {
+        CliError(format!("net error: {e}"))
+    }
+}
+
 /// Convenience alias for CLI results.
 pub type Result<T> = std::result::Result<T, CliError>;

@@ -8,7 +8,15 @@
 //!                  [--save-model model.ldafp.json]
 //! ldafp eval       --model model.json --data test.csv
 //! ldafp predict    --model model.ldafp.json --input rows.csv
+//! ldafp predict    --addr 127.0.0.1:7878 --input rows.csv [--name model]
+//!                  [--wire binary|json]
 //! ldafp serve      --model model.ldafp.json --addr 127.0.0.1:7878 [--threads 4]
+//! ldafp serve      --evented --model model.ldafp.json --addr 127.0.0.1:7878
+//!                  [--models name=path,...] [--batch-rows 256]
+//!                  [--batch-deadline-us 500] [--max-inflight 32]
+//!                  [--max-pending-rows 16384] [--read-deadline-ms 5000]
+//! ldafp reload     --addr 127.0.0.1:7878 --model new.ldafp.json [--name model]
+//!                  [--wire binary|json]
 //! ldafp info       --model model.json
 //! ldafp export-rtl --model model.json [--module name] [--testbench] [--out clf.v]
 //! ldafp wordlength --data train.csv --target 0.2 [--min-bits 3] [--max-bits 16]
@@ -56,7 +64,16 @@ commands:
                certified, 2 budget-exhausted/degraded, 3 fallback-rounded)
   eval        --model <model.json> --data <csv>
   predict     --model <model.ldafp.json> --input <csv>
+              (remote: --addr <host:port> instead of --model, plus
+               [--name model] [--wire binary|json])
   serve       --model <model.ldafp.json> --addr <host:port> [--threads n]
+              (--evented starts the epoll tier: both codecs on one port,
+               cross-connection micro-batching, hot-reload registry;
+               [--models name=path,...] [--batch-rows n]
+               [--batch-deadline-us n] [--max-inflight n]
+               [--max-pending-rows n] [--read-deadline-ms n])
+  reload      --addr <host:port> --model <artifact.json> [--name model]
+              [--wire binary|json]
   info        --model <model.json>
   export-rtl  --model <model.json> [--module name] [--testbench] [--out clf.v]
   wordlength  --data <csv> --target <error> [--min-bits n] [--max-bits n]
@@ -107,8 +124,10 @@ fn run() -> ldafp_cli::Result<(String, u8)> {
             "model", "out", "target", "min-bits", "max-bits", "save-model", "input",
             "addr", "threads", "solver-threads", "holdout", "rounding", "cache-dir",
             "json", "trace", "resume", "pareto", "checkpoint-nodes", "family",
+            "name", "wire", "models", "batch-rows", "batch-deadline-us", "max-inflight",
+            "max-pending-rows", "read-deadline-ms",
         ],
-        &["baseline", "quick", "testbench", "cold", "no-cache", "metrics-summary"],
+        &["baseline", "quick", "testbench", "cold", "no-cache", "metrics-summary", "evented"],
     )?;
     let command = args
         .positional()
@@ -160,34 +179,63 @@ fn run() -> ldafp_cli::Result<(String, u8)> {
             commands::eval_cmd(&model, &csv_text)?
         }
         "predict" => {
-            let artifact = read_required_for(&args, "predict", "model")?;
             let input_path = args.get("input").ok_or_else(|| {
-                CliError("predict needs --input <csv>\nusage: ldafp predict --model <model.ldafp.json> --input <csv>".to_string())
+                CliError("predict needs --input <csv>\nusage: ldafp predict --model <model.ldafp.json> --input <csv>\n       ldafp predict --addr <host:port> --input <csv> [--name model] [--wire binary|json]".to_string())
             })?;
             let csv_text = std::fs::read_to_string(input_path)?;
-            commands::predict(&artifact, &csv_text)?
+            // `--addr` switches to remote inference against a running
+            // server (no local artifact needed); otherwise classify
+            // in-process as before.
+            match args.get("addr") {
+                Some(addr) => commands::predict_remote(&args, &csv_text, addr)?,
+                None => {
+                    let artifact = read_required_for(&args, "predict", "model")?;
+                    commands::predict(&artifact, &csv_text)?
+                }
+            }
         }
         "serve" => {
             let artifact = read_required_for(&args, "serve", "model")?;
             let addr = args.get("addr").ok_or_else(|| {
-                CliError("serve needs --addr <host:port>\nusage: ldafp serve --model <model.ldafp.json> --addr <host:port> [--threads n]".to_string())
+                CliError("serve needs --addr <host:port>\nusage: ldafp serve --model <model.ldafp.json> --addr <host:port> [--threads n] [--evented]".to_string())
             })?;
-            let threads: usize = args.get_parsed("threads", 0)?;
-            let mut handle = commands::serve_start(&artifact, addr, threads)?;
-            // Stderr so scripts scraping stdout stay quiet; the handle's
-            // resolved address matters when the user asked for port 0.
-            eprintln!("ldafp: serving on {}", handle.addr());
-            let metrics = Arc::clone(handle.metrics());
-            handle.join(); // returns when a client sends `shutdown`
-            // The server keeps its request counters in a private registry;
-            // fold it into the observability outputs after shutdown.
-            if let Some(writer) = &trace_writer {
-                writer.dump_registry(metrics.registry());
+            if args.has_flag("evented") {
+                let mut handle = commands::serve_evented_start(&args, &artifact, addr)?;
+                eprintln!("ldafp: serving (evented) on {}", handle.addr());
+                let metrics = Arc::clone(handle.metrics());
+                handle.join(); // returns when a client sends `shutdown`
+                if let Some(writer) = &trace_writer {
+                    writer.dump_registry(metrics.registry());
+                }
+                if args.has_flag("metrics-summary") {
+                    eprint!("ldafp: server metrics:\n{}", metrics.registry().dump_text());
+                }
+                String::new()
+            } else {
+                let threads: usize = args.get_parsed("threads", 0)?;
+                let mut handle = commands::serve_start(&artifact, addr, threads)?;
+                // Stderr so scripts scraping stdout stay quiet; the handle's
+                // resolved address matters when the user asked for port 0.
+                eprintln!("ldafp: serving on {}", handle.addr());
+                let metrics = Arc::clone(handle.metrics());
+                handle.join(); // returns when a client sends `shutdown`
+                // The server keeps its request counters in a private registry;
+                // fold it into the observability outputs after shutdown.
+                if let Some(writer) = &trace_writer {
+                    writer.dump_registry(metrics.registry());
+                }
+                if args.has_flag("metrics-summary") {
+                    eprint!("ldafp: server metrics:\n{}", metrics.registry().dump_text());
+                }
+                String::new()
             }
-            if args.has_flag("metrics-summary") {
-                eprint!("ldafp: server metrics:\n{}", metrics.registry().dump_text());
-            }
-            String::new()
+        }
+        "reload" => {
+            let artifact = read_required_for(&args, "reload", "model")?;
+            let addr = args.get("addr").ok_or_else(|| {
+                CliError("reload needs --addr <host:port>\nusage: ldafp reload --addr <host:port> --model <artifact.json> [--name model] [--wire binary|json]".to_string())
+            })?;
+            commands::reload_cmd(&args, &artifact, addr)?
         }
         "info" => commands::info(&read_required_for(&args, "info", "model")?)?,
         "wordlength" => {

@@ -1,0 +1,49 @@
+//! `ldafp-net` — the event-driven serving tier for LDA-FP classifiers.
+//!
+//! The blocking tier (`ldafp-serve`) spends a thread per connection and a
+//! JSON codec per row; this crate is the deployment-grade alternative
+//! built from the same datapath, still with **zero external
+//! dependencies**:
+//!
+//! * **[`sys`]** — `epoll` via raw syscalls (`core::arch::asm!`, no
+//!   libc), the crate's only unsafe surface. Sockets stay on `std::net`
+//!   in nonblocking mode.
+//! * **[`binwire`]** — a compact length-prefixed binary protocol
+//!   (fixed-point rows cross the wire as raw two's-complement `QK.F`
+//!   words), negotiated **per frame** beside the existing JSON framing
+//!   by a magic byte no JSON length prefix can produce. One port, both
+//!   codecs, byte-identical predictions.
+//! * **[`server`]** — a single-threaded event loop multiplexing every
+//!   connection, with *cross-connection micro-batching*: predict rows
+//!   from many sockets coalesce into one
+//!   [`ldafp_serve::InferenceEngine`] dispatch under a latency budget.
+//!   Backpressure is explicit — bounded per-connection inflight, a
+//!   global pending-row cap, and a typed `overloaded` reply instead of
+//!   silent queueing — and models live in a hot-reloadable
+//!   [`ldafp_serve::ModelRegistry`] with per-request routing.
+//! * **[`client`]** — a blocking [`NetClient`] for the binary protocol,
+//!   with a split send/recv API for pipelined load generation.
+//! * **[`metrics`]** — the `net.*` counter/histogram families on a
+//!   private `ldafp-obs` registry, plus `net.*` trace events for
+//!   `--trace` runs.
+//!
+//! The loop is implemented for Linux on x86-64 and aarch64 (the asm
+//! syscall shims); everywhere else [`serve_evented`] returns
+//! [`NetError::Unsupported`] while the codec and client remain fully
+//! portable.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod binwire;
+pub mod client;
+pub mod error;
+pub mod metrics;
+pub mod server;
+pub mod sys;
+
+pub use binwire::PredictReplyBin;
+pub use client::{quantize_rows, NetClient};
+pub use error::{NetError, Result};
+pub use metrics::{NetMetrics, NetSnapshot};
+pub use server::{serve_evented, EventedConfig, EventedHandle};

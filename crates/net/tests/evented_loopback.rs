@@ -1,0 +1,546 @@
+//! Loopback integration for the evented tier: real epoll loop, real
+//! sockets, both codecs — and the acceptance bar from the paper's
+//! deployment story: **every decision the evented server returns must be
+//! bit-identical to the blocking server and to the in-process engine**,
+//! for all three model families, through JSON floats, binary floats and
+//! raw `QK.F` words alike.
+
+#![cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+
+use ldafp_core::FixedPointClassifier;
+use ldafp_fixedpoint::{QFormat, RoundingMode};
+use ldafp_net::{
+    binwire, quantize_rows, serve_evented, EventedConfig, EventedHandle, NetClient, NetError,
+};
+use ldafp_serve::{
+    serve, Client, InferenceEngine, ModelArtifact, ModelRegistry, ServerConfig,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(5);
+
+fn random_rows(n: usize, m: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..m).map(|_| rng.gen_range(-3.0..3.0)).collect())
+        .collect()
+}
+
+fn family_dataset() -> ldafp_datasets::BinaryDataset {
+    let a = ldafp_linalg::Matrix::from_rows(&[
+        &[0.6, 0.5, 0.4][..],
+        &[0.5, 0.7, 0.3][..],
+        &[0.7, 0.4, 0.5][..],
+    ])
+    .unwrap();
+    let b = ldafp_linalg::Matrix::from_rows(&[
+        &[-0.5, -0.6, -0.4][..],
+        &[-0.6, -0.4, -0.5][..],
+        &[-0.4, -0.5, -0.6][..],
+    ])
+    .unwrap();
+    ldafp_datasets::BinaryDataset::new(a, b).unwrap()
+}
+
+/// One artifact per model family, all over 3 features so a single row set
+/// exercises every one of them.
+fn family_artifacts() -> Vec<(&'static str, ModelArtifact)> {
+    let lda = FixedPointClassifier::from_float(
+        &[0.875, -1.25, 0.375],
+        0.1875,
+        QFormat::new(3, 8).unwrap(),
+    )
+    .unwrap();
+    let nb = ldafp_models::NaiveBayesTrainer::new(
+        QFormat::new(3, 6).unwrap(),
+        RoundingMode::NearestEven,
+        0.95,
+    )
+    .train(&family_dataset())
+    .unwrap();
+    let mut elm_trainer = ldafp_models::OsElmTrainer::new(
+        ldafp_models::choose_format(10, 4).unwrap(),
+        RoundingMode::Floor,
+    );
+    elm_trainer.config.hidden_units = 4;
+    let elm = elm_trainer.train(&family_dataset()).unwrap();
+    vec![
+        ("lda", ModelArtifact::binary(lda)),
+        ("naive-bayes", ModelArtifact::naive_bayes(nb)),
+        ("os-elm", ModelArtifact::os_elm(elm)),
+    ]
+}
+
+fn engine_from(artifact: &ModelArtifact) -> InferenceEngine {
+    // Duplicate through the serialization layer so every tier serves the
+    // exact artifact a deployment would load from disk.
+    InferenceEngine::new(ModelArtifact::from_json_str(&artifact.to_json_string()).unwrap())
+        .unwrap()
+}
+
+fn evented(artifact: &ModelArtifact, config: EventedConfig) -> EventedHandle {
+    serve_evented(
+        ModelRegistry::with_default(engine_from(artifact)),
+        "127.0.0.1:0",
+        config,
+    )
+    .unwrap()
+}
+
+/// The tentpole differential: shared artifact, four transport paths, one
+/// truth. In-process `predict_batch` is the reference; the blocking JSON
+/// server, the evented JSON path, the evented binary-f64 path and the
+/// evented raw-word path must all reproduce its classes, labels, scores
+/// (bit-for-bit f64 equality) and wrap counters.
+#[test]
+fn evented_predictions_match_blocking_and_in_process_for_all_families() {
+    for (name, artifact) in family_artifacts() {
+        let rows = random_rows(64, 3, 0xC0FFEE ^ name.len() as u64);
+        let reference = engine_from(&artifact).predict_batch(&rows).unwrap();
+
+        // Blocking tier.
+        let mut blocking = serve(
+            engine_from(&artifact),
+            "127.0.0.1:0",
+            ServerConfig {
+                inference_threads: 1,
+                read_timeout: Duration::from_millis(50),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut jc = Client::connect(blocking.addr(), CLIENT_TIMEOUT).unwrap();
+        let blocking_reply = jc.predict(&rows).unwrap();
+        blocking.shutdown();
+
+        // Evented tier, all three request paths.
+        let mut handle = evented(&artifact, EventedConfig::default());
+        let addr = handle.addr().to_string();
+
+        let mut json_client = Client::connect(handle.addr(), CLIENT_TIMEOUT).unwrap();
+        let evented_json = json_client.predict(&rows).unwrap();
+
+        let mut bin = NetClient::connect(&addr, CLIENT_TIMEOUT).unwrap();
+        let evented_f64 = bin.predict_rows(None, &rows).unwrap();
+
+        let engine = engine_from(&artifact);
+        let words = quantize_rows(artifact.model.format(), engine.rounding(), &rows);
+        let evented_raw = bin.predict_raw(None, 3, &words).unwrap();
+
+        for (i, p) in reference.predictions.iter().enumerate() {
+            let tag = format!("{name} row {i}");
+            // blocking JSON
+            assert_eq!(blocking_reply.predictions[i].class_index, p.class_index, "{tag}");
+            assert_eq!(blocking_reply.predictions[i].score, p.score, "{tag}");
+            // evented JSON
+            assert_eq!(evented_json.predictions[i].class_index, p.class_index, "{tag}");
+            assert_eq!(evented_json.predictions[i].label, *p.label, "{tag}");
+            assert_eq!(evented_json.predictions[i].score, p.score, "{tag}");
+            // evented binary f64
+            assert_eq!(evented_f64.classes[i] as usize, p.class_index, "{tag}");
+            assert_eq!(evented_f64.label(i), &*p.label, "{tag}");
+            assert_eq!(evented_f64.scores[i], p.score, "{tag}");
+            // evented raw words
+            assert_eq!(evented_raw.classes[i] as usize, p.class_index, "{tag}");
+            assert_eq!(evented_raw.scores[i], p.score, "{tag}");
+        }
+        assert_eq!(
+            evented_f64.accumulator_wraps, reference.stats.accumulator_wraps,
+            "{name} wraps"
+        );
+        assert_eq!(
+            evented_raw.accumulator_wraps, reference.stats.accumulator_wraps,
+            "{name} raw wraps (scaling is identity, so raw == float datapath)"
+        );
+        handle.shutdown();
+    }
+}
+
+/// Per-frame codec negotiation: one raw socket alternates JSON and
+/// binary frames and gets matching replies for each, no handshake.
+#[test]
+fn json_and_binary_frames_interleave_on_one_connection() {
+    let (_, artifact) = &family_artifacts()[0];
+    let handle = evented(artifact, EventedConfig::default());
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT)).unwrap();
+
+    // JSON health.
+    let body = br#"{"op": "health"}"#;
+    stream
+        .write_all(&(body.len() as u32).to_be_bytes())
+        .unwrap();
+    stream.write_all(body).unwrap();
+    let mut prefix = [0u8; 4];
+    stream.read_exact(&mut prefix).unwrap();
+    let len = u32::from_be_bytes(prefix) as usize;
+    let mut reply = vec![0u8; len];
+    stream.read_exact(&mut reply).unwrap();
+    let text = std::str::from_utf8(&reply).unwrap();
+    assert!(text.contains("\"evented\":true"), "{text}");
+
+    // Binary stats on the same socket.
+    stream
+        .write_all(&binwire::encode_request(&binwire::BinRequest::Stats))
+        .unwrap();
+    let mut hdr = [0u8; binwire::HEADER_LEN];
+    stream.read_exact(&mut hdr).unwrap();
+    assert_eq!(hdr[0], binwire::MAGIC);
+    assert_eq!(hdr[3], binwire::STATUS_OK);
+    let len = u32::from_le_bytes([hdr[4], hdr[5], hdr[6], hdr[7]]) as usize;
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).unwrap();
+    let text = std::str::from_utf8(&body).unwrap();
+    assert!(text.contains("\"frames_in\":2"), "{text}");
+}
+
+/// Hot reload + routing: models installed over the wire become routable
+/// under their name, the default stays untouched, and unknown routes get
+/// a typed error on both codecs.
+#[test]
+fn hot_reload_installs_routable_models_atomically() {
+    let artifacts = family_artifacts();
+    let handle = evented(&artifacts[0].1, EventedConfig::default());
+    let addr = handle.addr().to_string();
+    let mut bin = NetClient::connect(&addr, CLIENT_TIMEOUT).unwrap();
+
+    // Install the other two families over the wire.
+    for (name, artifact) in &artifacts[1..] {
+        let reply = bin.reload(name, &artifact.to_json_string()).unwrap();
+        assert_eq!(reply.get("ok").and_then(|v| v.as_bool()), Some(true));
+        assert_eq!(
+            reply.get("replaced").and_then(|v| v.as_bool()),
+            Some(false),
+            "fresh name must not report replacement"
+        );
+    }
+    let health = bin.health(None).unwrap();
+    let models: Vec<String> = health
+        .get("models")
+        .and_then(|v| v.as_array())
+        .unwrap()
+        .iter()
+        .map(|v| v.as_str().unwrap().to_string())
+        .collect();
+    assert_eq!(models, ["default", "naive-bayes", "os-elm"]);
+
+    // Routed predictions hit the named model, bit-identically.
+    let rows = random_rows(32, 3, 99);
+    for (name, artifact) in &artifacts[1..] {
+        let reference = engine_from(artifact).predict_batch(&rows).unwrap();
+        let routed = bin.predict_rows(Some(name), &rows).unwrap();
+        for (i, p) in reference.predictions.iter().enumerate() {
+            assert_eq!(routed.classes[i] as usize, p.class_index, "{name} row {i}");
+            assert_eq!(routed.scores[i], p.score, "{name} row {i}");
+        }
+        // The JSON codec routes through the same registry.
+        let mut jc = Client::connect(handle.addr(), CLIENT_TIMEOUT).unwrap();
+        let json_routed = jc.predict_routed(Some(name), &rows).unwrap();
+        for (i, p) in reference.predictions.iter().enumerate() {
+            assert_eq!(json_routed.predictions[i].class_index, p.class_index);
+        }
+    }
+
+    // Unknown route: typed error, connection survives.
+    match bin.predict_rows(Some("nope"), &rows) {
+        Err(NetError::Server(msg)) => assert!(msg.contains("unknown model"), "{msg}"),
+        other => panic!("expected a typed server error, got {other:?}"),
+    }
+    assert!(bin.health(None).is_ok(), "connection survives the rejection");
+
+    // Replacing the default is atomic and visible in the generation.
+    let before = bin.health(None).unwrap();
+    let gen_before = before.get("generation").and_then(|v| v.as_i64()).unwrap();
+    let reply = bin
+        .reload("default", &artifacts[1].1.to_json_string())
+        .unwrap();
+    assert_eq!(reply.get("replaced").and_then(|v| v.as_bool()), Some(true));
+    let after = bin.health(None).unwrap();
+    assert_eq!(
+        after.get("generation").and_then(|v| v.as_i64()),
+        Some(gen_before + 1)
+    );
+}
+
+/// Pipelined predicts from one socket coalesce: the server classifies
+/// many requests in far fewer engine dispatches, and every reply still
+/// matches the reference bit-for-bit in request order.
+#[test]
+fn pipelined_predicts_coalesce_into_micro_batches() {
+    let (_, artifact) = &family_artifacts()[0];
+    let handle = evented(
+        artifact,
+        EventedConfig {
+            batch_deadline: Duration::from_millis(50),
+            ..EventedConfig::default()
+        },
+    );
+    let addr = handle.addr().to_string();
+    let reference_engine = engine_from(artifact);
+    let mut bin = NetClient::connect(&addr, CLIENT_TIMEOUT).unwrap();
+
+    const REQUESTS: usize = 16;
+    let batches: Vec<Vec<Vec<f64>>> = (0..REQUESTS)
+        .map(|i| random_rows(3, 3, 7_000 + i as u64))
+        .collect();
+    for rows in &batches {
+        bin.send_predict_rows(None, rows).unwrap();
+    }
+    for rows in &batches {
+        let reply = bin.recv_predict().unwrap();
+        let expected = reference_engine.predict_batch(rows).unwrap();
+        for (i, p) in expected.predictions.iter().enumerate() {
+            assert_eq!(reply.classes[i] as usize, p.class_index);
+            assert_eq!(reply.scores[i], p.score);
+        }
+    }
+
+    let stats = bin.stats().unwrap();
+    let stats = stats.get("stats").unwrap();
+    let requests = stats.get("requests").and_then(|v| v.as_i64()).unwrap();
+    let dispatches = stats.get("batches").and_then(|v| v.as_i64()).unwrap();
+    assert_eq!(requests, REQUESTS as i64);
+    assert!(
+        dispatches < requests,
+        "{REQUESTS} pipelined requests should coalesce into fewer engine \
+         dispatches, got {dispatches}"
+    );
+}
+
+/// The load-shedder: beyond `max_inflight_per_conn`, requests get the
+/// typed overloaded reply while every admitted request still completes
+/// with bit-identical output — overload never corrupts in-flight work.
+#[test]
+fn load_shedding_sheds_typed_replies_without_corrupting_admitted_work() {
+    let (_, artifact) = &family_artifacts()[0];
+    let handle = evented(
+        artifact,
+        EventedConfig {
+            max_inflight_per_conn: 4,
+            batch_deadline: Duration::from_millis(200),
+            batch_max_rows: 1 << 14,
+            ..EventedConfig::default()
+        },
+    );
+    let addr = handle.addr().to_string();
+    let reference_engine = engine_from(artifact);
+    let mut bin = NetClient::connect(&addr, CLIENT_TIMEOUT).unwrap();
+
+    const SENT: usize = 12;
+    let rows: Vec<Vec<Vec<f64>>> = (0..SENT)
+        .map(|i| random_rows(1, 3, 31_000 + i as u64))
+        .collect();
+    for r in &rows {
+        bin.send_predict_rows(None, r).unwrap();
+    }
+    let outcomes: Vec<_> = (0..SENT).map(|_| bin.recv_predict()).collect();
+
+    let admitted: Vec<_> = outcomes.iter().filter(|o| o.is_ok()).collect();
+    let shed = outcomes
+        .iter()
+        .filter(|o| matches!(o, Err(NetError::Overloaded)))
+        .count();
+    assert_eq!(admitted.len(), 4, "inflight cap admits exactly 4");
+    assert_eq!(shed, SENT - 4, "the rest get the typed overloaded reply");
+
+    // Replies preserve per-connection request order among admitted work,
+    // so the k-th OK reply answers the k-th sent request.
+    for (k, ok) in admitted.iter().enumerate() {
+        let reply = ok.as_ref().unwrap();
+        let expected = reference_engine.predict_batch(&rows[k]).unwrap();
+        assert_eq!(reply.classes[0] as usize, expected.predictions[0].class_index);
+        assert_eq!(reply.scores[0], expected.predictions[0].score);
+    }
+
+    let stats = bin.stats().unwrap();
+    let stats = stats.get("stats").unwrap();
+    assert_eq!(stats.get("shed").and_then(|v| v.as_i64()), Some(8));
+    assert_eq!(stats.get("requests").and_then(|v| v.as_i64()), Some(4));
+}
+
+/// Slowloris: a partial frame that never completes is closed at the read
+/// deadline and counted, while a healthy connection on the same server
+/// keeps working.
+#[test]
+fn slowloris_partial_frames_are_closed_at_the_read_deadline() {
+    let (_, artifact) = &family_artifacts()[0];
+    let handle = evented(
+        artifact,
+        EventedConfig {
+            read_deadline: Duration::from_millis(150),
+            ..EventedConfig::default()
+        },
+    );
+    let addr = handle.addr().to_string();
+
+    let mut sloth = TcpStream::connect(handle.addr()).unwrap();
+    sloth
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    // Three bytes of a four-byte JSON length prefix, then silence.
+    sloth.write_all(&[0x00, 0x00, 0x01]).unwrap();
+    let mut scratch = [0u8; 64];
+    let n = sloth.read(&mut scratch).expect("server closes, not hangs");
+    assert_eq!(n, 0, "deadline close is a clean EOF, not an error frame");
+
+    let mut bin = NetClient::connect(&addr, CLIENT_TIMEOUT).unwrap();
+    let stats = bin.stats().unwrap();
+    let stats = stats.get("stats").unwrap();
+    assert_eq!(stats.get("deadline_closes").and_then(|v| v.as_i64()), Some(1));
+    assert!(bin.health(None).is_ok(), "server is still serving");
+}
+
+/// Hostile framing: oversize claims and garbage bytes get a typed error
+/// and a close — never a hang, never a crash — and the server keeps
+/// serving everyone else.
+#[test]
+fn oversize_and_garbage_frames_get_typed_errors_then_close() {
+    let (_, artifact) = &family_artifacts()[0];
+    let handle = evented(
+        artifact,
+        EventedConfig {
+            max_frame: 4096,
+            ..EventedConfig::default()
+        },
+    );
+    let addr = handle.addr().to_string();
+
+    // Binary header claiming a body beyond the bound.
+    let mut s = TcpStream::connect(handle.addr()).unwrap();
+    s.set_read_timeout(Some(CLIENT_TIMEOUT)).unwrap();
+    s.write_all(&binwire::encode_header(binwire::Header {
+        opcode: binwire::OP_PREDICT,
+        flags: 0,
+        status: 0,
+        len: u32::MAX,
+    }))
+    .unwrap();
+    let mut hdr = [0u8; binwire::HEADER_LEN];
+    s.read_exact(&mut hdr).unwrap();
+    assert_eq!(hdr[0], binwire::MAGIC);
+    assert_eq!(hdr[3], binwire::STATUS_ERROR, "typed error before close");
+    let len = u32::from_le_bytes([hdr[4], hdr[5], hdr[6], hdr[7]]) as usize;
+    let mut msg = vec![0u8; len];
+    s.read_exact(&mut msg).unwrap();
+    assert!(String::from_utf8_lossy(&msg).contains("exceeds"), "{msg:?}");
+    assert_eq!(s.read(&mut [0u8; 16]).unwrap(), 0, "then EOF");
+
+    // Garbage that is neither codec (an HTTP request, say) implies an
+    // absurd JSON length and dies on the same bound, answered in JSON.
+    let mut s = TcpStream::connect(handle.addr()).unwrap();
+    s.set_read_timeout(Some(CLIENT_TIMEOUT)).unwrap();
+    s.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+    let mut prefix = [0u8; 4];
+    s.read_exact(&mut prefix).unwrap();
+    let len = u32::from_be_bytes(prefix) as usize;
+    let mut body = vec![0u8; len];
+    s.read_exact(&mut body).unwrap();
+    let text = std::str::from_utf8(&body).unwrap();
+    assert!(text.contains("\"ok\":false"), "{text}");
+    assert_eq!(s.read(&mut [0u8; 16]).unwrap(), 0, "then EOF");
+
+    // A client that tears a frame and vanishes leaves no wreckage.
+    let mut s = TcpStream::connect(handle.addr()).unwrap();
+    let frame = binwire::encode_request(&binwire::BinRequest::Stats);
+    s.write_all(&frame[..5]).unwrap();
+    drop(s);
+    std::thread::sleep(Duration::from_millis(50));
+
+    let mut bin = NetClient::connect(&addr, CLIENT_TIMEOUT).unwrap();
+    assert!(bin.health(None).is_ok(), "server unfazed by all three");
+}
+
+/// A wire shutdown acks, then drains: predicts already admitted complete
+/// with correct replies before the loop exits.
+#[test]
+fn client_shutdown_drains_admitted_predicts() {
+    let (_, artifact) = &family_artifacts()[0];
+    let mut handle = evented(
+        artifact,
+        EventedConfig {
+            batch_deadline: Duration::from_millis(500),
+            ..EventedConfig::default()
+        },
+    );
+    let addr = handle.addr().to_string();
+    let reference_engine = engine_from(artifact);
+    let mut bin = NetClient::connect(&addr, CLIENT_TIMEOUT).unwrap();
+
+    let rows: Vec<Vec<Vec<f64>>> = (0..3)
+        .map(|i| random_rows(2, 3, 51_000 + i as u64))
+        .collect();
+    for r in &rows {
+        bin.send_predict_rows(None, r).unwrap();
+    }
+    // Shutdown acks first (admin ops answer inline)...
+    let ack = bin.shutdown_server().unwrap();
+    assert_eq!(ack.get("shutting_down").and_then(|v| v.as_bool()), Some(true));
+    // ...and the queued predicts still come back, correct.
+    for r in &rows {
+        let reply = bin.recv_predict().unwrap();
+        let expected = reference_engine.predict_batch(r).unwrap();
+        for (i, p) in expected.predictions.iter().enumerate() {
+            assert_eq!(reply.classes[i] as usize, p.class_index);
+            assert_eq!(reply.scores[i], p.score);
+        }
+    }
+    handle.join();
+    assert!(handle.is_shutting_down());
+}
+
+/// Concurrent clients over distinct sockets: every one gets its own
+/// answers (the micro-batcher must never cross-wire replies), across
+/// mixed binary/JSON codecs and mixed registry routes.
+#[test]
+fn concurrent_mixed_codec_clients_get_their_own_answers() {
+    let artifacts = family_artifacts();
+    let registry = ModelRegistry::with_default(engine_from(&artifacts[0].1));
+    registry.install("naive-bayes", engine_from(&artifacts[1].1));
+    registry.install("os-elm", engine_from(&artifacts[2].1));
+    let handle = serve_evented(registry, "127.0.0.1:0", EventedConfig::default()).unwrap();
+    let addr = handle.addr();
+
+    let workers: Vec<_> = (0..6)
+        .map(|w| {
+            let route = match w % 3 {
+                0 => None,
+                1 => Some("naive-bayes"),
+                _ => Some("os-elm"),
+            };
+            let artifact_text = match w % 3 {
+                0 => artifacts[0].1.to_json_string(),
+                1 => artifacts[1].1.to_json_string(),
+                _ => artifacts[2].1.to_json_string(),
+            };
+            std::thread::spawn(move || {
+                let reference =
+                    InferenceEngine::new(ModelArtifact::from_json_str(&artifact_text).unwrap())
+                        .unwrap();
+                let rows = random_rows(24, 3, 88_000 + w as u64);
+                let expected = reference.predict_batch(&rows).unwrap();
+                if w % 2 == 0 {
+                    let mut c = NetClient::connect(&addr.to_string(), CLIENT_TIMEOUT).unwrap();
+                    let reply = c.predict_rows(route, &rows).unwrap();
+                    for (i, p) in expected.predictions.iter().enumerate() {
+                        assert_eq!(reply.classes[i] as usize, p.class_index, "worker {w}");
+                        assert_eq!(reply.scores[i], p.score, "worker {w}");
+                    }
+                } else {
+                    let mut c = Client::connect(addr, CLIENT_TIMEOUT).unwrap();
+                    let reply = c.predict_routed(route, &rows).unwrap();
+                    for (i, p) in expected.predictions.iter().enumerate() {
+                        assert_eq!(reply.predictions[i].class_index, p.class_index, "worker {w}");
+                        assert_eq!(reply.predictions[i].score, p.score, "worker {w}");
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+}

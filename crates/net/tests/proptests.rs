@@ -1,0 +1,134 @@
+//! Property tests for the binary wire codec's hostile-input guarantee:
+//! **no byte sequence a client can send makes the decoder panic or
+//! over-allocate** — every outcome is `Ok` or a typed `Protocol` error —
+//! and every frame the encoder produces scans and decodes back to what
+//! went in.
+
+use ldafp_net::binwire::{self, BinRequest, RowsPayload, ScanOutcome, HEADER_LEN, MAGIC};
+use ldafp_serve::wire::DEFAULT_MAX_FRAME;
+use proptest::prelude::*;
+
+/// Small frame bound so the generator can actually reach "oversized".
+const SMALL_MAX: usize = 4096;
+
+fn request_strategy() -> impl Strategy<Value = BinRequest> {
+    let model = prop::sample::select(vec!["", "default", "a", "naive-bayes"])
+        .prop_map(str::to_string);
+    let f64_payload = (1usize..=5, 0usize..=6).prop_flat_map(|(features, rows)| {
+        prop::collection::vec(-8.0f64..8.0, features * rows)
+            .prop_map(move |values| RowsPayload::F64 { features, values })
+    });
+    let raw_payload = (1usize..=5, 0usize..=6).prop_flat_map(|(features, rows)| {
+        prop::collection::vec(any::<i32>(), features * rows)
+            .prop_map(move |w| RowsPayload::Raw {
+                features,
+                words: w.into_iter().map(i64::from).collect(),
+            })
+    });
+    prop_oneof![
+        (model.clone(), prop_oneof![f64_payload, raw_payload])
+            .prop_map(|(model, payload)| BinRequest::Predict { model, payload }),
+        model.clone().prop_map(|model| BinRequest::Health { model }),
+        Just(BinRequest::Stats),
+        Just(BinRequest::Shutdown),
+        (model, prop::sample::select(vec!["{}", "{\"kind\":\"binary\"}"]))
+            .prop_map(|(name, text)| BinRequest::Reload {
+                name,
+                artifact_json: text.to_string(),
+            }),
+    ]
+}
+
+proptest! {
+    /// Arbitrary byte soup: the incremental scanner never panics, and
+    /// whatever it deems a complete binary frame, the request decoder
+    /// consumes without panicking — `Ok` or typed error, nothing else.
+    /// (The call itself is the assertion: a panic fails the test.)
+    #[test]
+    fn scanner_and_decoder_never_panic_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+        max in prop::sample::select(vec![64usize, SMALL_MAX, DEFAULT_MAX_FRAME]),
+    ) {
+        match binwire::scan_frame(&bytes, max) {
+            Ok(ScanOutcome::Binary { header, frame_len }) => {
+                prop_assert!(frame_len <= bytes.len());
+                prop_assert!(frame_len >= HEADER_LEN);
+                let body = &bytes[HEADER_LEN..frame_len];
+                let _ = binwire::decode_request(header, body);
+            }
+            Ok(ScanOutcome::Json { frame_len }) => {
+                prop_assert!(frame_len <= bytes.len());
+                prop_assert!(!bytes.is_empty() && bytes[0] != MAGIC);
+            }
+            Ok(ScanOutcome::NeedMore) | Err(_) => {}
+        }
+    }
+
+    /// Same guarantee for the client-side reply decoder: arbitrary reply
+    /// bodies (with and without a plausible predict shell) never panic.
+    #[test]
+    fn predict_reply_decoder_never_panics_on_arbitrary_bodies(
+        body in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let _ = binwire::decode_predict_reply(&body);
+    }
+
+    /// A frame truncated anywhere is never misread as complete: every
+    /// strict prefix of a valid frame scans to `NeedMore` (or, for the
+    /// empty prefix, `NeedMore` trivially) — the torn-frame guarantee
+    /// the event loop's buffering rests on.
+    #[test]
+    fn every_torn_prefix_of_a_valid_frame_scans_as_incomplete(
+        req in request_strategy(),
+    ) {
+        let frame = binwire::encode_request(&req);
+        for cut in 0..frame.len() {
+            match binwire::scan_frame(&frame[..cut], DEFAULT_MAX_FRAME) {
+                Ok(ScanOutcome::NeedMore) => {}
+                other => prop_assert!(
+                    false,
+                    "prefix of {cut}/{} bytes scanned as {other:?}",
+                    frame.len()
+                ),
+            }
+        }
+    }
+
+    /// Encode → scan → decode is the identity on requests, and the
+    /// scanner consumes exactly the encoded length (so pipelined frames
+    /// behind it are untouched).
+    #[test]
+    fn encoded_requests_roundtrip_through_scan_and_decode(
+        req in request_strategy(),
+        trailing in prop::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let mut frame = binwire::encode_request(&req);
+        let encoded_len = frame.len();
+        frame.extend_from_slice(&trailing);
+        match binwire::scan_frame(&frame, DEFAULT_MAX_FRAME) {
+            Ok(ScanOutcome::Binary { header, frame_len }) => {
+                prop_assert_eq!(frame_len, encoded_len);
+                let decoded = binwire::decode_request(header, &frame[HEADER_LEN..frame_len])
+                    .expect("own encoding decodes");
+                prop_assert_eq!(&decoded, &req);
+            }
+            other => prop_assert!(false, "own encoding scanned as {other:?}"),
+        }
+    }
+
+    /// Oversized claims are rejected from the 8-byte prefix alone —
+    /// before any body arrives or any buffer is grown.
+    #[test]
+    fn oversized_claims_are_rejected_from_the_prefix(
+        claimed in (SMALL_MAX as u32 + 1)..=u32::MAX,
+        opcode in 1u8..=5,
+    ) {
+        let header = binwire::encode_header(binwire::Header {
+            opcode,
+            flags: 0,
+            status: 0,
+            len: claimed,
+        });
+        prop_assert!(binwire::scan_frame(&header, SMALL_MAX).is_err());
+    }
+}

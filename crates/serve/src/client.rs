@@ -87,10 +87,23 @@ pub struct PredictReply {
     pub saturated_inputs: u64,
 }
 
-/// A blocking connection to one server.
+/// A blocking, keep-alive connection to one server.
+///
+/// One dialed socket is reused across calls — per-request dialing costs a
+/// three-way handshake and a slow-start window per batch, which at
+/// micro-batch sizes costs more than the inference itself. When a call
+/// finds the socket dead (server restarted, idle timeout, mid-write
+/// reset), the client redials through its [`RetryPolicy`] and replays the
+/// request once; only if the replay also fails does the caller see the
+/// error. Every request in this protocol is idempotent (predict, health,
+/// stats, reload-with-same-artifact, shutdown), so the single replay is
+/// safe.
 #[derive(Debug)]
 pub struct Client {
-    stream: TcpStream,
+    stream: Option<TcpStream>,
+    addr: String,
+    timeout: Duration,
+    reconnect: RetryPolicy,
     max_frame: usize,
 }
 
@@ -104,26 +117,13 @@ impl Client {
         addr: impl ToSocketAddrs + std::fmt::Display,
         timeout: Duration,
     ) -> Result<Self> {
-        let io_err = |source: std::io::Error| ServeError::Io {
-            target: addr.to_string(),
-            source,
-        };
-        let resolved = addr
-            .to_socket_addrs()
-            .map_err(io_err)?
-            .next()
-            .ok_or_else(|| {
-                io_err(std::io::Error::new(
-                    std::io::ErrorKind::AddrNotAvailable,
-                    "address resolved to nothing",
-                ))
-            })?;
-        let stream = TcpStream::connect_timeout(&resolved, timeout).map_err(io_err)?;
-        stream.set_read_timeout(Some(timeout)).map_err(io_err)?;
-        stream.set_write_timeout(Some(timeout)).map_err(io_err)?;
-        stream.set_nodelay(true).map_err(io_err)?;
+        let target = addr.to_string();
+        let stream = dial(&target, timeout)?;
         Ok(Client {
-            stream,
+            stream: Some(stream),
+            addr: target,
+            timeout,
+            reconnect: RetryPolicy::default(),
             max_frame: wire::DEFAULT_MAX_FRAME,
         })
     }
@@ -133,7 +133,9 @@ impl Client {
     /// Transport failures ([`ServeError::Io`]) are retried up to
     /// `policy.max_attempts` total attempts; each retry increments the
     /// global `client.retry` counter and emits a `client.retry` event.
-    /// Any other error aborts immediately.
+    /// Any other error aborts immediately. The policy is kept: later
+    /// mid-call reconnects (dead keep-alive socket) go through the same
+    /// backoff schedule.
     ///
     /// # Errors
     ///
@@ -143,30 +145,28 @@ impl Client {
         timeout: Duration,
         policy: &RetryPolicy,
     ) -> Result<Self> {
-        let attempts = policy.max_attempts.max(1);
         let target = addr.to_string();
-        let mut attempt = 1u32;
-        loop {
-            match Self::connect(&addr, timeout) {
-                Ok(client) => return Ok(client),
-                Err(err @ ServeError::Io { .. }) if attempt < attempts => {
-                    attempt += 1;
-                    let delay = policy.delay_before(attempt, &target);
-                    obs::Registry::global().counter("client.retry").inc();
-                    if obs::enabled() {
-                        obs::emit(
-                            obs::Event::new("client.retry")
-                                .with("target", target.clone())
-                                .with("attempt", attempt)
-                                .with("delay_ms", delay.as_secs_f64() * 1e3)
-                                .with("error", err.to_string()),
-                        );
-                    }
-                    std::thread::sleep(delay);
-                }
-                Err(err) => return Err(err),
-            }
-        }
+        let stream = dial_with_retry(&target, timeout, policy)?;
+        Ok(Client {
+            stream: Some(stream),
+            addr: target,
+            timeout,
+            reconnect: policy.clone(),
+            max_frame: wire::DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Replaces the reconnect policy used when the kept-alive socket dies.
+    #[must_use]
+    pub fn with_reconnect_policy(mut self, policy: RetryPolicy) -> Self {
+        self.reconnect = policy;
+        self
+    }
+
+    /// Whether the client currently holds a live socket (it may still be
+    /// half-dead; liveness is only proven by a call).
+    pub fn is_connected(&self) -> bool {
+        self.stream.is_some()
     }
 
     /// Classifies a batch of rows.
@@ -176,8 +176,24 @@ impl Client {
     /// Transport failures, or [`ServeError::Protocol`] carrying the
     /// server's error message when the server rejected the request.
     pub fn predict(&mut self, rows: &[Vec<f64>]) -> Result<PredictReply> {
+        self.predict_routed(None, rows)
+    }
+
+    /// Classifies a batch against a named model in the server's registry
+    /// (`None` = the default model; only the evented tier routes).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::predict`], plus the server's typed error when the
+    /// route is unknown or routing is unsupported.
+    pub fn predict_routed(
+        &mut self,
+        model: Option<&str>,
+        rows: &[Vec<f64>],
+    ) -> Result<PredictReply> {
         let reply = self.call(&Request::Predict {
             rows: rows.to_vec(),
+            model: model.map(str::to_string),
         })?;
         let predictions = reply
             .get("predictions")
@@ -236,6 +252,21 @@ impl Client {
         })
     }
 
+    /// Asks the server to install `artifact_json` under `name` in its
+    /// model registry (evented tier only).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, artifact JSON parse failures (client-side,
+    /// before anything is sent), or the server's typed rejection.
+    pub fn reload(&mut self, name: &str, artifact_json: &str) -> Result<Value> {
+        let artifact = crate::json::parse(artifact_json)?;
+        self.call(&Request::Reload {
+            name: name.to_string(),
+            artifact,
+        })
+    }
+
     /// Asks the server to shut down gracefully.
     ///
     /// # Errors
@@ -245,15 +276,58 @@ impl Client {
         self.call(&Request::Shutdown).map(|_| ())
     }
 
+    /// One request/response exchange on the kept-alive socket. On a dead
+    /// socket (connect-level or mid-exchange transport failure) the
+    /// stream is dropped, the address redialed through the reconnect
+    /// policy, and the request replayed exactly once.
     fn call(&mut self, request: &Request) -> Result<Value> {
-        wire::write_frame(&mut self.stream, &request.to_json()).map_err(|source| {
-            ServeError::Io {
-                target: peer_of(&self.stream),
-                source,
+        // Replay only when a kept-alive socket might have gone stale under
+        // us; a fresh dial that failed already consumed the retry budget.
+        let had_stream = self.stream.is_some();
+        match self.dispatch(request) {
+            Err(e) if had_stream && connection_lost(&e) => {
+                self.stream = None;
+                obs::Registry::global().counter("client.reconnect").inc();
+                if obs::enabled() {
+                    obs::emit(
+                        obs::Event::new("client.reconnect")
+                            .with("target", self.addr.clone())
+                            .with("error", e.to_string()),
+                    );
+                }
+                self.dispatch(request)
             }
-        })?;
-        let reply = wire::read_frame(&mut self.stream, self.max_frame)?
-            .ok_or_else(|| ServeError::Protocol("server closed before replying".to_string()))?;
+            other => other,
+        }
+    }
+
+    fn dispatch(&mut self, request: &Request) -> Result<Value> {
+        if self.stream.is_none() {
+            self.stream = Some(dial_with_retry(&self.addr, self.timeout, &self.reconnect)?);
+        }
+        let stream = self.stream.as_mut().expect("just ensured");
+        let exchange = (|| {
+            wire::write_frame(stream, &request.to_json()).map_err(|source| ServeError::Io {
+                target: peer_of(stream),
+                source,
+            })?;
+            wire::read_frame(stream, self.max_frame)?.ok_or_else(|| ServeError::Io {
+                target: peer_of(stream),
+                source: std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed before a reply arrived",
+                ),
+            })
+        })();
+        let reply = match exchange {
+            Ok(reply) => reply,
+            Err(e) => {
+                // Any transport-level failure poisons the socket: the next
+                // call must not resume mid-frame.
+                self.stream = None;
+                return Err(e);
+            }
+        };
         if reply.get("ok").and_then(Value::as_bool) == Some(true) {
             Ok(reply)
         } else {
@@ -262,6 +336,67 @@ impl Client {
                 .and_then(Value::as_str)
                 .unwrap_or("server reported failure without a message");
             Err(ServeError::Protocol(format!("server error: {message}")))
+        }
+    }
+}
+
+/// A failure that means "the socket is dead", as opposed to "the server
+/// answered and said no". Only the former warrants a reconnect-and-replay;
+/// replaying a request the server already rejected would just repeat the
+/// rejection (and double-apply nothing, since every op is idempotent —
+/// but there is no point).
+fn connection_lost(e: &ServeError) -> bool {
+    matches!(e, ServeError::Io { .. })
+}
+
+/// Resolves and dials once, applying `timeout` to connect/read/write.
+fn dial(target: &str, timeout: Duration) -> Result<TcpStream> {
+    let io_err = |source: std::io::Error| ServeError::Io {
+        target: target.to_string(),
+        source,
+    };
+    let resolved = target
+        .to_socket_addrs()
+        .map_err(io_err)?
+        .next()
+        .ok_or_else(|| {
+            io_err(std::io::Error::new(
+                std::io::ErrorKind::AddrNotAvailable,
+                "address resolved to nothing",
+            ))
+        })?;
+    let stream = TcpStream::connect_timeout(&resolved, timeout).map_err(io_err)?;
+    stream.set_read_timeout(Some(timeout)).map_err(io_err)?;
+    stream.set_write_timeout(Some(timeout)).map_err(io_err)?;
+    stream.set_nodelay(true).map_err(io_err)?;
+    Ok(stream)
+}
+
+/// [`dial`] under a [`RetryPolicy`]: transport failures are retried with
+/// jittered exponential backoff, counting each retry on the global
+/// `client.retry` counter and emitting a `client.retry` event.
+fn dial_with_retry(target: &str, timeout: Duration, policy: &RetryPolicy) -> Result<TcpStream> {
+    let attempts = policy.max_attempts.max(1);
+    let mut attempt = 1u32;
+    loop {
+        match dial(target, timeout) {
+            Ok(stream) => return Ok(stream),
+            Err(err @ ServeError::Io { .. }) if attempt < attempts => {
+                attempt += 1;
+                let delay = policy.delay_before(attempt, target);
+                obs::Registry::global().counter("client.retry").inc();
+                if obs::enabled() {
+                    obs::emit(
+                        obs::Event::new("client.retry")
+                            .with("target", target.to_string())
+                            .with("attempt", attempt)
+                            .with("delay_ms", delay.as_secs_f64() * 1e3)
+                            .with("error", err.to_string()),
+                    );
+                }
+                std::thread::sleep(delay);
+            }
+            Err(err) => return Err(err),
         }
     }
 }
@@ -364,6 +499,105 @@ mod tests {
         let client = Client::connect_with_retry(addr, Duration::from_millis(500), &quick_policy(10));
         server.join().unwrap();
         assert!(client.is_ok(), "{:?}", client.err().map(|e| e.to_string()));
+    }
+
+    /// A scripted one-thread server: accepts `conns` connections in turn,
+    /// answers `replies_per_conn` frames on each with `{"ok":true}`, then
+    /// drops the connection. Returns the accept count observed.
+    fn scripted_server(
+        listener: TcpListener,
+        conns: usize,
+        replies_per_conn: usize,
+    ) -> std::thread::JoinHandle<usize> {
+        std::thread::spawn(move || {
+            let mut accepted = 0usize;
+            for _ in 0..conns {
+                let Ok((mut stream, _)) = listener.accept() else {
+                    break;
+                };
+                accepted += 1;
+                for _ in 0..replies_per_conn {
+                    match wire::read_frame(&mut stream, wire::DEFAULT_MAX_FRAME) {
+                        Ok(Some(_)) => {
+                            let reply = Value::object([
+                                ("ok", Value::from(true)),
+                                ("predictions", Value::Array(vec![])),
+                            ]);
+                            if wire::write_frame(&mut stream, &reply).is_err() {
+                                break;
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                // Dropping the stream closes it: the client's kept-alive
+                // socket dies between calls.
+            }
+            accepted
+        })
+    }
+
+    #[test]
+    fn keep_alive_reuses_one_connection_across_calls() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = scripted_server(listener, 1, 3);
+        let mut client = Client::connect(addr, Duration::from_millis(500)).unwrap();
+        for _ in 0..3 {
+            client.predict(&[]).unwrap();
+        }
+        assert!(client.is_connected());
+        drop(client);
+        assert_eq!(server.join().unwrap(), 1, "three calls, one connection");
+    }
+
+    #[test]
+    fn dead_keep_alive_socket_reconnects_and_replays_once() {
+        let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // Each connection answers exactly one frame, then dies: every
+        // second call finds a dead socket and must redial.
+        let server = scripted_server(listener, 2, 1);
+        let reconnects = obs::Registry::global().counter("client.reconnect");
+        let before = reconnects.get();
+        let mut client = Client::connect(addr, Duration::from_millis(500))
+            .unwrap()
+            .with_reconnect_policy(quick_policy(4));
+        client.predict(&[]).unwrap();
+        client.predict(&[]).unwrap(); // dead socket → reconnect → replay
+        assert_eq!(server.join().unwrap(), 2);
+        assert_eq!(reconnects.get() - before, 1, "exactly one reconnect");
+    }
+
+    #[test]
+    fn server_rejections_are_not_replayed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut served = 0usize;
+            while let Ok(Some(_)) = wire::read_frame(&mut stream, wire::DEFAULT_MAX_FRAME) {
+                served += 1;
+                let reply = Value::object([
+                    ("ok", Value::from(false)),
+                    ("error", Value::from("nope")),
+                ]);
+                if wire::write_frame(&mut stream, &reply).is_err() {
+                    break;
+                }
+            }
+            served
+        });
+        let mut client = Client::connect(addr, Duration::from_millis(500)).unwrap();
+        let err = client.predict(&[]).unwrap_err();
+        assert!(matches!(err, ServeError::Protocol(_)), "{err}");
+        drop(client);
+        assert_eq!(
+            server.join().unwrap(),
+            1,
+            "a typed rejection must reach the server exactly once"
+        );
     }
 
     #[test]

@@ -144,6 +144,19 @@ impl InferenceEngine {
         self.artifact.model.num_classes()
     }
 
+    /// The rounding mode the served model quantizes inputs with. Paired
+    /// with [`ServedModel::format`], this is what a client needs to
+    /// pre-quantize rows for the raw-word predict path and land on the
+    /// exact same grid the float path would.
+    pub fn rounding(&self) -> RoundingMode {
+        match &self.artifact.model {
+            ServedModel::Binary(clf) => clf.rounding(),
+            ServedModel::OneVsRest(clf) => clf.heads()[0].rounding(),
+            ServedModel::NaiveBayes(m) => m.rounding(),
+            ServedModel::OsElm(m) => m.rounding(),
+        }
+    }
+
     /// Classifies one row.
     ///
     /// # Errors
@@ -240,12 +253,7 @@ impl InferenceEngine {
     /// must.
     fn row_context(&self) -> RowContext<'_> {
         let format = self.artifact.model.format();
-        let rounding = match &self.artifact.model {
-            ServedModel::Binary(clf) => clf.rounding(),
-            ServedModel::OneVsRest(clf) => clf.heads()[0].rounding(),
-            ServedModel::NaiveBayes(m) => m.rounding(),
-            ServedModel::OsElm(m) => m.rounding(),
-        };
+        let rounding = self.rounding();
         let scale = self.artifact.input_scale.as_slice();
         let identity = matches!(scale, [s] if *s == 1.0);
         RowContext {
@@ -286,12 +294,7 @@ impl InferenceEngine {
             .count() as u64;
         ctx.format
             .quantize_slice_into(scaled, ctx.rounding, &mut scratch.quantized);
-        let (class_index, score, wraps) = match ctx.model {
-            ServedModel::Binary(clf) => binary_decision(clf, &scratch.quantized),
-            ServedModel::OneVsRest(clf) => one_vs_rest_decision(clf, &scratch.quantized),
-            ServedModel::NaiveBayes(m) => family_decision(m, &scratch.quantized),
-            ServedModel::OsElm(m) => family_decision(m, &scratch.quantized),
-        };
+        let (class_index, score, wraps) = decide(ctx.model, &scratch.quantized);
         let prediction = Prediction {
             class_index,
             label: Arc::clone(&self.labels[class_index]),
@@ -305,6 +308,97 @@ impl InferenceEngine {
         Ok((prediction, stats))
     }
 
+    /// Classifies several row batches ("segments") in one pass over the
+    /// shared row-invariant context and scratch buffers, returning one
+    /// [`BatchOutput`] per segment.
+    ///
+    /// This is the micro-batching entry point for the evented tier: rows
+    /// coalesced from many connections run through a single hot loop —
+    /// format bounds, rounding dispatch and scratch allocation are paid
+    /// once for the whole coalesced batch — while wrap/saturation counters
+    /// stay attributable to each originating request. Results are
+    /// bit-identical to calling [`Self::predict_batch`] once per segment.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ServeError::FeatureMismatch`] encountered; `row` is the
+    /// offending row's index *within its segment*, and earlier segments'
+    /// outputs are discarded (callers validate shapes up front).
+    pub fn predict_segmented<'a>(
+        &self,
+        segments: impl IntoIterator<Item = &'a [Vec<f64>]>,
+    ) -> Result<Vec<BatchOutput>> {
+        let ctx = self.row_context();
+        let mut scratch = RowScratch::default();
+        let mut outputs = Vec::new();
+        for segment in segments {
+            let mut predictions = Vec::with_capacity(segment.len());
+            let mut stats = BatchStats::default();
+            for (i, row) in segment.iter().enumerate() {
+                let (p, s) = self.predict_row_with(&ctx, row, i, &mut scratch)?;
+                predictions.push(p);
+                stats.absorb(s);
+            }
+            outputs.push(BatchOutput { predictions, stats });
+        }
+        Ok(outputs)
+    }
+
+    /// Classifies rows already on the model's `QK.F` grid, delivered as a
+    /// flat row-major buffer of raw two's-complement words — the binary
+    /// wire protocol's quantized mode, where the client produced the exact
+    /// hardware words. Input scaling and quantization are bypassed, so
+    /// `saturated_inputs` stays 0; words outside the format's raw range
+    /// wrap exactly as the hardware register would.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::FeatureMismatch`] when the buffer is not a whole
+    /// number of rows (`row` reports the complete-row count, `got` the
+    /// trailing word count).
+    pub fn predict_raw_batch(&self, words: &[i64]) -> Result<BatchOutput> {
+        let ctx = self.row_context();
+        let m = ctx.num_features;
+        if m == 0 || words.len() % m != 0 {
+            return Err(ServeError::FeatureMismatch {
+                expected: m,
+                got: words.len() % m.max(1),
+                row: words.len() / m.max(1),
+            });
+        }
+        let rows = words.len() / m;
+        let mut predictions = Vec::with_capacity(rows);
+        let mut stats = BatchStats::default();
+        let mut xq: Vec<Fx> = Vec::with_capacity(m);
+        for row in words.chunks_exact(m) {
+            xq.clear();
+            xq.extend(row.iter().map(|&w| ctx.format.from_raw(w)));
+            let (class_index, score, wraps) = decide(ctx.model, &xq);
+            predictions.push(Prediction {
+                class_index,
+                label: Arc::clone(&self.labels[class_index]),
+                score,
+            });
+            stats.absorb(BatchStats {
+                rows: 1,
+                accumulator_wraps: wraps,
+                saturated_inputs: 0,
+            });
+        }
+        Ok(BatchOutput { predictions, stats })
+    }
+}
+
+/// Dispatches an already-quantized row to the model's integer decision
+/// path. Shared by the float path (after scaling + quantization) and the
+/// raw-word path, so both are one and the same datapath.
+fn decide(model: &ServedModel, xq: &[Fx]) -> (usize, f64, u64) {
+    match model {
+        ServedModel::Binary(clf) => binary_decision(clf, xq),
+        ServedModel::OneVsRest(clf) => one_vs_rest_decision(clf, xq),
+        ServedModel::NaiveBayes(m) => family_decision(m, xq),
+        ServedModel::OsElm(m) => family_decision(m, xq),
+    }
 }
 
 /// Applies a non-identity input scaling (broadcast scalar or per-feature
@@ -524,6 +618,67 @@ mod tests {
         let pool = WorkerPool::new(3);
         let parallel = engine.predict_batch_on(&pool, rows).unwrap();
         assert_eq!(parallel, served);
+    }
+
+    /// Quantizing client-side and shipping raw words must land on the same
+    /// decisions as shipping floats: both run the identical `decide` path.
+    #[test]
+    fn raw_word_batch_matches_the_float_path_bit_for_bit() {
+        let (engine, clf) = binary_engine();
+        let rows = random_rows(64, 4, 17, 1.5);
+        let format = clf.format();
+        let words: Vec<i64> = rows
+            .iter()
+            .flat_map(|r| {
+                r.iter()
+                    .map(|&x| format.quantize(x, clf.rounding()).raw())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let float_out = engine.predict_batch(&rows).unwrap();
+        let raw_out = engine.predict_raw_batch(&words).unwrap();
+        assert_eq!(float_out.predictions, raw_out.predictions);
+        assert_eq!(
+            float_out.stats.accumulator_wraps,
+            raw_out.stats.accumulator_wraps
+        );
+        assert_eq!(raw_out.stats.saturated_inputs, 0);
+    }
+
+    /// The micro-batcher's segmented pass must equal per-segment
+    /// `predict_batch` calls exactly — predictions and per-segment
+    /// wrap/saturation counters alike.
+    #[test]
+    fn segmented_batch_matches_independent_batches_bit_for_bit() {
+        let (engine, _) = binary_engine();
+        let a = random_rows(13, 4, 21, 1.5);
+        let b = random_rows(1, 4, 22, 3.0);
+        let c = random_rows(40, 4, 23, 0.25);
+        let segmented = engine
+            .predict_segmented([a.as_slice(), b.as_slice(), c.as_slice()])
+            .unwrap();
+        let independent = [
+            engine.predict_batch(&a).unwrap(),
+            engine.predict_batch(&b).unwrap(),
+            engine.predict_batch(&c).unwrap(),
+        ];
+        assert_eq!(segmented.as_slice(), independent.as_slice());
+        // Empty segments are legal (a drained queue slot) and yield empty
+        // outputs without disturbing their neighbours.
+        let with_empty = engine.predict_segmented([a.as_slice(), &[]]).unwrap();
+        assert_eq!(with_empty[0], independent[0]);
+        assert!(with_empty[1].predictions.is_empty());
+    }
+
+    #[test]
+    fn raw_word_batch_rejects_torn_rows() {
+        let (engine, _) = binary_engine();
+        match engine.predict_raw_batch(&[1, 2, 3, 4, 5]) {
+            Err(ServeError::FeatureMismatch { expected, got, row }) => {
+                assert_eq!((expected, got, row), (4, 1, 1));
+            }
+            other => panic!("expected FeatureMismatch, got {other:?}"),
+        }
     }
 
     #[test]

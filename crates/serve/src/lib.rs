@@ -35,6 +35,7 @@ pub mod error;
 pub mod json;
 pub mod metrics;
 pub mod pool;
+pub mod registry;
 pub mod server;
 pub mod wire;
 
@@ -44,4 +45,5 @@ pub use engine::{BatchOutput, BatchStats, InferenceEngine, Prediction};
 pub use error::{Result, ServeError};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use pool::WorkerPool;
+pub use registry::{ModelRegistry, ReloadOutcome, DEFAULT_MODEL_NAME};
 pub use server::{serve, ServerConfig, ServerHandle};

@@ -244,7 +244,30 @@ fn handle_connection(
                 metrics.record_error();
                 wire::error_response(&e)
             }
-            Ok(Request::Predict { rows }) => {
+            Ok(Request::Predict {
+                model: Some(name), ..
+            }) => {
+                // One engine, no registry: a routed request is a client
+                // aiming at the evented tier. Typed error, connection
+                // stays usable.
+                metrics.record_error();
+                wire::error_response(&ServeError::Schema {
+                    context: "model".to_string(),
+                    message: format!(
+                        "model routing ('{name}') requires the evented server \
+                         (serve --evented); this server hosts a single model"
+                    ),
+                })
+            }
+            Ok(Request::Reload { .. }) => {
+                metrics.record_error();
+                wire::error_response(&ServeError::Schema {
+                    context: "op".to_string(),
+                    message: "hot reload requires the evented server (serve --evented)"
+                        .to_string(),
+                })
+            }
+            Ok(Request::Predict { rows, model: None }) => {
                 let started = Instant::now();
                 let outcome = match pool {
                     Some(pool) => engine.predict_batch_on(pool, rows),
@@ -286,7 +309,10 @@ fn handle_connection(
     }
 }
 
-fn predict_response(out: &crate::engine::BatchOutput) -> Value {
+/// Renders a classified batch as the wire's JSON predict response. Public
+/// so every serving tier (this blocking server, the evented `ldafp-net`
+/// loop) emits byte-identical JSON for the same [`BatchOutput`].
+pub fn predict_response(out: &crate::engine::BatchOutput) -> Value {
     Value::object([
         ("ok", Value::from(true)),
         (

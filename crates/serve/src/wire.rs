@@ -29,11 +29,24 @@ pub enum Request {
     Predict {
         /// Feature rows, batch-ordered.
         rows: Vec<Vec<f64>>,
+        /// Registry route (`None` = the server's default model). The
+        /// blocking single-model server rejects named routes; the evented
+        /// tier resolves them through its `ModelRegistry`.
+        model: Option<String>,
     },
     /// Liveness + model identity probe.
     Health,
     /// Rolling metrics snapshot.
     Stats,
+    /// Atomically install (or replace) a model in the server's registry.
+    /// Only the evented tier honors this; the blocking server answers with
+    /// a typed error.
+    Reload {
+        /// Registry name to install under.
+        name: String,
+        /// The full artifact document, embedded verbatim.
+        artifact: Value,
+    },
     /// Ask the server to stop accepting connections and drain.
     Shutdown,
 }
@@ -42,19 +55,30 @@ impl Request {
     /// Serializes the request to its wire JSON.
     pub fn to_json(&self) -> Value {
         match self {
-            Request::Predict { rows } => Value::object([
-                ("op", Value::from("predict")),
-                (
-                    "rows",
-                    Value::Array(
-                        rows.iter()
-                            .map(|r| Value::from(r.clone()))
-                            .collect(),
+            Request::Predict { rows, model } => {
+                let mut fields = vec![
+                    ("op", Value::from("predict")),
+                    (
+                        "rows",
+                        Value::Array(
+                            rows.iter()
+                                .map(|r| Value::from(r.clone()))
+                                .collect(),
+                        ),
                     ),
-                ),
-            ]),
+                ];
+                if let Some(name) = model {
+                    fields.push(("model", Value::from(name.as_str())));
+                }
+                Value::object(fields)
+            }
             Request::Health => Value::object([("op", Value::from("health"))]),
             Request::Stats => Value::object([("op", Value::from("stats"))]),
+            Request::Reload { name, artifact } => Value::object([
+                ("op", Value::from("reload")),
+                ("name", Value::from(name.as_str())),
+                ("artifact", artifact.clone()),
+            ]),
             Request::Shutdown => Value::object([("op", Value::from("shutdown"))]),
         }
     }
@@ -99,10 +123,39 @@ impl Request {
                             .collect()
                     })
                     .collect::<Result<Vec<Vec<f64>>>>()?;
-                Ok(Request::Predict { rows })
+                let model = match v.get("model") {
+                    None => None,
+                    Some(m) => Some(
+                        m.as_str()
+                            .ok_or_else(|| ServeError::Schema {
+                                context: "model".to_string(),
+                                message: "expected a string model name".to_string(),
+                            })?
+                            .to_string(),
+                    ),
+                };
+                Ok(Request::Predict { rows, model })
             }
             "health" => Ok(Request::Health),
             "stats" => Ok(Request::Stats),
+            "reload" => {
+                let name = v
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| ServeError::Schema {
+                        context: "name".to_string(),
+                        message: "reload requires a string model name".to_string(),
+                    })?
+                    .to_string();
+                let artifact = v
+                    .get("artifact")
+                    .ok_or_else(|| ServeError::Schema {
+                        context: "artifact".to_string(),
+                        message: "reload requires an embedded artifact document".to_string(),
+                    })?
+                    .clone();
+                Ok(Request::Reload { name, artifact })
+            }
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ServeError::Schema {
                 context: "op".to_string(),
@@ -212,6 +265,7 @@ mod tests {
     fn frame_roundtrip() {
         let req = Request::Predict {
             rows: vec![vec![0.5, -0.25], vec![1.0, 0.0]],
+            model: None,
         };
         let mut buf = Vec::new();
         write_frame(&mut buf, &req.to_json()).unwrap();
@@ -266,6 +320,26 @@ mod tests {
         assert!(matches!(
             Request::from_json(&v),
             Err(ServeError::Schema { .. })
+        ));
+    }
+
+    #[test]
+    fn routed_predict_and_reload_roundtrip() {
+        let routed = Request::Predict {
+            rows: vec![vec![1.0]],
+            model: Some("canary".to_string()),
+        };
+        assert_eq!(Request::from_json(&routed.to_json()).unwrap(), routed);
+        let reload = Request::Reload {
+            name: "canary".to_string(),
+            artifact: Value::object([("format", Value::from("ldafp-model"))]),
+        };
+        assert_eq!(Request::from_json(&reload.to_json()).unwrap(), reload);
+        // Reload without an artifact is a schema error, not a panic.
+        let v = json::parse("{\"op\": \"reload\", \"name\": \"x\"}").unwrap();
+        assert!(matches!(
+            Request::from_json(&v),
+            Err(ServeError::Schema { context, .. }) if context == "artifact"
         ));
     }
 

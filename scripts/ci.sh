@@ -152,5 +152,104 @@ cmp "$fam_tmp/a.md" "$fam_tmp/b.md" \
     || { echo "family pareto report differs across resume" >&2; exit 1; }
 cargo clippy -p ldafp-models --all-targets -- -D warnings
 
+# Evented serving tier (`ldafp-net`): epoll-loop units, the loopback
+# integration suite (bit-identity across codecs and families, hot reload,
+# micro-batching, load-shedding, slowloris/garbage hostile input), the
+# binary-codec proptests, and the CLI evented round trip.
+cargo test -q -p ldafp-net
+cargo test -q -p ldafp-cli --test evented_roundtrip
+cargo clippy -p ldafp-net --all-targets -- -D warnings
+
+# Then the loopback gate through the real binary: the same artifacts
+# served by the blocking tier and the evented tier (both codecs, mixed
+# families through the hot-reload registry, concurrent clients) must
+# produce byte-identical predict output, and the server's NDJSON trace
+# must pass trace-check with the net.* event families present.
+net_tmp="$(mktemp -d)"
+trap 'rm -rf "$obs_tmp" "$chaos_tmp" "$fam_tmp" "$net_tmp"' EXIT
+ldafp=target/release/ldafp
+
+# Local reference output per family (predict's CSV is byte-stable).
+for family in lda naive-bayes os-elm; do
+    "$ldafp" predict --model "$fam_tmp/$family.ldafp.json" \
+        --input "$obs_tmp/train.csv" > "$net_tmp/$family.local"
+done
+
+# wait_for_addr <errfile>: echoes the resolved host:port once the server
+# has logged it (servers bind port 0, so the port is dynamic).
+wait_for_addr() {
+    local addr
+    for _ in $(seq 1 100); do
+        addr="$(grep -oE '127\.0\.0\.1:[0-9]+' "$1" | head -n 1 || true)"
+        if [ -n "$addr" ]; then echo "$addr"; return 0; fi
+        sleep 0.1
+    done
+    echo "server never logged its address ($1)" >&2
+    return 1
+}
+
+# Blocking tier on the LDA artifact: remote JSON predictions must be
+# byte-identical to the local run.
+"$ldafp" serve --model "$fam_tmp/lda.ldafp.json" --addr 127.0.0.1:0 \
+    > /dev/null 2> "$net_tmp/blocking.err" &
+blocking_pid=$!
+baddr="$(wait_for_addr "$net_tmp/blocking.err")"
+"$ldafp" predict --addr "$baddr" --wire json --input "$obs_tmp/train.csv" \
+    > "$net_tmp/lda.blocking"
+printf '\x00\x00\x00\x12{"op": "shutdown"}' > "/dev/tcp/${baddr%:*}/${baddr#*:}"
+wait "$blocking_pid"
+cmp "$net_tmp/lda.local" "$net_tmp/lda.blocking" \
+    || { echo "blocking remote predictions differ from local" >&2; exit 1; }
+
+# Evented tier with the three-family registry and tracing on: concurrent
+# mixed-codec clients, each family routed through the registry, must all
+# come back byte-identical to the local (and thus the blocking) outputs.
+"$ldafp" serve --evented --model "$fam_tmp/lda.ldafp.json" \
+    --models "naive-bayes=$fam_tmp/naive-bayes.ldafp.json,os-elm=$fam_tmp/os-elm.ldafp.json" \
+    --addr 127.0.0.1:0 --trace "$net_tmp/net.ndjson" \
+    > /dev/null 2> "$net_tmp/evented.err" &
+evented_pid=$!
+eaddr="$(wait_for_addr "$net_tmp/evented.err")"
+client_pids=()
+for wire in binary json; do
+    "$ldafp" predict --addr "$eaddr" --wire "$wire" --input "$obs_tmp/train.csv" \
+        > "$net_tmp/lda.evented.$wire" &
+    client_pids+=($!)
+    for family in naive-bayes os-elm; do
+        "$ldafp" predict --addr "$eaddr" --wire "$wire" --name "$family" \
+            --input "$obs_tmp/train.csv" > "$net_tmp/$family.evented.$wire" &
+        client_pids+=($!)
+    done
+done
+for pid in "${client_pids[@]}"; do
+    wait "$pid" || { echo "a concurrent evented client failed" >&2; exit 1; }
+done
+# Hot reload while the server is up, then predict through the new route.
+"$ldafp" reload --addr "$eaddr" --model "$fam_tmp/naive-bayes.ldafp.json" \
+    --name reloaded > /dev/null
+"$ldafp" predict --addr "$eaddr" --wire binary --name reloaded \
+    --input "$obs_tmp/train.csv" > "$net_tmp/reloaded.evented"
+printf '\x00\x00\x00\x12{"op": "shutdown"}' > "/dev/tcp/${eaddr%:*}/${eaddr#*:}"
+wait "$evented_pid"
+for family in lda naive-bayes os-elm; do
+    for wire in binary json; do
+        cmp "$net_tmp/$family.local" "$net_tmp/$family.evented.$wire" \
+            || { echo "evented $wire predictions for $family differ from local" >&2; exit 1; }
+    done
+done
+cmp "$net_tmp/naive-bayes.local" "$net_tmp/reloaded.evented" \
+    || { echo "reloaded model served different predictions" >&2; exit 1; }
+"$ldafp" trace-check --input "$net_tmp/net.ndjson" > /dev/null
+for event in net.listen net.accept net.batch net.reload net.close net.shutdown; do
+    grep -q "\"event\":\"$event\"" "$net_tmp/net.ndjson" \
+        || { echo "missing $event in evented trace" >&2; exit 1; }
+done
+
+# Throughput + overload gate: net_bench exits nonzero when the shedder
+# fails to engage or corrupts an admitted reply; the full (non-quick)
+# shape additionally requires evented binary >= 2x blocking JSON at 16
+# clients.
+cargo run --release -q -p ldafp-bench --bin net_bench -- --quick > /dev/null
+
 # Whole-workspace lint, warnings promoted to errors.
 cargo clippy --workspace --all-targets -- -D warnings

@@ -14,8 +14,13 @@
 //!   simulation.
 //! * [`serve`] — model artifacts, integer-only batched inference, and the
 //!   TCP serving runtime.
+//! * [`net`] — the evented serving tier: epoll loop, binary wire codec,
+//!   micro-batching, and the hot-reload model registry.
+//! * [`models`] — pluggable fixed-point model families (naive Bayes,
+//!   OS-ELM) on the wrapping-MAC datapath.
 //! * [`explore`] — parallel design-space exploration with warm-started
 //!   solves, a persistent result cache, and Pareto reporting.
+//! * [`obs`] — zero-cost-when-off tracing and metrics facade.
 
 #![forbid(unsafe_code)]
 
@@ -26,6 +31,9 @@ pub use ldafp_explore as explore;
 pub use ldafp_fixedpoint as fixedpoint;
 pub use ldafp_hwmodel as hwmodel;
 pub use ldafp_linalg as linalg;
+pub use ldafp_models as models;
+pub use ldafp_net as net;
+pub use ldafp_obs as obs;
 pub use ldafp_serve as serve;
 pub use ldafp_solver as solver;
 pub use ldafp_stats as stats;

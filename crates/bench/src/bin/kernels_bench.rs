@@ -1,0 +1,62 @@
+//! Kernel-datapath throughput: the PR-3 scalar `mac_dot_counted` loop vs
+//! the SoA GEMV kernels at the serving tier's micro-batch scale, written
+//! to `BENCH_kernels.json` so later PRs have a perf trajectory.
+//!
+//! ```text
+//! cargo run -p ldafp-bench --release --bin kernels_bench [-- --quick]
+//! ```
+//!
+//! Bit-identity (accumulator values and wrap counts) is asserted against
+//! the scalar path before any timing. Exits nonzero when the best kernel
+//! is under 2× the scalar baseline — the kernels exist to buy real
+//! throughput on the same bits, so anything less is a regression, not a
+//! data point.
+
+use ldafp_bench::experiments::{run_kernels_bench, KernelsBenchConfig};
+use ldafp_bench::{quick_flag, table};
+
+fn main() {
+    let mut config = KernelsBenchConfig::default();
+    if quick_flag() {
+        config.iters = 40;
+        config.repeats = 4;
+    }
+    eprintln!(
+        "kernel throughput — {} rows/dispatch × {} features, {} passes/sample, {} repeats",
+        config.batch_rows, config.num_features, config.iters, config.repeats
+    );
+    let report = run_kernels_bench(&config);
+
+    let mut cells = vec![vec![
+        "mac_dot (PR-3 scalar)".to_string(),
+        format!("{:.0}", report.baseline_mac_dot_rows_per_s),
+        "1.00x".to_string(),
+    ]];
+    for (name, rows) in &report.kernels {
+        cells.push(vec![
+            format!("kernel {name}"),
+            format!("{rows:.0}"),
+            format!("{:.2}x", rows / report.baseline_mac_dot_rows_per_s),
+        ]);
+    }
+    println!(
+        "{}",
+        table::render(&["datapath", "rows/s", "speedup vs mac_dot"], &cells)
+    );
+    if !report.simd_available {
+        println!("intrinsic path unavailable on this CPU/build — scalar kernels only");
+    }
+
+    let out = "BENCH_kernels.json";
+    std::fs::write(out, report.to_json_string()).expect("write BENCH_kernels.json");
+    println!("wrote {out}");
+
+    if report.speedup() < 2.0 {
+        eprintln!(
+            "FAIL: best kernel ({}) is {:.2}x the scalar mac_dot path — the gate is 2.00x",
+            report.best().0,
+            report.speedup()
+        );
+        std::process::exit(1);
+    }
+}

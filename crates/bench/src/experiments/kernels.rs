@@ -1,0 +1,255 @@
+//! Kernel-datapath microbenchmark: the PR-3 row-at-a-time scalar MAC
+//! (`mac_dot_counted`) against the SoA GEMV kernels on identical words —
+//! bit-identity (values *and* wrap counts) is asserted before anything is
+//! timed, so the throughput numbers can never come from a diverged
+//! datapath. The summary is written to `BENCH_kernels.json`; the binary
+//! enforces the ≥2× gate over the scalar baseline.
+
+use ldafp_fixedpoint::{mac_dot_counted, Fx, QFormat, RoundingMode};
+use ldafp_kernels::{mac_gemv_into, GemmScratch, KernelKind, QBatch};
+use ldafp_serve::json::Value;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+/// Workload shape for [`run_kernels_bench`].
+#[derive(Debug, Clone)]
+pub struct KernelsBenchConfig {
+    /// Feature count (42 ≈ the paper's BCI workload).
+    pub num_features: usize,
+    /// Rows per GEMV dispatch — the serving tier's micro-batch scale.
+    pub batch_rows: usize,
+    /// Passes over the batch per timed sample, so one sample is long
+    /// enough for the clock to resolve.
+    pub iters: usize,
+    /// Timing repeats per contender; the best run is reported (min-time
+    /// estimator, robust to scheduler noise).
+    pub repeats: usize,
+}
+
+impl Default for KernelsBenchConfig {
+    fn default() -> Self {
+        KernelsBenchConfig {
+            num_features: 42,
+            batch_rows: 256,
+            iters: 200,
+            repeats: 9,
+        }
+    }
+}
+
+/// Measured throughput for the scalar baseline and every kernel variant
+/// available on this build/CPU.
+#[derive(Debug, Clone)]
+pub struct KernelsBenchReport {
+    /// Feature count.
+    pub num_features: usize,
+    /// Rows per GEMV dispatch.
+    pub batch_rows: usize,
+    /// Rounding mode the MACs ran under.
+    pub rounding: RoundingMode,
+    /// Whether the intrinsic path was detected at runtime.
+    pub simd_available: bool,
+    /// The PR-3 scalar path: one `mac_dot_counted` call per row.
+    pub baseline_mac_dot_rows_per_s: f64,
+    /// Rows/s per kernel variant, in [`KernelKind::available`] order.
+    pub kernels: Vec<(&'static str, f64)>,
+}
+
+impl KernelsBenchReport {
+    /// The fastest kernel variant.
+    #[must_use]
+    pub fn best(&self) -> (&'static str, f64) {
+        self.kernels
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("at least the reference kernel always runs")
+    }
+
+    /// Speedup of the best kernel over the PR-3 scalar baseline — the
+    /// number the ≥2× gate is enforced on.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.best().1 / self.baseline_mac_dot_rows_per_s
+    }
+
+    /// The `BENCH_kernels.json` document. One `kernel_<name>_rows_per_s`
+    /// field per variant that ran; `kernel_simd_rows_per_s` is absent
+    /// when the CPU lacks the intrinsic path.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        let (best_name, best_rows) = self.best();
+        let mut fields = vec![
+            ("bench", Value::from("kernels-gemv")),
+            ("num_features", Value::from(self.num_features)),
+            ("batch_rows", Value::from(self.batch_rows)),
+            ("rounding", Value::from(format!("{:?}", self.rounding))),
+            ("simd_available", Value::from(self.simd_available)),
+            (
+                "baseline_mac_dot_rows_per_s",
+                Value::from(self.baseline_mac_dot_rows_per_s),
+            ),
+        ];
+        for &(name, rows) in &self.kernels {
+            // `Value::object` wants 'static keys; the kernel names are a
+            // closed set, so spell the field names out.
+            let field = match name {
+                "reference" => "kernel_reference_rows_per_s",
+                "blocked" => "kernel_blocked_rows_per_s",
+                "simd" => "kernel_simd_rows_per_s",
+                other => unreachable!("unknown kernel name {other}"),
+            };
+            fields.push((field, Value::from(rows)));
+        }
+        fields.push(("best_kernel", Value::from(best_name)));
+        fields.push(("best_rows_per_s", Value::from(best_rows)));
+        fields.push(("speedup_vs_mac_dot", Value::from(self.speedup())));
+        Value::object(fields).to_pretty_string()
+    }
+}
+
+/// Deterministic fixture: one weight head and a word batch on `Q2.6`,
+/// drawn raw so every grid point (not just float-reachable ones) appears.
+fn kernels_fixture(config: &KernelsBenchConfig) -> (QFormat, Vec<i64>, Vec<i64>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let format = QFormat::new(2, 6).expect("static format");
+    let (lo, hi) = (format.min_raw(), format.max_raw());
+    let weights: Vec<i64> = (0..config.num_features)
+        .map(|_| rng.gen_range(lo..=hi))
+        .collect();
+    let words: Vec<i64> = (0..config.batch_rows * config.num_features)
+        .map(|_| rng.gen_range(lo..=hi))
+        .collect();
+    (format, weights, words)
+}
+
+/// Times the scalar baseline and every available kernel over the same
+/// batch, interleaving repeats (min-time estimator, one untimed warmup —
+/// same protocol as the serve bench) after asserting bit-identity.
+///
+/// # Panics
+///
+/// If any kernel variant disagrees with `mac_dot_counted` on any row —
+/// in a benchmark a silent divergence would be reported as a "speedup".
+#[must_use]
+pub fn run_kernels_bench(config: &KernelsBenchConfig) -> KernelsBenchReport {
+    let mode = RoundingMode::NearestEven;
+    let (format, weights, words) = kernels_fixture(config);
+    let batch =
+        QBatch::from_words(format, config.num_features, &words).expect("fixture rows are whole");
+    let wfx: Vec<Fx> = weights.iter().map(|&v| format.from_raw(v)).collect();
+    let rows_fx: Vec<Vec<Fx>> = words
+        .chunks_exact(config.num_features)
+        .map(|row| row.iter().map(|&v| format.from_raw(v)).collect())
+        .collect();
+
+    // Bit-identity first: every kernel must equal the scalar reference on
+    // every row, accumulator value and wrap count alike.
+    let expected: Vec<(i64, usize)> = rows_fx
+        .iter()
+        .map(|row| {
+            let (y, wraps) = mac_dot_counted(&wfx, row, mode).expect("formats agree");
+            (y.raw(), wraps)
+        })
+        .collect();
+    let kinds = KernelKind::available();
+    for &kind in &kinds {
+        let mut scratch = GemmScratch::default();
+        let (mut out, mut wraps) = (Vec::new(), Vec::new());
+        mac_gemv_into(kind, &batch, &weights, mode, &mut scratch, &mut out, &mut wraps)
+            .expect("fixture shapes agree");
+        for (r, &(want_y, want_w)) in expected.iter().enumerate() {
+            assert_eq!(
+                (out[r], wraps[r] as usize),
+                (want_y, want_w),
+                "kernel {} diverged from mac_dot_counted on row {r}",
+                kind.name()
+            );
+        }
+    }
+
+    let baseline = || {
+        let mut sink = 0i64;
+        for row in &rows_fx {
+            let (y, _) = mac_dot_counted(&wfx, row, mode).expect("formats agree");
+            sink ^= y.raw();
+        }
+        std::hint::black_box(sink);
+    };
+    let mut scratch = GemmScratch::default();
+    let (mut out, mut wraps) = (Vec::new(), Vec::new());
+    let mut kernel_pass = |kind: KernelKind| {
+        mac_gemv_into(kind, &batch, &weights, mode, &mut scratch, &mut out, &mut wraps)
+            .expect("fixture shapes agree");
+        std::hint::black_box(out.last().copied());
+    };
+
+    let iters = config.iters.max(1);
+    // Warmup: one untimed pass per contender.
+    baseline();
+    for &kind in &kinds {
+        kernel_pass(kind);
+    }
+
+    let mut best = vec![f64::INFINITY; 1 + kinds.len()];
+    for _ in 0..config.repeats.max(1) {
+        let t = Instant::now();
+        for _ in 0..iters {
+            baseline();
+        }
+        best[0] = best[0].min(t.elapsed().as_secs_f64());
+        for (i, &kind) in kinds.iter().enumerate() {
+            let t = Instant::now();
+            for _ in 0..iters {
+                kernel_pass(kind);
+            }
+            best[1 + i] = best[1 + i].min(t.elapsed().as_secs_f64());
+        }
+    }
+    let rows_per_s = |s: f64| (config.batch_rows * iters) as f64 / s;
+
+    KernelsBenchReport {
+        num_features: config.num_features,
+        batch_rows: config.batch_rows,
+        rounding: mode,
+        simd_available: KernelKind::simd_available(),
+        baseline_mac_dot_rows_per_s: rows_per_s(best[0]),
+        kernels: kinds
+            .iter()
+            .enumerate()
+            .map(|(i, kind)| (kind.name(), rows_per_s(best[1 + i])))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_is_positive_and_serializes_every_contender() {
+        let report = run_kernels_bench(&KernelsBenchConfig {
+            batch_rows: 64,
+            iters: 2,
+            repeats: 1,
+            ..KernelsBenchConfig::default()
+        });
+        assert!(report.baseline_mac_dot_rows_per_s > 0.0);
+        assert!(!report.kernels.is_empty());
+        for (name, rows) in &report.kernels {
+            assert!(*rows > 0.0, "{name}");
+        }
+        assert!(report.speedup() > 0.0);
+        let json = report.to_json_string();
+        for needle in [
+            "\"bench\"",
+            "\"baseline_mac_dot_rows_per_s\"",
+            "\"kernel_reference_rows_per_s\"",
+            "\"best_kernel\"",
+            "\"speedup_vs_mac_dot\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+}

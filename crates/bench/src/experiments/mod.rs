@@ -6,6 +6,7 @@ mod bci;
 mod bnb_par;
 mod explore;
 mod fig2;
+mod kernels;
 mod net;
 mod obs;
 mod power;
@@ -18,6 +19,7 @@ pub use bci::{run_table2, Table2Config, Table2Row};
 pub use bnb_par::{run_bnb_par, BnbParConfig, BnbParReport};
 pub use explore::{run_explore_bench, ExploreBenchConfig, ExploreBenchReport};
 pub use fig2::{run_fig2, BoundaryRobustness, Fig2Config, Fig2Report};
+pub use kernels::{run_kernels_bench, KernelsBenchConfig, KernelsBenchReport};
 pub use net::{run_net_throughput, NetBenchConfig, NetThroughputReport};
 pub use obs::{run_obs_overhead, ObsBenchConfig, ObsOverheadReport};
 pub use power::{run_power, PowerConfig, PowerRow};

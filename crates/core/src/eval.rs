@@ -3,23 +3,75 @@
 
 use crate::{FixedPointClassifier, LdaModel, Result};
 use ldafp_datasets::{BinaryDataset, ClassLabel};
-use ldafp_fixedpoint::QFormat;
+use ldafp_fixedpoint::{Fx, QFormat};
+use ldafp_kernels::{mac_gemv_into, GemmScratch, KernelKind, QBatchBuf};
 use ldafp_stats::StratifiedKFold;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+/// Rows per kernel dispatch inside [`error_rate`] — bounds the SoA
+/// staging buffer while keeping each GEMV large enough to tile well.
+const EVAL_CHUNK_ROWS: usize = 1024;
+
 /// Classification error of a fixed-point classifier on a dataset, using the
 /// bit-exact wrapping datapath (the numbers reported in Tables 1–2).
+///
+/// Rows are quantized into an SoA batch and scored through the shared
+/// wrapping-MAC GEMV kernel in chunks — bit-identical to calling
+/// [`FixedPointClassifier::classify`] per row (the kernels are pinned to
+/// the traced `mac_dot` reference), but vectorizable, which is what makes
+/// large exploration sweeps affordable.
 pub fn error_rate(clf: &FixedPointClassifier, data: &BinaryDataset) -> f64 {
+    let format = clf.format();
+    let rounding = clf.rounding();
+    let weights: Vec<i64> = clf.weights().iter().map(Fx::raw).collect();
+    let threshold = clf.threshold().raw();
+    let kernel = KernelKind::best();
+    let mut batch = QBatchBuf::new(format, weights.len());
+    let mut is_a_chunk: Vec<bool> = Vec::with_capacity(EVAL_CHUNK_ROWS);
+    let mut scratch = GemmScratch::default();
+    let (mut out, mut wraps) = (Vec::new(), Vec::new());
     let mut errors = 0usize;
     let mut total = 0usize;
-    for (x, label) in data.iter_labeled() {
-        let predicted_a = clf.classify(x);
-        let is_a = matches!(label, ClassLabel::A);
-        if predicted_a != is_a {
-            errors += 1;
+    let mut flush = |batch: &mut QBatchBuf, is_a_chunk: &mut Vec<bool>, errors: &mut usize| {
+        mac_gemv_into(
+            kernel,
+            &batch.as_batch(),
+            &weights,
+            rounding,
+            &mut scratch,
+            &mut out,
+            &mut wraps,
+        )
+        .expect("batch and weights share the classifier's format and width");
+        for (y_raw, is_a) in out.iter().zip(is_a_chunk.iter()) {
+            // Same comparison as `classify`: y.raw ≥ T.raw picks class A.
+            if (*y_raw >= threshold) != *is_a {
+                *errors += 1;
+            }
         }
+        batch.clear();
+        is_a_chunk.clear();
+    };
+    for (x, label) in data.iter_labeled() {
+        assert_eq!(
+            x.len(),
+            weights.len(),
+            "feature count mismatch: {} vs {}",
+            x.len(),
+            weights.len()
+        );
+        batch
+            .push_row_f64(x, rounding)
+            .expect("row width checked above");
+        is_a_chunk.push(matches!(label, ClassLabel::A));
         total += 1;
+        if is_a_chunk.len() == EVAL_CHUNK_ROWS {
+            flush(&mut batch, &mut is_a_chunk, &mut errors);
+        }
+    }
+    if !is_a_chunk.is_empty() {
+        flush(&mut batch, &mut is_a_chunk, &mut errors);
     }
     errors as f64 / total as f64
 }

@@ -279,6 +279,32 @@ impl QFormat {
         }));
     }
 
+    /// Raw-word variant of [`Self::quantize_slice_into`] for
+    /// structure-of-arrays batches: quantizes `xs` and **appends** the
+    /// raw grid words to `out` (append, not clear-refill, because batch
+    /// builders accumulate many rows into one contiguous buffer). The
+    /// same hoisted `2^F` factor and saturation bounds, so every word is
+    /// bit-for-bit `Self::quantize(x, mode).raw()` — the tests pin it.
+    pub fn quantize_slice_raw_append(&self, xs: &[f64], mode: RoundingMode, out: &mut Vec<i64>) {
+        let pow = (2.0f64).powi(self.f as i32);
+        let (lo, hi) = (self.min_raw(), self.max_raw());
+        let (lo_f, hi_f) = (lo as f64, hi as f64);
+        out.extend(xs.iter().map(|&x| {
+            if x.is_nan() {
+                0
+            } else {
+                let rounded = round_f64(x * pow, mode);
+                if rounded <= lo_f {
+                    lo
+                } else if rounded >= hi_f {
+                    hi
+                } else {
+                    rounded as i64
+                }
+            }
+        }));
+    }
+
     /// Value-level grid rounding for a slice.
     pub fn round_slice_to_grid(&self, xs: &[f64], mode: RoundingMode) -> Vec<f64> {
         xs.iter().map(|&x| self.round_to_grid(x, mode)).collect()
@@ -355,6 +381,13 @@ mod tests {
                         "Q{k}.{f} {mode:?} x={x}"
                     );
                 }
+                // The raw-word batch variant appends (never clears) and
+                // lands on the identical words.
+                let mut raws = vec![-1i64];
+                q.quantize_slice_raw_append(&inputs, mode, &mut raws);
+                assert_eq!(raws[0], -1, "append must not clear Q{k}.{f} {mode:?}");
+                let appended: Vec<i64> = fast.iter().map(Fx::raw).collect();
+                assert_eq!(raws[1..], appended[..], "Q{k}.{f} {mode:?}");
             }
         }
     }

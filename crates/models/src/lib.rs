@@ -238,16 +238,6 @@ pub trait FixedPointModel {
     }
 }
 
-/// Wrapping accumulation of raw grid words, counting wraps.
-///
-/// Shared by the table-based families: adds `term` into `acc` with the
-/// datapath's wrap-on-overflow semantics and reports whether the wide sum
-/// left the representable range.
-pub(crate) fn wrapping_acc(format: QFormat, acc: i64, term: i64) -> (i64, bool) {
-    let wide = acc as i128 + term as i128;
-    let wrapped = format.wrap_raw(wide);
-    (wrapped, wide != wrapped as i128)
-}
 
 #[cfg(test)]
 mod tests {
@@ -264,15 +254,18 @@ mod tests {
     }
 
     #[test]
-    fn wrapping_acc_counts_exactly_the_out_of_range_sums() {
+    fn kernel_acc_step_counts_exactly_the_out_of_range_sums() {
+        // The families accumulate through the serving kernels' WrapCtx;
+        // pin its semantics from this side of the crate boundary.
         let q = QFormat::new(3, 0).unwrap(); // raw range [-4, 3]
-        let (v, wrapped) = wrapping_acc(q, 3, 1); // 4 wraps to -4
+        let ctx = ldafp_kernels::WrapCtx::new(q);
+        let (v, wrapped) = ctx.acc_step(3, 1); // 4 wraps to -4
         assert_eq!(v, -4);
         assert!(wrapped);
-        let (v, wrapped) = wrapping_acc(q, 2, 1);
+        let (v, wrapped) = ctx.acc_step(2, 1);
         assert_eq!(v, 3);
         assert!(!wrapped);
-        let (v, wrapped) = wrapping_acc(q, -4, -1); // -5 wraps to 3
+        let (v, wrapped) = ctx.acc_step(-4, -1); // -5 wraps to 3
         assert_eq!(v, 3);
         assert!(wrapped);
     }

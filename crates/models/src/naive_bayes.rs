@@ -13,7 +13,7 @@
 //! Inference is pure integer: bucket each quantized feature by its high
 //! bits, accumulate the table words with wrapping adds, pick the argmax.
 
-use crate::{wrapping_acc, Decision, FixedPointModel, ModelError, ModelFamily, Result};
+use crate::{Decision, FixedPointModel, ModelError, ModelFamily, Result};
 use ldafp_datasets::{BinaryDataset, ClassLabel};
 use ldafp_fixedpoint::{Fx, QFormat, RoundingMode};
 use ldafp_linalg::Matrix;
@@ -197,6 +197,9 @@ impl FixedPointModel for NaiveBayesModel {
             accumulator_wraps: 0,
         };
         let mut total_wraps = 0u64;
+        // One wrap context for the whole row — the same accumulator the
+        // batched GEMM kernels run, hoisted out of the scoring loops.
+        let ctx = ldafp_kernels::WrapCtx::new(self.format);
         for (c, class_table) in self.tables.iter().enumerate() {
             let mut acc = self.priors[c];
             for (j, x) in xq.iter().enumerate() {
@@ -209,7 +212,7 @@ impl FixedPointModel for NaiveBayesModel {
                     ));
                 }
                 let term = class_table[j][self.bucket_of(x.raw())];
-                let (next, wrapped) = wrapping_acc(self.format, acc, term);
+                let (next, wrapped) = ctx.acc_step(acc, term);
                 acc = next;
                 total_wraps += wrapped as u64;
             }

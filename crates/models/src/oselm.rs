@@ -20,7 +20,8 @@ use crate::naive_bayes::error_rate_of;
 use crate::{Decision, FixedPointModel, ModelError, ModelFamily, Result};
 use ldafp_core::TrainingProblem;
 use ldafp_datasets::BinaryDataset;
-use ldafp_fixedpoint::{mac_dot_counted, Fx, QFormat, RoundingMode};
+use ldafp_fixedpoint::{Fx, QFormat, RoundingMode};
+use ldafp_kernels::mac_row_fx;
 use ldafp_linalg::Matrix;
 use ldafp_obs as obs;
 use std::time::Instant;
@@ -239,12 +240,24 @@ impl OsElmModel {
     /// sensitive, and bounded by `max_raw`, which gives the output
     /// layer's wrap-free proof its hard input bound.
     fn hidden_of(&self, xq: &[Fx]) -> Result<(Vec<Fx>, u64)> {
+        // The row kernel takes the format as given, so validate the
+        // inputs up front (the counted-dot path used to do this per MAC).
+        for x in xq {
+            if x.format() != self.format {
+                return Err(ModelError::FixedPoint(
+                    ldafp_fixedpoint::FixedPointError::FormatMismatch {
+                        left: (self.format.k(), self.format.f()),
+                        right: (x.format().k(), x.format().f()),
+                    },
+                ));
+            }
+        }
         let mut wraps = 0u64;
         let mut hidden = Vec::with_capacity(self.input_weights.len());
         for w in &self.input_weights {
-            let (y, n) = mac_dot_counted(w, xq, self.rounding)?;
-            wraps += n as u64;
-            hidden.push(self.format.from_raw(y.raw().max(0)));
+            let (y, n) = mac_row_fx(self.format, self.rounding, w, xq);
+            wraps += u64::from(n);
+            hidden.push(self.format.from_raw(y.max(0)));
         }
         Ok((hidden, wraps))
     }
@@ -337,13 +350,13 @@ impl FixedPointModel for OsElmModel {
             accumulator_wraps: 0,
         };
         for (c, beta) in self.output_weights.iter().enumerate() {
-            let (score, n) = mac_dot_counted(beta, &hidden, self.rounding)?;
+            let (score_raw, n) = mac_row_fx(self.format, self.rounding, beta, &hidden);
             // The clamp makes this zero; counted anyway — the proof is
             // checked on every row, never assumed.
-            wraps += n as u64;
-            if c == 0 || score.raw() > best.score_raw {
+            wraps += u64::from(n);
+            if c == 0 || score_raw > best.score_raw {
                 best.class_index = c;
-                best.score_raw = score.raw();
+                best.score_raw = score_raw;
             }
         }
         best.accumulator_wraps = wraps;

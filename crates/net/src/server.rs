@@ -11,7 +11,7 @@
 //!                                                          │
 //!                      batch_deadline / batch_max_rows ────┤
 //!                                                          ▼
-//!                            one predict_segmented() per engine-run
+//!                     one predict_[raw_]segmented() per engine-run
 //!                                                          │
 //!   sockets ◄── write ◄─ per-request replies (codec of the request) ◄┘
 //! ```
@@ -20,7 +20,9 @@
 //! flush fires when the oldest entry has waited `batch_deadline` or the
 //! queue holds `batch_max_rows` rows. A flush takes the longest front run
 //! sharing an engine (and payload kind) and classifies it as **one**
-//! engine dispatch via [`InferenceEngine::predict_segmented`], so the
+//! engine dispatch via [`InferenceEngine::predict_segmented`] (float
+//! rows) or [`InferenceEngine::predict_raw_segmented`] (binary-protocol
+//! raw words, decoded zero-copy into the kernels' SoA batch), so the
 //! row-invariant setup is paid once for rows from many clients while
 //! wrap/saturation counters stay per-request. FIFO draining means a
 //! connection's replies always come back in its request order.
@@ -255,7 +257,9 @@ enum PendingRows {
     /// chunking) — grouped runs go through `predict_segmented`.
     Nested(Vec<Vec<f64>>),
     /// Flat raw words (binary `ENC_RAW`) with the client's claimed row
-    /// width, shape-validated against the routed model at admission.
+    /// width, shape-validated against the routed model at admission —
+    /// grouped runs go through `predict_raw_segmented`, which wraps each
+    /// buffer as a zero-copy SoA batch.
     Raw {
         features: usize,
         words: Vec<i64>,
@@ -895,13 +899,18 @@ impl EventLoop {
                     Err(e) => group.iter().map(|_| Err(clone_err(&e))).collect(),
                 }
             }
-            PendingRows::Raw { .. } => group
-                .iter()
-                .map(|p| match &p.rows {
-                    PendingRows::Raw { words, .. } => engine.predict_raw_batch(words),
+            PendingRows::Raw { .. } => {
+                let segments = group.iter().map(|p| match &p.rows {
+                    PendingRows::Raw { words, .. } => words.as_slice(),
                     PendingRows::Nested(_) => unreachable!("kind-homogeneous group"),
-                })
-                .collect(),
+                });
+                match engine.predict_raw_segmented(segments) {
+                    Ok(outs) => outs.into_iter().map(Ok).collect(),
+                    // Admission validated row boundaries, so this is
+                    // defensive: fail every member rather than none.
+                    Err(e) => group.iter().map(|_| Err(clone_err(&e))).collect(),
+                }
+            }
         };
         let labels = &engine.artifact().class_labels;
         for (req, out) in group.iter().zip(outputs) {

@@ -160,6 +160,57 @@ fn evented_predictions_match_blocking_and_in_process_for_all_families() {
     }
 }
 
+/// Cross-family kernel equivalence: for every served family the SoA
+/// batch kernels (`predict_batch`), the single-row kernel path
+/// (`predict_row`) and both wire codecs agree **byte-for-byte** — class
+/// indices, labels, and the f64 score *bit patterns* (`to_bits`, so a
+/// negative zero or NaN drift through any codec or kernel variant would
+/// be caught where plain `==` stays silent).
+#[test]
+fn kernel_batch_row_and_both_codecs_agree_byte_for_byte() {
+    for (name, artifact) in family_artifacts() {
+        let rows = random_rows(48, 3, 0xBEEF ^ name.len() as u64);
+        let engine = engine_from(&artifact);
+
+        // Row-at-a-time kernel path vs the batched SoA kernels.
+        let batch = engine.predict_batch(&rows).unwrap();
+        for (i, row) in rows.iter().enumerate() {
+            let tag = format!("{name} row {i} (row path)");
+            let (p, _) = engine.predict_row(row).unwrap();
+            assert_eq!(p.class_index, batch.predictions[i].class_index, "{tag}");
+            assert_eq!(*p.label, *batch.predictions[i].label, "{tag}");
+            assert_eq!(
+                p.score.to_bits(),
+                batch.predictions[i].score.to_bits(),
+                "{tag}"
+            );
+        }
+
+        // Both wire codecs against the same served engine.
+        let mut handle = evented(&artifact, EventedConfig::default());
+        let addr = handle.addr().to_string();
+        let mut json_client = Client::connect(handle.addr(), CLIENT_TIMEOUT).unwrap();
+        let via_json = json_client.predict(&rows).unwrap();
+        let mut bin = NetClient::connect(&addr, CLIENT_TIMEOUT).unwrap();
+        let via_bin = bin.predict_rows(None, &rows).unwrap();
+        for i in 0..rows.len() {
+            let want = &batch.predictions[i];
+            let tag = format!("{name} row {i} (codecs)");
+            assert_eq!(via_json.predictions[i].class_index, want.class_index, "{tag}");
+            assert_eq!(via_json.predictions[i].label, *want.label, "{tag}");
+            assert_eq!(
+                via_json.predictions[i].score.to_bits(),
+                want.score.to_bits(),
+                "{tag}"
+            );
+            assert_eq!(via_bin.classes[i] as usize, want.class_index, "{tag}");
+            assert_eq!(via_bin.label(i), &*want.label, "{tag}");
+            assert_eq!(via_bin.scores[i].to_bits(), want.score.to_bits(), "{tag}");
+        }
+        handle.shutdown();
+    }
+}
+
 /// Per-frame codec negotiation: one raw socket alternates JSON and
 /// binary frames and gets matching replies for each, no handshake.
 #[test]

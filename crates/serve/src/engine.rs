@@ -3,11 +3,21 @@
 //! The engine reproduces the deployed datapath exactly: features are
 //! scaled (per the artifact's input-scaling metadata), quantized to the
 //! model's `QK.F` grid with the model's rounding mode, and pushed through
-//! the same wrapping MAC ([`ldafp_fixedpoint::mac_dot_counted`]) the
-//! training-time classifier uses. Every decision this engine emits is
-//! bit-identical to calling [`FixedPointClassifier::classify`] /
-//! [`OneVsRestClassifier::classify`] on the in-memory model — the
-//! property tests assert it.
+//! the same wrapping MAC the training-time classifier uses. Every
+//! decision this engine emits is bit-identical to calling
+//! [`FixedPointClassifier::classify`] / [`OneVsRestClassifier::classify`]
+//! on the in-memory model — the property tests assert it.
+//!
+//! Batch paths run on the `ldafp-kernels` SoA datapath: rows are
+//! quantized once into a contiguous [`QBatchBuf`] (raw wire words are
+//! borrowed zero-copy as a [`QBatch`]) and every linear model — binary
+//! LDA and every one-vs-rest head — goes through one blocked/vectorized
+//! wrapping-MAC GEMM per batch. The kernels return per-(row, head) wrap
+//! counts, so the wrap/saturation counters and `predict_segmented`'s
+//! per-segment attribution are exactly what the row-at-a-time loop
+//! produced. Table-driven families (naive Bayes, OS-ELM) decide on their
+//! own integer datapath, which rides the same kernel primitives inside
+//! `ldafp-models`.
 //!
 //! Floats appear in exactly two advisory places, never in a decision:
 //! the reported `score` (a human-readable margin) and the one-vs-rest
@@ -22,20 +32,96 @@ use crate::error::{Result, ServeError};
 use crate::pool::WorkerPool;
 use ldafp_core::multiclass::OneVsRestClassifier;
 use ldafp_core::FixedPointClassifier;
-use ldafp_fixedpoint::{mac_dot_counted, Fx, QFormat, RoundingMode};
+use ldafp_fixedpoint::{Fx, QFormat, RoundingMode};
+use ldafp_kernels::{mac_gemm_into, mac_row_fx, GemmScratch, KernelKind, QBatch, QBatchBuf};
 use ldafp_models::FixedPointModel;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, TryLockError};
 
-/// Reusable per-row working buffers for the batch path.
+/// Reusable per-row working buffers for the single-row path.
 ///
 /// Scaling and quantization each need a row-sized buffer; allocating them
-/// per row made batched prediction *slower* than the row-at-a-time loop
-/// (allocator pressure dominated the MAC work). One scratch per batch —
-/// or per shard on the pool path — removes every per-row allocation.
+/// per row made prediction *slower* than necessary (allocator pressure
+/// dominated the MAC work). The batch paths use the engine-owned
+/// [`EngineScratch`] instead.
 #[derive(Debug, Default)]
 struct RowScratch {
     scaled: Vec<f64>,
     quantized: Vec<Fx>,
+}
+
+/// Engine-owned working memory for the batch paths, reused across
+/// batches (not just across the rows of one batch): the SoA word buffer,
+/// the kernel tile scratch, and the output/wrap vectors all keep their
+/// allocations between calls. Shared across engine clones behind a
+/// `try_lock` — a second concurrent batch (e.g. pool shards) falls back
+/// to a fresh scratch rather than serializing on the lock.
+#[derive(Debug)]
+struct EngineScratch {
+    scaled: Vec<f64>,
+    quantized: Vec<Fx>,
+    batch: QBatchBuf,
+    gemm: GemmScratch,
+    out: Vec<i64>,
+    wraps: Vec<u32>,
+    row_sat: Vec<u64>,
+}
+
+impl EngineScratch {
+    fn new(format: QFormat, features: usize) -> Self {
+        EngineScratch {
+            scaled: Vec::new(),
+            quantized: Vec::new(),
+            batch: QBatchBuf::new(format, features),
+            gemm: GemmScratch::default(),
+            out: Vec::new(),
+            wraps: Vec::new(),
+            row_sat: Vec::new(),
+        }
+    }
+}
+
+/// How batches of the served model are decided, fixed at construction.
+#[derive(Debug)]
+enum KernelPlan {
+    /// Linear heads (binary LDA = one head; one-vs-rest = one per class):
+    /// the whole batch runs through a single wrapping-MAC GEMM over these
+    /// flattened `heads × features` raw weight words.
+    Linear {
+        weights: Vec<i64>,
+        /// Per-head decision threshold raws.
+        thresholds: Vec<i64>,
+        /// One-vs-rest margin calibration; `None` for binary, whose score
+        /// is the raw margin in value units.
+        scales: Option<Vec<f64>>,
+        heads: usize,
+    },
+    /// Table-driven families decide row-at-a-time on their own integer
+    /// datapath (`classify_quantized`, itself on the kernels primitives).
+    Family,
+}
+
+impl KernelPlan {
+    fn of(model: &ServedModel) -> KernelPlan {
+        match model {
+            ServedModel::Binary(clf) => KernelPlan::Linear {
+                weights: clf.weights().iter().map(Fx::raw).collect(),
+                thresholds: vec![clf.threshold().raw()],
+                scales: None,
+                heads: 1,
+            },
+            ServedModel::OneVsRest(clf) => KernelPlan::Linear {
+                weights: clf
+                    .heads()
+                    .iter()
+                    .flat_map(|h| h.weights().iter().map(Fx::raw))
+                    .collect(),
+                thresholds: clf.heads().iter().map(|h| h.threshold().raw()).collect(),
+                scales: Some(clf.margin_scales().to_vec()),
+                heads: clf.heads().len(),
+            },
+            ServedModel::NaiveBayes(_) | ServedModel::OsElm(_) => KernelPlan::Family,
+        }
+    }
 }
 
 /// Row-invariant classification state (see [`InferenceEngine::row_context`]).
@@ -108,6 +194,12 @@ pub struct InferenceEngine {
     /// never allocate label strings (the artifact keeps its own `String`
     /// copies for serialization).
     labels: Arc<[Arc<str>]>,
+    /// Flattened linear weights (or the family marker), built once.
+    plan: Arc<KernelPlan>,
+    /// The fastest bit-identical kernel on this build/CPU, probed once.
+    kernel: KernelKind,
+    /// Engine-owned batch working memory; see [`EngineScratch`].
+    scratch: Arc<Mutex<EngineScratch>>,
 }
 
 impl InferenceEngine {
@@ -123,10 +215,34 @@ impl InferenceEngine {
             .iter()
             .map(|l| Arc::from(l.as_str()))
             .collect();
+        let plan = Arc::new(KernelPlan::of(&artifact.model));
+        let scratch = Arc::new(Mutex::new(EngineScratch::new(
+            artifact.model.format(),
+            artifact.num_features(),
+        )));
         Ok(InferenceEngine {
             artifact: Arc::new(artifact),
             labels,
+            plan,
+            kernel: KernelKind::best(),
+            scratch,
         })
+    }
+
+    /// Runs `f` with the engine-owned scratch, or a fresh one when
+    /// another batch holds the lock (pool shards run concurrently on
+    /// clones sharing this scratch; serializing them would defeat the
+    /// pool). A poisoned lock is recovered — scratch holds no
+    /// invariants between calls.
+    fn with_scratch<R>(&self, f: impl FnOnce(&mut EngineScratch) -> R) -> R {
+        match self.scratch.try_lock() {
+            Ok(mut guard) => f(&mut guard),
+            Err(TryLockError::Poisoned(poisoned)) => f(&mut poisoned.into_inner()),
+            Err(TryLockError::WouldBlock) => f(&mut EngineScratch::new(
+                self.artifact.model.format(),
+                self.artifact.num_features(),
+            )),
+        }
     }
 
     /// The artifact being served.
@@ -169,21 +285,173 @@ impl InferenceEngine {
 
     /// Classifies a batch sequentially, preserving input order.
     ///
+    /// Rows are quantized once into the engine-owned SoA batch buffer and
+    /// decided by the kernel plan — one wrapping-MAC GEMM for linear
+    /// models — bit-identically to the row-at-a-time path.
+    ///
     /// # Errors
     ///
     /// The first [`ServeError::FeatureMismatch`] encountered, carrying the
     /// offending row's batch index.
     pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Result<BatchOutput> {
-        let mut predictions = Vec::with_capacity(rows.len());
-        let mut stats = BatchStats::default();
-        let mut scratch = RowScratch::default();
         let ctx = self.row_context();
-        for (i, row) in rows.iter().enumerate() {
-            let (p, s) = self.predict_row_with(&ctx, row, i, &mut scratch)?;
-            predictions.push(p);
-            stats.absorb(s);
+        self.with_scratch(|scratch| self.predict_batch_in(&ctx, rows, scratch))
+    }
+
+    /// The float batch hot path: validate + scale + quantize every row
+    /// into the SoA buffer (tracking per-row saturation), then decide the
+    /// whole batch.
+    fn predict_batch_in(
+        &self,
+        ctx: &RowContext<'_>,
+        rows: &[Vec<f64>],
+        scratch: &mut EngineScratch,
+    ) -> Result<BatchOutput> {
+        {
+            let EngineScratch {
+                scaled,
+                batch,
+                row_sat,
+                ..
+            } = scratch;
+            batch.clear();
+            batch.reserve_rows(rows.len());
+            row_sat.clear();
+            for (i, row) in rows.iter().enumerate() {
+                if row.len() != ctx.num_features {
+                    return Err(ServeError::FeatureMismatch {
+                        expected: ctx.num_features,
+                        got: row.len(),
+                        row: i,
+                    });
+                }
+                let scaled_row: &[f64] = match ctx.scale {
+                    None => row,
+                    Some(scale) => {
+                        scale_row_into(row, scale, scaled);
+                        scaled
+                    }
+                };
+                let sat = batch
+                    .push_row_f64(scaled_row, ctx.rounding)
+                    .expect("row width validated above");
+                row_sat.push(sat);
+            }
         }
-        Ok(BatchOutput { predictions, stats })
+        let saturated_inputs = scratch.row_sat.iter().sum();
+        let EngineScratch {
+            quantized,
+            batch,
+            gemm,
+            out,
+            wraps,
+            ..
+        } = scratch;
+        Ok(self.decide_rows(
+            ctx,
+            &batch.as_batch(),
+            saturated_inputs,
+            quantized,
+            gemm,
+            out,
+            wraps,
+        ))
+    }
+
+    /// Decides every row of an SoA batch per the kernel plan. Linear
+    /// models run one wrapping-MAC GEMM over the whole batch; families
+    /// decide row-at-a-time on their own integer datapath. Shared by the
+    /// float path (after scale + quantize) and the raw-word path
+    /// (zero-copy over the wire buffer).
+    #[allow(clippy::too_many_arguments)]
+    fn decide_rows(
+        &self,
+        ctx: &RowContext<'_>,
+        batch: &QBatch<'_>,
+        saturated_inputs: u64,
+        quantized: &mut Vec<Fx>,
+        gemm: &mut GemmScratch,
+        out: &mut Vec<i64>,
+        wraps: &mut Vec<u32>,
+    ) -> BatchOutput {
+        let n = batch.rows();
+        let mut predictions = Vec::with_capacity(n);
+        let mut accumulator_wraps = 0u64;
+        match &*self.plan {
+            KernelPlan::Linear {
+                weights,
+                thresholds,
+                scales,
+                heads,
+            } => {
+                mac_gemm_into(
+                    self.kernel,
+                    batch,
+                    weights,
+                    *heads,
+                    ctx.rounding,
+                    gemm,
+                    out,
+                    wraps,
+                )
+                .expect("plan shapes match the validated artifact");
+                let resolution = ctx.format.resolution();
+                for r in 0..n {
+                    let (class_index, score) = match scales {
+                        None => {
+                            let margin_raw = out[r] - thresholds[0];
+                            (
+                                usize::from(margin_raw < 0),
+                                margin_raw as f64 * resolution,
+                            )
+                        }
+                        Some(scales) => {
+                            let mut best_class = 0usize;
+                            let mut best_margin = f64::NEG_INFINITY;
+                            for h in 0..*heads {
+                                let margin =
+                                    (out[r * heads + h] - thresholds[h]) as f64 * scales[h];
+                                if margin > best_margin {
+                                    best_margin = margin;
+                                    best_class = h;
+                                }
+                            }
+                            (best_class, best_margin)
+                        }
+                    };
+                    accumulator_wraps += wraps[r * heads..(r + 1) * heads]
+                        .iter()
+                        .map(|&w| u64::from(w))
+                        .sum::<u64>();
+                    predictions.push(Prediction {
+                        class_index,
+                        label: Arc::clone(&self.labels[class_index]),
+                        score,
+                    });
+                }
+            }
+            KernelPlan::Family => {
+                for r in 0..n {
+                    quantized.clear();
+                    quantized.extend(batch.row(r).iter().map(|&w| ctx.format.from_raw(w)));
+                    let (class_index, score, w) = decide(ctx.model, quantized);
+                    accumulator_wraps += w;
+                    predictions.push(Prediction {
+                        class_index,
+                        label: Arc::clone(&self.labels[class_index]),
+                        score,
+                    });
+                }
+            }
+        }
+        BatchOutput {
+            predictions,
+            stats: BatchStats {
+                rows: n,
+                accumulator_wraps,
+                saturated_inputs,
+            },
+        }
     }
 
     /// Classifies a batch across a worker pool.
@@ -329,19 +597,12 @@ impl InferenceEngine {
         segments: impl IntoIterator<Item = &'a [Vec<f64>]>,
     ) -> Result<Vec<BatchOutput>> {
         let ctx = self.row_context();
-        let mut scratch = RowScratch::default();
-        let mut outputs = Vec::new();
-        for segment in segments {
-            let mut predictions = Vec::with_capacity(segment.len());
-            let mut stats = BatchStats::default();
-            for (i, row) in segment.iter().enumerate() {
-                let (p, s) = self.predict_row_with(&ctx, row, i, &mut scratch)?;
-                predictions.push(p);
-                stats.absorb(s);
-            }
-            outputs.push(BatchOutput { predictions, stats });
-        }
-        Ok(outputs)
+        self.with_scratch(|scratch| {
+            segments
+                .into_iter()
+                .map(|segment| self.predict_batch_in(&ctx, segment, scratch))
+                .collect()
+        })
     }
 
     /// Classifies rows already on the model's `QK.F` grid, delivered as a
@@ -358,6 +619,43 @@ impl InferenceEngine {
     /// trailing word count).
     pub fn predict_raw_batch(&self, words: &[i64]) -> Result<BatchOutput> {
         let ctx = self.row_context();
+        self.with_scratch(|scratch| self.predict_raw_in(&ctx, words, scratch))
+    }
+
+    /// Classifies several raw-word row buffers ("segments") in one pass
+    /// over the shared row-invariant context and scratch buffers — the
+    /// quantized-mode counterpart of [`Self::predict_segmented`], used by
+    /// the evented tier to run a coalesced group of binary-protocol
+    /// requests through a single kernel dispatch per segment while keeping
+    /// counters attributable per request.
+    ///
+    /// # Errors
+    ///
+    /// The first torn-row [`ServeError::FeatureMismatch`] encountered
+    /// (same shape as [`Self::predict_raw_batch`]); earlier segments'
+    /// outputs are discarded.
+    pub fn predict_raw_segmented<'a>(
+        &self,
+        segments: impl IntoIterator<Item = &'a [i64]>,
+    ) -> Result<Vec<BatchOutput>> {
+        let ctx = self.row_context();
+        self.with_scratch(|scratch| {
+            segments
+                .into_iter()
+                .map(|words| self.predict_raw_in(&ctx, words, scratch))
+                .collect()
+        })
+    }
+
+    /// The raw-word hot path: wrap the wire buffer as a zero-copy SoA
+    /// batch (no scaling, no quantization, `saturated_inputs` stays 0)
+    /// and decide it per the kernel plan.
+    fn predict_raw_in(
+        &self,
+        ctx: &RowContext<'_>,
+        words: &[i64],
+        scratch: &mut EngineScratch,
+    ) -> Result<BatchOutput> {
         let m = ctx.num_features;
         if m == 0 || words.len() % m != 0 {
             return Err(ServeError::FeatureMismatch {
@@ -366,26 +664,16 @@ impl InferenceEngine {
                 row: words.len() / m.max(1),
             });
         }
-        let rows = words.len() / m;
-        let mut predictions = Vec::with_capacity(rows);
-        let mut stats = BatchStats::default();
-        let mut xq: Vec<Fx> = Vec::with_capacity(m);
-        for row in words.chunks_exact(m) {
-            xq.clear();
-            xq.extend(row.iter().map(|&w| ctx.format.from_raw(w)));
-            let (class_index, score, wraps) = decide(ctx.model, &xq);
-            predictions.push(Prediction {
-                class_index,
-                label: Arc::clone(&self.labels[class_index]),
-                score,
-            });
-            stats.absorb(BatchStats {
-                rows: 1,
-                accumulator_wraps: wraps,
-                saturated_inputs: 0,
-            });
-        }
-        Ok(BatchOutput { predictions, stats })
+        let batch =
+            QBatch::from_words(ctx.format, m, words).expect("whole rows validated above");
+        let EngineScratch {
+            quantized,
+            gemm,
+            out,
+            wraps,
+            ..
+        } = scratch;
+        Ok(self.decide_rows(ctx, &batch, 0, quantized, gemm, out, wraps))
     }
 }
 
@@ -418,14 +706,13 @@ fn scale_row_into(row: &[f64], scale: &[f64], out: &mut Vec<f64>) {
 /// `y.raw ≥ T.raw` picks class 0.
 fn binary_decision(clf: &FixedPointClassifier, xq: &[Fx]) -> (usize, f64, u64) {
     let format = clf.format();
-    let (y, wraps) =
-        mac_dot_counted(clf.weights(), xq, clf.rounding()).expect("formats agree by construction");
-    let margin_raw = y.raw() - clf.threshold().raw();
+    let (y_raw, wraps) = mac_row_fx(format, clf.rounding(), clf.weights(), xq);
+    let margin_raw = y_raw - clf.threshold().raw();
     let class_index = usize::from(margin_raw < 0);
     (
         class_index,
         margin_raw as f64 * format.resolution(),
-        wraps as u64,
+        u64::from(wraps),
     )
 }
 
@@ -434,14 +721,14 @@ fn binary_decision(clf: &FixedPointClassifier, xq: &[Fx]) -> (usize, f64, u64) {
 /// `margin_scale`, argmax with ties to the lowest class index.
 fn one_vs_rest_decision(clf: &OneVsRestClassifier, xq: &[Fx]) -> (usize, f64, u64) {
     let rounding = clf.heads()[0].rounding();
+    let format = clf.heads()[0].format();
     let mut best_class = 0usize;
     let mut best_margin = f64::NEG_INFINITY;
     let mut wraps = 0u64;
     for (c, (head, scale)) in clf.heads().iter().zip(clf.margin_scales()).enumerate() {
-        let (y, w) = mac_dot_counted(head.weights(), xq, rounding)
-            .expect("heads share the format by construction");
-        wraps += w as u64;
-        let margin = (y.raw() - head.threshold().raw()) as f64 * scale;
+        let (y_raw, w) = mac_row_fx(format, rounding, head.weights(), xq);
+        wraps += u64::from(w);
+        let margin = (y_raw - head.threshold().raw()) as f64 * scale;
         if margin > best_margin {
             best_margin = margin;
             best_class = c;

@@ -251,5 +251,19 @@ done
 # clients.
 cargo run --release -q -p ldafp-bench --bin net_bench -- --quick > /dev/null
 
+# Kernel datapath (`ldafp-kernels`): unit tests + the bit-equivalence
+# proptests (every KernelKind vs the traced scalar mac_dot reference,
+# values and wrap counts, all rounding modes), the scalar-fallback build
+# (--no-default-features drops the intrinsic path and must still compile
+# under forbid(unsafe_code)), and the throughput gate: kernels_bench
+# exits nonzero unless the best kernel clears 2x the PR-3 scalar path at
+# the paper's F=42 / batch=256 shape. The cross-family serve/net
+# equivalence suite rides the ldafp-net loopback tests above.
+cargo test -q -p ldafp-kernels
+cargo test -q -p ldafp-kernels --test proptests
+cargo build -q -p ldafp-kernels --no-default-features
+cargo run --release -q -p ldafp-bench --bin kernels_bench -- --quick > /dev/null
+cargo clippy -p ldafp-kernels --all-targets -- -D warnings
+
 # Whole-workspace lint, warnings promoted to errors.
 cargo clippy --workspace --all-targets -- -D warnings

@@ -5,6 +5,7 @@
 //!
 //! * [`core`] — LDA / LDA-FP training and fixed-point classifiers.
 //! * [`fixedpoint`] — bit-accurate `QK.F` arithmetic.
+//! * [`kernels`] — SoA batches and vectorized wrapping-MAC kernels.
 //! * [`solver`] — interior-point SOCP/QP solver.
 //! * [`bnb`] — branch-and-bound framework.
 //! * [`linalg`] — dense linear algebra.
@@ -30,6 +31,7 @@ pub use ldafp_datasets as datasets;
 pub use ldafp_explore as explore;
 pub use ldafp_fixedpoint as fixedpoint;
 pub use ldafp_hwmodel as hwmodel;
+pub use ldafp_kernels as kernels;
 pub use ldafp_linalg as linalg;
 pub use ldafp_models as models;
 pub use ldafp_net as net;
